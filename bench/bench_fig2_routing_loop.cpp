@@ -1,0 +1,121 @@
+// §3.1 / Figure 2: a single looping flow creates a cyclic buffer
+// dependency but deadlocks only above the boundary-state threshold.
+//
+// Series 1: injection-rate sweep at the paper's testbed parameters
+//           (B=40G, n=2, TTL=16; threshold 5 Gbps) — deadlock y/n plus
+//           detection time and trapped bytes.
+// Series 2: TTL sweep at fixed rate (deadlock iff TTL > n*B/r).
+// Series 3: loop-length sweep at fixed rate and TTL.
+// Series 4: §4 rate-limiting mitigation — greedy host, switch-side
+//           ingress shaper swept across the threshold.
+//
+// Flags: --bw_gbps, --ttl, --loop_len, --run_ms.
+#include <cstdio>
+
+#include "dcdl/analysis/boundary.hpp"
+#include "dcdl/common/flags.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/csv.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using analysis::BoundaryModel;
+using namespace dcdl::scenarios;
+
+namespace {
+
+struct Outcome {
+  bool deadlocked;
+  double detect_ms;
+  std::int64_t trapped;
+};
+
+Outcome run_loop(RoutingLoopParams p, Time run_for, Rate shaper = Rate::zero()) {
+  Scenario s = make_routing_loop(p);
+  if (!shaper.is_zero()) {
+    const NodeId s0 = s.node("S0");
+    const NodeId h0 = s.node("H0");
+    s.net->switch_at(s0).set_ingress_shaper(*s.topo->port_towards(s0, h0),
+                                            shaper, p.packet_bytes);
+  }
+  const RunSummary r = run_and_check(s, run_for, run_for + 10_ms);
+  return Outcome{r.deadlocked, r.detected_at ? r.detected_at->ms() : -1.0,
+                 r.trapped_bytes};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  RoutingLoopParams base;
+  base.bandwidth = Rate::gbps(flags.get_double("bw_gbps", 40));
+  base.ttl = static_cast<int>(flags.get_int("ttl", 16));
+  base.loop_len = static_cast<int>(flags.get_int("loop_len", 2));
+  const Time run_for = Time{flags.get_int("run_ms", 6) * 1'000'000'000};
+  flags.check_unused();
+
+  stats::CsvWriter csv;
+  const Rate thr = BoundaryModel::deadlock_threshold(base.loop_len,
+                                                     base.bandwidth, base.ttl);
+  std::printf("# Fig.2 / §3.1: routing-loop deadlock vs injection rate\n");
+  std::printf("# analytic threshold n*B/TTL = %.3f Gbps (paper: 5 Gbps at "
+              "n=2,B=40G,TTL=16)\n", thr.as_gbps());
+
+  csv.section("series 1: injection rate sweep");
+  csv.header({"inject_gbps", "analytic_deadlock", "sim_deadlock",
+              "detect_ms", "trapped_bytes"});
+  for (double g = 1.0; g <= 10.0; g += 0.5) {
+    RoutingLoopParams p = base;
+    p.inject = Rate::gbps(g);
+    const Outcome o = run_loop(p, run_for);
+    csv.row({stats::CsvWriter::num(g),
+             stats::CsvWriter::num(std::int64_t{
+                 BoundaryModel::predicts_deadlock(p.loop_len, p.bandwidth,
+                                                  p.ttl, p.inject)}),
+             stats::CsvWriter::num(std::int64_t{o.deadlocked}),
+             stats::CsvWriter::num(o.detect_ms),
+             stats::CsvWriter::num(o.trapped)});
+  }
+
+  csv.section("series 2: TTL sweep at 6 Gbps (deadlock iff TTL > n*B/r = 13.3)");
+  csv.header({"ttl", "analytic_deadlock", "sim_deadlock"});
+  for (const int ttl : {4, 8, 12, 13, 14, 16, 24, 32, 48, 64}) {
+    RoutingLoopParams p = base;
+    p.ttl = ttl;
+    p.inject = Rate::gbps(6);
+    const Outcome o = run_loop(p, run_for);
+    csv.row({stats::CsvWriter::num(std::int64_t{ttl}),
+             stats::CsvWriter::num(std::int64_t{BoundaryModel::predicts_deadlock(
+                 p.loop_len, p.bandwidth, ttl, p.inject)}),
+             stats::CsvWriter::num(std::int64_t{o.deadlocked})});
+  }
+
+  csv.section("series 3: loop length sweep at 6 Gbps, TTL 16");
+  csv.header({"loop_len", "threshold_gbps", "analytic_deadlock", "sim_deadlock"});
+  for (const int n : {2, 3, 4, 5, 6, 8}) {
+    RoutingLoopParams p = base;
+    p.loop_len = n;
+    p.inject = Rate::gbps(6);
+    const Outcome o = run_loop(p, run_for);
+    csv.row({stats::CsvWriter::num(std::int64_t{n}),
+             stats::CsvWriter::num(BoundaryModel::deadlock_threshold(
+                                       n, p.bandwidth, p.ttl)
+                                       .as_gbps()),
+             stats::CsvWriter::num(std::int64_t{BoundaryModel::predicts_deadlock(
+                 n, p.bandwidth, p.ttl, p.inject)}),
+             stats::CsvWriter::num(std::int64_t{o.deadlocked})});
+  }
+
+  csv.section(
+      "series 4: rate-limit mitigation (greedy host, switch ingress shaper)");
+  csv.header({"shaper_gbps", "sim_deadlock"});
+  for (double g = 2.0; g <= 9.0; g += 1.0) {
+    RoutingLoopParams p = base;
+    p.inject = Rate::zero();  // greedy
+    const Outcome o = run_loop(p, run_for, Rate::gbps(g));
+    csv.row({stats::CsvWriter::num(g),
+             stats::CsvWriter::num(std::int64_t{o.deadlocked})});
+  }
+  return 0;
+}

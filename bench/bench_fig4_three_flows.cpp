@@ -1,0 +1,107 @@
+// §3.2 / Figure 4: adding flow 3 (B -> C) to the Figure-3 scenario leaves
+// the cyclic buffer dependency unchanged but now produces a deadlock.
+//
+// Regenerates:
+//   4(b) the dependency graph (unchanged 4-queue cycle + one extra edge
+//        outside it),
+//   4(c) pause events at L1..L4 (expected: all four links pause; at some
+//        instant all four are paused simultaneously),
+// and the paper's stop-the-flows experiment: pauses persist and packets
+// stay trapped after the sources go quiet (the paper stops flows at
+// 1000 ms; the deadlock here forms within a few hundred microseconds, so
+// the default stop time is 50 ms — override with --run_ms=1000 to match
+// the paper exactly).
+//
+// Flags: --run_ms=50, --events, --max_rows.
+#include <cstdio>
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/common/flags.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/csv.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Time run_for = Time{flags.get_int("run_ms", 50) * 1'000'000'000};
+  const bool dump_events = flags.get_bool("events", false);
+  const std::int64_t max_rows = flags.get_int("max_rows", 200);
+  flags.check_unused();
+
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  Scenario s = make_four_switch(p);
+
+  const auto bdg = analysis::BufferDependencyGraph::build(*s.net, s.flows);
+  std::printf("# Fig.4: three flows, four switches\n");
+  std::printf("# dependency cycle size: %zu (paper: same 4-queue cycle as Fig.3)\n",
+              bdg.cycles().empty() ? 0 : bdg.cycles()[0].size());
+
+  stats::PauseEventLog log(*s.net);
+  analysis::DeadlockMonitor monitor(*s.net, 50_us, 1_ms);
+  monitor.start(Time::zero(), run_for);
+  s.sim->run_until(run_for);
+
+  stats::CsvWriter csv;
+  csv.section("fig4c: pause activity per link (paper: all four links pause)");
+  csv.header({"link", "pause_events", "total_paused_ms", "paused_at_end"});
+  for (std::size_t i = 0; i < s.cycle_queues.size(); ++i) {
+    csv.row({s.cycle_labels[i],
+             stats::CsvWriter::num(
+                 static_cast<std::int64_t>(log.pause_count(s.cycle_queues[i]))),
+             stats::CsvWriter::num(
+                 log.total_paused(s.cycle_queues[i], s.sim->now()).ms()),
+             stats::CsvWriter::num(
+                 std::int64_t{log.paused_at_end(s.cycle_queues[i])})});
+  }
+
+  const auto all4 = log.first_all_paused(s.cycle_queues, s.sim->now());
+  csv.section("simultaneous pause of the whole cycle");
+  csv.header({"all_four_paused", "first_at_ms", "deadlock_confirmed_at_ms"});
+  csv.row({stats::CsvWriter::num(std::int64_t{all4.has_value()}),
+           stats::CsvWriter::num(all4 ? all4->ms() : -1.0),
+           stats::CsvWriter::num(monitor.detected_at()
+                                     ? monitor.detected_at()->ms()
+                                     : -1.0)});
+
+  if (dump_events) {
+    csv.section("raw pause transitions (t_us, link, paused)");
+    csv.header({"t_us", "link", "paused"});
+    std::int64_t rows = 0;
+    for (const auto& e : log.events()) {
+      for (std::size_t i = 0; i < s.cycle_queues.size(); ++i) {
+        const auto& k = s.cycle_queues[i];
+        if (e.node == k.node && e.port == k.port && e.cls == k.cls) {
+          csv.row({stats::CsvWriter::num(e.t.us()), s.cycle_labels[i],
+                   stats::CsvWriter::num(std::int64_t{e.paused})});
+          if (++rows >= max_rows) break;
+        }
+      }
+      if (rows >= max_rows) break;
+    }
+  }
+
+  // The paper's criterion: stop all flows, watch whether the pauses clear.
+  const std::size_t events_before = log.events().size();
+  const auto drain = analysis::stop_and_drain(*s.net, 20_ms);
+  csv.section("stop-the-flows experiment (paper: pauses persist => deadlock)");
+  csv.header({"deadlock", "trapped_bytes", "pauses_cleared_after_stop"});
+  bool any_resumed = false;
+  for (std::size_t i = events_before; i < log.events().size(); ++i) {
+    if (!log.events()[i].paused) any_resumed = true;
+  }
+  bool all_cycle_paused_at_end = true;
+  for (const auto& key : s.cycle_queues) {
+    all_cycle_paused_at_end &= log.paused_at_end(key);
+  }
+  csv.row({stats::CsvWriter::num(std::int64_t{drain.deadlocked}),
+           stats::CsvWriter::num(drain.trapped_bytes),
+           stats::CsvWriter::num(std::int64_t{any_resumed &&
+                                              !all_cycle_paused_at_end})});
+  std::printf("# paper expectation: deadlock YES, cycle still paused after stop\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// §3.3 / Figure 5: rate-limiting flow 3 at switch B's ingress determines
+// whether the Figure-4 deadlock forms. The paper observed no deadlock at
+// <= 2 Gbps and deadlock at 3 Gbps.
+//
+// Deadlock formation near the boundary is stochastic (the paper itself
+// could not analyze it and our EXPERIMENTS.md discusses the regimes), so
+// this harness sweeps the limit across several seeds and reports the
+// deadlock fraction, plus the Figure 5(c)/(d) occupancy comparison of a
+// surviving and a deadlocking configuration.
+//
+// Flags: --run_ms=20, --seeds=5.
+#include <cstdio>
+#include <string>
+
+#include "dcdl/common/flags.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/csv.hpp"
+#include "dcdl/stats/pause_log.hpp"
+#include "dcdl/stats/sampler.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Time run_for = Time{flags.get_int("run_ms", 20) * 1'000'000'000};
+  const int seeds = static_cast<int>(flags.get_int("seeds", 5));
+  flags.check_unused();
+
+  stats::CsvWriter csv;
+  std::printf("# Fig.5 / §3.3: rate limiting flow 3 vs deadlock formation\n");
+  std::printf("# paper: no deadlock at <=2 Gbps, deadlock at 3 Gbps and "
+              "unlimited\n");
+
+  csv.section("series 1: deadlock fraction vs flow-3 rate limit");
+  csv.header({"limit_gbps", "deadlock_fraction", "runs"});
+  for (const double g : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 0.0}) {
+    int deadlocks = 0;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      FourSwitchParams p;
+      p.with_flow3 = true;
+      p.seed = static_cast<std::uint64_t>(seed);
+      if (g > 0) p.flow3_limit = Rate::gbps(g);
+      Scenario s = make_four_switch(p);
+      if (run_and_check(s, run_for, 10_ms).deadlocked) ++deadlocks;
+    }
+    csv.row({g > 0 ? stats::CsvWriter::num(g) : std::string("unlimited"),
+             stats::CsvWriter::num(static_cast<double>(deadlocks) / seeds),
+             stats::CsvWriter::num(std::int64_t{seeds})});
+  }
+
+  // Fig 5(c)/(d): occupancy of flow 1 at B.RX1 with a surviving and a
+  // deadlocking limiter value.
+  csv.section("series 2: flow1@B.RX1 occupancy band (fig 5c vs 5d)");
+  csv.header({"limit_gbps", "min_after_1ms", "max", "deadlock"});
+  for (const double g : {2.0, 3.0}) {
+    FourSwitchParams p;
+    p.with_flow3 = true;
+    p.flow3_limit = Rate::gbps(g);
+    Scenario s = make_four_switch(p);
+    stats::OccupancySampler sampler(
+        *s.net, {{s.node("B"), s.cycle_queues[0].port, 0, FlowId{1}}}, 1_us);
+    sampler.start(Time::zero(), run_for);
+    const RunSummary r = run_and_check(s, run_for, 10_ms);
+    csv.row({stats::CsvWriter::num(g),
+             stats::CsvWriter::num(sampler.min_bytes_after(0, 1_ms)),
+             stats::CsvWriter::num(sampler.max_bytes(0)),
+             stats::CsvWriter::num(std::int64_t{r.deadlocked})});
+  }
+
+  // Fig 5(b): with a low enough limit, links still pause frequently but
+  // the four are never paused simultaneously.
+  csv.section("series 3: simultaneous-pause check at 2 Gbps (fig 5b zoom)");
+  csv.header({"link", "pause_events"});
+  {
+    FourSwitchParams p;
+    p.with_flow3 = true;
+    p.flow3_limit = Rate::gbps(2);
+    Scenario s = make_four_switch(p);
+    stats::PauseEventLog log(*s.net);
+    s.sim->run_until(run_for);
+    for (std::size_t i = 0; i < s.cycle_queues.size(); ++i) {
+      csv.row({s.cycle_labels[i],
+               stats::CsvWriter::num(static_cast<std::int64_t>(
+                   log.pause_count(s.cycle_queues[i])))});
+    }
+    const auto all4 = log.first_all_paused(s.cycle_queues, s.sim->now());
+    std::printf("# all four links simultaneously paused: %s (paper: never at "
+                "2 Gbps)\n",
+                all4 ? "yes" : "never");
+  }
+  return 0;
+}

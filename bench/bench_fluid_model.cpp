@@ -1,0 +1,126 @@
+// §3.3 extension: the fluid model the paper announces as future work,
+// compared against packet-level simulation series-for-series.
+//
+// Series 1: routing-loop deadlock threshold — fluid vs packet vs Eq. 3.
+// Series 2: Figure-3 occupancy/pause comparison — the fluid model captures
+//           the host-queue sawtooth but shows *empty* ring queues, i.e. it
+//           is exactly the "flow-level stable state analysis" the paper
+//           demonstrates to be insufficient.
+// Series 3: Figure-4 — the measurable gap: fluid predicts no deadlock and
+//           20 Gbps shares; packets deadlock.
+//
+// Flags: --run_ms=10.
+#include <cstdio>
+
+#include "dcdl/analysis/boundary.hpp"
+#include "dcdl/analysis/fluid.hpp"
+#include "dcdl/common/flags.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/csv.hpp"
+#include "dcdl/stats/sampler.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::analysis;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Time run_for = Time{flags.get_int("run_ms", 10) * 1'000'000'000};
+  flags.check_unused();
+
+  stats::CsvWriter csv;
+  std::printf("# fluid model vs packet-level simulation\n");
+
+  csv.section("series 1: routing-loop threshold (n=2, B=40G, TTL=16; Eq.3 = 5 Gbps)");
+  csv.header({"inject_gbps", "eq3_deadlock", "fluid_deadlock",
+              "packet_deadlock"});
+  for (const double g : {3.0, 4.0, 4.5, 5.5, 6.0, 8.0}) {
+    FluidModel fm =
+        make_fluid_routing_loop(2, Rate::gbps(40), 16, Rate::gbps(g));
+    const bool fluid = fm.run(run_for).deadlocked;
+    scenarios::RoutingLoopParams p;
+    p.inject = Rate::gbps(g);
+    scenarios::Scenario s = scenarios::make_routing_loop(p);
+    const bool packet =
+        scenarios::run_and_check(s, run_for, 15_ms).deadlocked;
+    csv.row({stats::CsvWriter::num(g),
+             stats::CsvWriter::num(std::int64_t{BoundaryModel::predicts_deadlock(
+                 2, Rate::gbps(40), 16, Rate::gbps(g))}),
+             stats::CsvWriter::num(std::int64_t{fluid}),
+             stats::CsvWriter::num(std::int64_t{packet})});
+  }
+
+  csv.section("series 2: Figure 3 — occupancy bands, fluid vs packet (bytes)");
+  csv.header({"queue", "fluid_min", "fluid_max", "fluid_paused_frac",
+              "packet_min", "packet_max"});
+  {
+    FluidFourSwitch fs = make_fluid_four_switch(false);
+    const FluidResult fr = fs.model.run(run_for);
+
+    scenarios::FourSwitchParams p;
+    scenarios::Scenario s = scenarios::make_four_switch(p);
+    stats::OccupancySampler sampler(
+        *s.net,
+        {{s.node("A"), s.cycle_queues[3].port, 0, std::nullopt},
+         {s.node("B"), s.cycle_queues[0].port, 0, std::nullopt}},
+        1_us);
+    sampler.start(Time::zero(), run_for);
+    s.sim->run_until(run_for);
+
+    const struct {
+      const char* name;
+      int fluid_q;
+      int packet_idx;  // -1: not sampled
+    } rows[] = {
+        {"A.RX2(host)", 0, -1},
+        {"A.RX1(ring)", fs.rx1_A, 0},
+        {"B.RX1(ring)", fs.rx1_B, 1},
+    };
+    for (const auto& row : rows) {
+      csv.row({row.name,
+               stats::CsvWriter::num(
+                   fr.min_bytes[static_cast<std::size_t>(row.fluid_q)]),
+               stats::CsvWriter::num(
+                   fr.max_bytes[static_cast<std::size_t>(row.fluid_q)]),
+               stats::CsvWriter::num(
+                   fr.paused_fraction[static_cast<std::size_t>(row.fluid_q)]),
+               row.packet_idx >= 0
+                   ? stats::CsvWriter::num(sampler.min_bytes_after(
+                         static_cast<std::size_t>(row.packet_idx), 1_ms))
+                   : "-",
+               row.packet_idx >= 0
+                   ? stats::CsvWriter::num(sampler.max_bytes(
+                         static_cast<std::size_t>(row.packet_idx)))
+                   : "-"});
+    }
+  }
+
+  csv.section("series 3: Figure 4 — the flow-level blind spot");
+  csv.header({"model", "deadlock", "flow1_gbps", "flow2_gbps", "flow3_gbps"});
+  {
+    FluidFourSwitch fs = make_fluid_four_switch(true, Rate::gbps(40));
+    const FluidResult fr = fs.model.run(run_for);
+    csv.row({"fluid", stats::CsvWriter::num(std::int64_t{fr.deadlocked}),
+             stats::CsvWriter::num(fr.mean_goodput_bps[0] / 1e9),
+             stats::CsvWriter::num(fr.mean_goodput_bps[1] / 1e9),
+             stats::CsvWriter::num(fr.mean_goodput_bps[2] / 1e9)});
+
+    scenarios::FourSwitchParams p;
+    p.with_flow3 = true;
+    scenarios::Scenario s = scenarios::make_four_switch(p);
+    const auto r = scenarios::run_and_check(s, 20_ms, 10_ms);
+    double gbps[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < r.delivered.size() && i < 3; ++i) {
+      const double window_ms = r.detected_at ? r.detected_at->ms() : 20.0;
+      gbps[i] = static_cast<double>(r.delivered[i].second) * 8 /
+                (window_ms * 1e-3) / 1e9;
+    }
+    csv.row({"packet", stats::CsvWriter::num(std::int64_t{r.deadlocked}),
+             stats::CsvWriter::num(gbps[0]), stats::CsvWriter::num(gbps[1]),
+             stats::CsvWriter::num(gbps[2])});
+  }
+  std::printf("# the paper's §3.2 takeaway, quantified: flow-level (fluid) "
+              "analysis predicts feasible 20G shares and no deadlock; the "
+              "packet level disagrees\n");
+  return 0;
+}

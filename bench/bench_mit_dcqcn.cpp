@@ -1,0 +1,122 @@
+// §4 "Preventing PFC from being generated": the paper cites DCQCN and
+// TIMELY as the transports "designed to reduce the possibility of PFC
+// generation" — both are implemented and compared here. Feedback latency
+// means neither can eliminate PFC, as the paper stresses.
+//
+// Workload: N-to-1 incast on a leaf-spine fabric.
+// Modes: PFC only / DCQCN (real-queue ECN marking) / DCQCN + phantom queue
+//        at 95% and 90% of line rate / TIMELY (RTT-gradient).
+// Metrics: pause events, time-to-first-pause, goodput, mean sender rate.
+//
+// Flags: --run_ms=20, --senders=8.
+#include <cstdio>
+#include <string>
+
+#include "dcdl/common/flags.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/mitigation/dcqcn.hpp"
+#include "dcdl/mitigation/timely.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/topo/generators.hpp"
+#include "dcdl/stats/csv.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Time run_for = Time{flags.get_int("run_ms", 20) * 1'000'000'000};
+  const int senders = static_cast<int>(flags.get_int("senders", 8));
+  flags.check_unused();
+
+  stats::CsvWriter csv;
+  std::printf("# §4 DCQCN + phantom queues vs PFC generation (%d-to-1 "
+              "incast)\n", senders);
+  csv.header({"mode", "pause_events", "first_pause_us", "goodput_gbps",
+              "mean_sender_rate_gbps"});
+
+  struct Mode {
+    std::string name;
+    bool dcqcn;
+    bool timely;
+    double phantom;
+  };
+  for (const Mode mode : {Mode{"pfc_only", false, false, 1.0},
+                          Mode{"dcqcn", true, false, 1.0},
+                          Mode{"dcqcn_phantom95", true, false, 0.95},
+                          Mode{"dcqcn_phantom90", true, false, 0.90},
+                          Mode{"timely", false, true, 1.0}}) {
+    Scenario s;
+    if (mode.timely) {
+      // TIMELY needs per-packet RTT feedback rather than ECN; built here
+      // directly on the same leaf-spine fabric.
+      s.sim = std::make_unique<Simulator>();
+      topo::LeafSpineTopo ls = topo::make_leaf_spine(4, 2, 4);
+      s.topo = std::make_unique<Topology>(std::move(ls.topo));
+      NetConfig cfg;
+      cfg.rtt_feedback = true;
+      s.net = std::make_unique<Network>(*s.sim, *s.topo, cfg);
+      routing::install_shortest_paths(*s.net);
+      const NodeId receiver = ls.hosts[0][0];
+      int made = 0;
+      for (int leaf = 1; leaf < 4 && made < senders; ++leaf) {
+        for (int h = 0; h < 4 && made < senders; ++h) {
+          FlowSpec f;
+          f.id = static_cast<FlowId>(made + 1);
+          f.src_host = ls.hosts[static_cast<std::size_t>(leaf)]
+                               [static_cast<std::size_t>(h)];
+          f.dst_host = receiver;
+          f.packet_bytes = 1000;
+          s.net->host_at(f.src_host).add_flow(
+              f, std::make_unique<mitigation::TimelyPacer>(
+                     mitigation::TimelyParams{}));
+          s.flows.push_back(f);
+          ++made;
+        }
+      }
+    } else {
+      IncastParams p;
+      p.num_senders = senders;
+      p.ecn = mode.dcqcn;
+      p.dcqcn = mode.dcqcn;
+      p.phantom_speed_fraction = mode.phantom;
+      s = make_incast(p);
+    }
+    stats::PauseEventLog log(*s.net);
+    s.sim->run_until(run_for);
+
+    std::uint64_t pauses = 0;
+    double first_pause_us = -1;
+    for (const auto& e : log.events()) {
+      if (e.paused) {
+        if (pauses == 0) first_pause_us = e.t.us();
+        ++pauses;
+      }
+    }
+    std::int64_t delivered = 0;
+    double rate_sum = 0;
+    int rate_count = 0;
+    for (const FlowSpec& f : s.flows) {
+      delivered += s.net->host_at(f.dst_host).delivered_bytes(f.id);
+      if (auto* pacer = s.net->host_at(f.src_host).pacer(f.id)) {
+        if (const auto r = pacer->current_rate()) {
+          rate_sum += r->as_gbps();
+          ++rate_count;
+        }
+      }
+    }
+    csv.row({mode.name,
+             stats::CsvWriter::num(static_cast<std::int64_t>(pauses)),
+             stats::CsvWriter::num(first_pause_us),
+             stats::CsvWriter::num(static_cast<double>(delivered) * 8 /
+                                   run_for.sec() / 1e9),
+             stats::CsvWriter::num(rate_count ? rate_sum / rate_count : -1.0)});
+  }
+  std::printf("# paper expectation: DCQCN cuts pause generation by orders of "
+              "magnitude; phantom queues signal earlier; neither reaches "
+              "zero in general\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// §4's open trade-off: "these solutions may lead to other issues including
+// the unfairness between long (across different high tier switches) and
+// short (e.g., within the same rack) flows. This trade-off requires
+// further study." — this harness is that study.
+//
+// Workload: a leaf-spine fabric with LONG flows (cross-rack, via spines)
+// and SHORT flows (intra-rack) sharing destination leaves. Threshold
+// policies sweep from uniform to strongly tiered/directional; metrics are
+// per-group goodput and p99 latency.
+//
+// Flags: --run_ms=10.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dcdl/common/flags.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/mitigation/thresholds.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/stats/csv.hpp"
+#include "dcdl/stats/latency.hpp"
+#include "dcdl/topo/generators.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Time run_for = Time{flags.get_int("run_ms", 10) * 1'000'000'000};
+  flags.check_unused();
+
+  stats::CsvWriter csv;
+  std::printf("# §4 threshold-policy fairness: long (cross-spine) vs short "
+              "(intra-rack) flows\n");
+  csv.header({"policy", "long_goodput_gbps", "short_goodput_gbps",
+              "long_p99_us", "short_p99_us", "goodput_ratio_short_to_long"});
+
+  for (const std::string policy :
+       {"uniform", "tiered", "directional"}) {
+    Simulator sim;
+    const LeafSpineTopo ls = make_leaf_spine(3, 2, 4);
+    Topology topo = ls.topo;
+    NetConfig cfg;
+    cfg.tx_jitter = Time{10'000};
+    Network net(sim, topo, cfg);
+    routing::install_shortest_paths(net);
+    const std::int64_t small = 10 * 1024, large = 120 * 1024, hyst = 2000;
+    if (policy == "tiered") {
+      mitigation::apply_tier_thresholds(net, {small, small, large}, hyst);
+    } else if (policy == "directional") {
+      mitigation::apply_directional_thresholds(net, small, large, hyst);
+    }
+
+    // Long flows: leaf1/leaf2 hosts -> leaf0 hosts (cross-spine).
+    // Short flows: within leaf0 (host -> host on the same leaf), competing
+    // for the same destination hosts' access links.
+    std::vector<FlowId> long_ids, short_ids;
+    FlowId next_id = 1;
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec f;
+      f.id = next_id++;
+      f.src_host = ls.hosts[1][static_cast<std::size_t>(i)];
+      f.dst_host = ls.hosts[0][static_cast<std::size_t>(i)];
+      f.packet_bytes = 1000;
+      net.host_at(f.src_host).add_flow(f);
+      long_ids.push_back(f.id);
+      FlowSpec g;
+      g.id = next_id++;
+      g.src_host = ls.hosts[2][static_cast<std::size_t>(i)];
+      g.dst_host = ls.hosts[0][static_cast<std::size_t>(i)];
+      g.packet_bytes = 1000;
+      net.host_at(g.src_host).add_flow(g);
+      long_ids.push_back(g.id);
+    }
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec f;
+      f.id = next_id++;
+      f.src_host = ls.hosts[0][static_cast<std::size_t>(2 + i)];
+      f.dst_host = ls.hosts[0][static_cast<std::size_t>(i)];
+      f.packet_bytes = 1000;
+      net.host_at(f.src_host).add_flow(f);
+      short_ids.push_back(f.id);
+    }
+
+    stats::LatencyMeter latency(net);
+    sim.run_until(run_for);
+
+    const auto goodput = [&](const std::vector<FlowId>& ids) {
+      std::int64_t bytes = 0;
+      for (const FlowId id : ids) {
+        for (const NodeId h : topo.hosts()) {
+          bytes += net.host_at(h).delivered_bytes(id);
+        }
+      }
+      return static_cast<double>(bytes) * 8 / run_for.sec() / 1e9;
+    };
+    const double lg = goodput(long_ids);
+    const double sg = goodput(short_ids);
+    csv.row({policy, stats::CsvWriter::num(lg), stats::CsvWriter::num(sg),
+             stats::CsvWriter::num(latency.percentile_of(long_ids, 0.99).us()),
+             stats::CsvWriter::num(latency.percentile_of(short_ids, 0.99).us()),
+             stats::CsvWriter::num(lg > 0 ? sg / lg * long_ids.size() /
+                                       short_ids.size()
+                                          : 0)});
+  }
+  std::printf("# the paper's predicted trade-off: burst-absorbing (large "
+              "upstream) thresholds shift congestion costs between the flow "
+              "classes — compare the per-group p99 latencies\n");
+  return 0;
+}

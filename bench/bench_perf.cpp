@@ -1,0 +1,92 @@
+// Simulator performance microbenchmarks (google-benchmark): events/sec on
+// the paper's scenarios, so regressions in the data path are visible.
+#include <benchmark/benchmark.h>
+
+#include "dcdl/device/host.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/topo/generators.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+namespace {
+
+void BM_FourSwitchMillisecond(benchmark::State& state) {
+  for (auto _ : state) {
+    Scenario s = make_four_switch(FourSwitchParams{});
+    s.sim->run_until(1_ms);
+    state.counters["events"] = static_cast<double>(s.sim->events_executed());
+    benchmark::DoNotOptimize(s.net->total_queued_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FourSwitchMillisecond)->Unit(benchmark::kMillisecond);
+
+void BM_RoutingLoopMillisecond(benchmark::State& state) {
+  for (auto _ : state) {
+    RoutingLoopParams p;
+    p.inject = Rate::gbps(8);
+    Scenario s = make_routing_loop(p);
+    s.sim->run_until(1_ms);
+    benchmark::DoNotOptimize(s.net->total_queued_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingLoopMillisecond)->Unit(benchmark::kMillisecond);
+
+void BM_IncastMillisecond(benchmark::State& state) {
+  for (auto _ : state) {
+    IncastParams p;
+    p.num_senders = static_cast<int>(state.range(0));
+    Scenario s = make_incast(p);
+    s.sim->run_until(1_ms);
+    benchmark::DoNotOptimize(s.net->total_queued_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncastMillisecond)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FatTreePermutation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    const topo::FatTreeTopo ft = topo::make_fat_tree(4);
+    Topology topo = ft.topo;
+    Network net(sim, topo, NetConfig{});
+    routing::install_shortest_paths(net);
+    const auto n = ft.all_hosts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      FlowSpec f;
+      f.id = static_cast<FlowId>(i + 1);
+      f.src_host = ft.all_hosts[i];
+      f.dst_host = ft.all_hosts[(i + n / 2) % n];
+      f.packet_bytes = 1000;
+      net.host_at(f.src_host).add_flow(f);
+    }
+    state.ResumeTiming();
+    sim.run_until(200_us);
+    benchmark::DoNotOptimize(net.total_queued_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FatTreePermutation)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    std::int64_t fired = 0;
+    for (int i = 0; i < 100'000; ++i) {
+      sim.schedule_at(Time{(i * 7919) % 1'000'000}, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_EventQueueChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

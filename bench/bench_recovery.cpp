@@ -1,0 +1,152 @@
+// §1 taxonomy quantified: reactive recovery (PFC storm watchdog) vs
+// proactive prevention (rate limiting / TTL classes) on the Figure-4
+// deadlock and on a deadlocked routing loop.
+//
+// Metrics per strategy: whether a deadlock (transient or permanent)
+// occurred, goodput over the run, packets dropped by the recovery (the
+// "disruption" the paper warns about), and the longest delivery stall.
+//
+// Flags: --run_ms=40.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "dcdl/common/flags.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/mitigation/dcqcn.hpp"
+#include "dcdl/mitigation/smart_limiter.hpp"
+#include "dcdl/mitigation/watchdog.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/csv.hpp"
+#include "dcdl/stats/hooks.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+namespace {
+
+struct StrategyResult {
+  bool permanent_deadlock = false;
+  double goodput_gbps = 0;
+  std::uint64_t dropped_packets = 0;
+  double longest_stall_ms = 0;
+};
+
+// Builds the Figure-4 scenario from scratch with ECN marking and
+// DCQCN-paced flows (the §4 "preventing PFC" strategy).
+Scenario make_fig4_dcqcn() {
+  Scenario s;
+  s.sim = std::make_unique<Simulator>();
+  s.topo = std::make_unique<Topology>();
+  Topology& t = *s.topo;
+  const NodeId A = t.add_switch("A"), B = t.add_switch("B");
+  const NodeId C = t.add_switch("C"), D = t.add_switch("D");
+  for (const auto [x, y] : {std::pair{A, B}, {B, C}, {C, D}, {D, A}}) {
+    t.add_link(x, y, Rate::gbps(40), Time{2'000'000});
+  }
+  const NodeId hA = t.add_host("hA"), hB = t.add_host("hB");
+  const NodeId hC = t.add_host("hC"), hD = t.add_host("hD");
+  const NodeId hB3 = t.add_host("hB3"), hC3 = t.add_host("hC3");
+  for (const auto [sw, h] : {std::pair{A, hA}, {B, hB}, {C, hC}, {D, hD},
+                             {B, hB3}, {C, hC3}}) {
+    t.add_link(sw, h, Rate::gbps(40), Time{2'000'000});
+  }
+  NetConfig cfg;
+  cfg.tx_jitter = Time{10'000};
+  cfg.ecn.enabled = true;
+  cfg.ecn.mark_threshold_bytes = 20 * 1024;
+  s.net = std::make_unique<Network>(*s.sim, t, cfg);
+  routing::install_flow_path(*s.net, 1, {hA, A, B, C, D, hD});
+  routing::install_flow_path(*s.net, 2, {hC, C, D, A, B, hB});
+  routing::install_flow_path(*s.net, 3, {hB3, B, C, hC3});
+  int i = 0;
+  for (const auto [src, dst] : {std::pair{hA, hD}, {hC, hB}, {hB3, hC3}}) {
+    FlowSpec f;
+    f.id = static_cast<FlowId>(++i);
+    f.src_host = src;
+    f.dst_host = dst;
+    f.packet_bytes = 1000;
+    f.ttl = 64;
+    f.ecn_capable = true;
+    s.net->host_at(src).add_flow(
+        f,
+        std::make_unique<mitigation::DcqcnPacer>(mitigation::DcqcnParams{}));
+    s.flows.push_back(f);
+  }
+  return s;
+}
+
+StrategyResult run_four_switch(const std::string& strategy, Time run_for) {
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  if (strategy == "proactive_rate_limit") p.flow3_limit = Rate::gbps(2);
+  Scenario s = strategy == "proactive_dcqcn" ? make_fig4_dcqcn()
+                                             : make_four_switch(p);
+  if (strategy == "proactive_planner") {
+    // §4's "intelligent rate limiting", automated: shape only the flows
+    // the risk analyzer names, at their source NICs.
+    const auto plan = mitigation::plan_rate_limits(*s.net, s.flows);
+    mitigation::apply_rate_limits(*s.net, plan);
+  }
+
+  std::unique_ptr<mitigation::PfcWatchdog> wd;
+  if (strategy == "reactive_watchdog") {
+    wd = std::make_unique<mitigation::PfcWatchdog>(
+        *s.net, mitigation::PfcWatchdog::Params{});
+    wd->start(Time::zero(), run_for + 100_ms);
+  }
+
+  // Track delivery gaps (stalls) across all flows.
+  Time last_delivery = Time::zero();
+  Time longest_gap = Time::zero();
+  stats::append_hook<Time, const Packet&>(
+      s.net->trace().delivered, [&](Time t, const Packet&) {
+        longest_gap = std::max(longest_gap, t - last_delivery);
+        last_delivery = t;
+      });
+
+  s.sim->run_until(run_for);
+  StrategyResult r;
+  std::int64_t delivered = 0;
+  for (const FlowSpec& f : s.flows) {
+    delivered += s.net->host_at(f.dst_host).delivered_bytes(f.id);
+  }
+  r.goodput_gbps = static_cast<double>(delivered) * 8 / run_for.sec() / 1e9;
+  r.dropped_packets = s.net->drops(DropReason::kWatchdogReset);
+  longest_gap = std::max(longest_gap, s.sim->now() - last_delivery);
+  r.longest_stall_ms = longest_gap.ms();
+  r.permanent_deadlock = analysis::stop_and_drain(*s.net, 30_ms).deadlocked;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Time run_for = Time{flags.get_int("run_ms", 40) * 1'000'000'000};
+  flags.check_unused();
+
+  stats::CsvWriter csv;
+  std::printf("# §1 reactive vs proactive deadlock handling "
+              "(Figure-4 workload, %lld ms)\n",
+              static_cast<long long>(run_for.ps() / 1'000'000'000));
+  csv.header({"strategy", "permanent_deadlock", "goodput_gbps",
+              "packets_dropped", "longest_stall_ms"});
+  for (const std::string strategy :
+       {"none", "reactive_watchdog", "proactive_rate_limit",
+        "proactive_planner", "proactive_dcqcn"}) {
+    const StrategyResult r = run_four_switch(strategy, run_for);
+    csv.row({strategy, stats::CsvWriter::num(std::int64_t{r.permanent_deadlock}),
+             stats::CsvWriter::num(r.goodput_gbps),
+             stats::CsvWriter::num(static_cast<std::int64_t>(r.dropped_packets)),
+             stats::CsvWriter::num(r.longest_stall_ms)});
+  }
+  std::printf("# paper expectation: no handling -> permanent zero-throughput "
+              "deadlock; the watchdog restores flow but drops packets and "
+              "stalls for the storm threshold; proactive prevention avoids "
+              "both\n");
+  return 0;
+}

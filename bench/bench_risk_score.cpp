@@ -1,0 +1,150 @@
+// Beyond the paper: a tighter-than-CBD deadlock condition, evaluated.
+//
+// The paper (§3 summary): "While we cannot obtain the tightest condition
+// (i.e., necessary and sufficient condition), we know that a tighter
+// condition should include those factors [traffic matrix, TTL, flow
+// rates]." analysis::assess_deadlock_risk is such a condition: the BDG
+// cycle (necessary) + max-min stable rates, with the reachability rule
+// "lockable iff at most one cycle link is slack (utilization < 0.95)".
+//
+// This harness scores the rule against packet-level outcomes across the
+// full scenario battery (multiple seeds where formation is stochastic)
+// and prints a confusion summary.
+//
+// Flags: --run_ms=15, --seeds=3.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dcdl/analysis/risk.hpp"
+#include "dcdl/common/flags.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/csv.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::analysis;
+using namespace dcdl::scenarios;
+
+namespace {
+
+struct Case {
+  std::string name;
+  std::function<Scenario(std::uint64_t seed)> build;
+  std::vector<Rate> demands;  // analyzer inputs (zero = greedy)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Time run_for = Time{flags.get_int("run_ms", 15) * 1'000'000'000};
+  const int seeds = static_cast<int>(flags.get_int("seeds", 3));
+  flags.check_unused();
+
+  std::vector<Case> cases;
+  cases.push_back({"fig3_two_flows",
+                   [](std::uint64_t seed) {
+                     FourSwitchParams p;
+                     p.seed = seed;
+                     return make_four_switch(p);
+                   },
+                   {}});
+  cases.push_back({"fig4_three_flows",
+                   [](std::uint64_t seed) {
+                     FourSwitchParams p;
+                     p.with_flow3 = true;
+                     p.seed = seed;
+                     return make_four_switch(p);
+                   },
+                   {}});
+  for (const double g : {2.0, 3.0, 8.0}) {
+    cases.push_back({"fig5_limit_" + std::to_string(static_cast<int>(g)) + "G",
+                     [g](std::uint64_t seed) {
+                       FourSwitchParams p;
+                       p.with_flow3 = true;
+                       p.flow3_limit = Rate::gbps(g);
+                       p.seed = seed;
+                       return make_four_switch(p);
+                     },
+                     {Rate::zero(), Rate::zero(), Rate::gbps(g)}});
+  }
+  for (const double g : {3.0, 4.0, 6.0, 9.0}) {
+    cases.push_back({"loop_" + std::to_string(static_cast<int>(g)) + "G",
+                     [g](std::uint64_t) {
+                       RoutingLoopParams p;
+                       p.inject = Rate::gbps(g);
+                       return make_routing_loop(p);
+                     },
+                     {Rate::gbps(g)}});
+  }
+  cases.push_back({"ring3_span2",
+                   [](std::uint64_t seed) {
+                     RingDeadlockParams p;
+                     p.seed = seed;
+                     return make_ring_deadlock(p);
+                   },
+                   {}});
+  cases.push_back({"incast",
+                   [](std::uint64_t) { return make_incast(IncastParams{}); },
+                   {}});
+  cases.push_back({"valley_two_flows",
+                   [](std::uint64_t seed) {
+                     ValleyViolationParams p;
+                     p.with_extra_flow = false;
+                     p.seed = seed;
+                     return make_valley_violation(p);
+                   },
+                   {}});
+  // Known counterexample to the slack rule (see
+  // tests/test_valley_violation.cpp): max-min rates say "safe", the
+  // start-up transient says otherwise.
+  cases.push_back({"valley_three_flows",
+                   [](std::uint64_t seed) {
+                     ValleyViolationParams p;
+                     p.seed = seed;
+                     return make_valley_violation(p);
+                   },
+                   {}});
+
+  stats::CsvWriter csv;
+  std::printf("# tighter-condition evaluation: slack-link rule vs packet "
+              "simulation (%d seed(s), %lld ms runs)\n",
+              seeds, static_cast<long long>(run_for.ps() / 1'000'000'000));
+  csv.header({"scenario", "cbd", "min_cycle_util", "slack_links",
+              "predicted_lockable", "observed_deadlock_fraction", "verdict"});
+
+  int agree = 0, total = 0;
+  for (const Case& c : cases) {
+    Scenario probe = c.build(1);
+    const RiskReport risk =
+        assess_deadlock_risk(*probe.net, probe.flows, c.demands);
+    int deadlocks = 0;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      Scenario s = c.build(static_cast<std::uint64_t>(seed));
+      if (run_and_check(s, run_for, 10_ms).deadlocked) ++deadlocks;
+    }
+    const double fraction = static_cast<double>(deadlocks) / seeds;
+    const bool predicted = risk.deadlock_reachable();
+    const bool observed_any = deadlocks > 0;
+    const bool ok = predicted == observed_any;
+    agree += ok ? 1 : 0;
+    ++total;
+    int slack = -1;
+    double min_util = 0;
+    if (!risk.cycles.empty()) {
+      slack = risk.cycles[0].slack_links;
+      min_util = risk.cycles[0].min_utilization;
+    }
+    csv.row({c.name, stats::CsvWriter::num(std::int64_t{risk.cbd_present}),
+             stats::CsvWriter::num(min_util),
+             stats::CsvWriter::num(std::int64_t{slack}),
+             stats::CsvWriter::num(std::int64_t{predicted}),
+             stats::CsvWriter::num(fraction), ok ? "agree" : "DISAGREE"});
+  }
+  std::printf("# agreement: %d/%d scenarios\n", agree, total);
+  std::printf("# the rule is a falsifiable heuristic, not a proof — "
+              "sufficiency remains the paper's open problem\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table 1 / Equations 1-3 (§3.1): the boundary-state model of deadlock in
+// a routing loop. Prints the analytic deadlock threshold r_d = n*B/TTL
+// over a grid of loop lengths, bandwidths, and TTLs, and cross-checks each
+// cell against packet-level simulation just below and just above the
+// threshold.
+//
+// Paper's reference point: B = 40 Gbps, n = 2, TTL = 16 -> 5 Gbps.
+//
+// Flags: --margin=0.3 (probe distance from threshold), --run_ms, --sim=1/0.
+#include <cstdio>
+
+#include "dcdl/analysis/boundary.hpp"
+#include "dcdl/common/flags.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/csv.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using analysis::BoundaryModel;
+using scenarios::make_routing_loop;
+using scenarios::RoutingLoopParams;
+using scenarios::run_and_check;
+
+namespace {
+
+bool simulate(int n, Rate bandwidth, int ttl, Rate inject, Time run_for) {
+  RoutingLoopParams p;
+  p.loop_len = n;
+  p.bandwidth = bandwidth;
+  p.ttl = ttl;
+  p.inject = inject;
+  scenarios::Scenario s = make_routing_loop(p);
+  return run_and_check(s, run_for, run_for + 10_ms).deadlocked;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double margin = flags.get_double("margin", 0.3);
+  const Time run_for = Time{flags.get_int("run_ms", 6) * 1'000'000'000};
+  const bool sim = flags.get_bool("sim", true);
+  flags.check_unused();
+
+  stats::CsvWriter csv;
+  std::printf("# Table 1 / Eq.3: r_d = n*B/TTL (boundary-state model)\n");
+  std::printf("# paper reference: n=2, B=40G, TTL=16 -> 5 Gbps\n");
+  csv.header({"loop_len", "bandwidth_gbps", "ttl", "threshold_gbps",
+              "sim_below_deadlock", "sim_above_deadlock", "model_validated"});
+
+  for (const int n : {2, 3, 4, 8}) {
+    for (const double b : {10.0, 40.0, 100.0}) {
+      for (const int ttl : {8, 16, 32, 64}) {
+        const Rate bw = Rate::gbps(b);
+        const Rate thr = BoundaryModel::deadlock_threshold(n, bw, ttl);
+        int below = -1, above = -1, ok = -1;
+        if (sim) {
+          below = simulate(n, bw, ttl,
+                           Rate{static_cast<std::int64_t>(
+                               thr.bps() * (1.0 - margin))},
+                           run_for)
+                      ? 1
+                      : 0;
+          above = simulate(n, bw, ttl,
+                           Rate{static_cast<std::int64_t>(
+                               thr.bps() * (1.0 + margin))},
+                           run_for)
+                      ? 1
+                      : 0;
+          ok = (below == 0 && above == 1) ? 1 : 0;
+        }
+        csv.row({stats::CsvWriter::num(std::int64_t{n}),
+                 stats::CsvWriter::num(b), stats::CsvWriter::num(std::int64_t{ttl}),
+                 stats::CsvWriter::num(thr.as_gbps()),
+                 stats::CsvWriter::num(std::int64_t{below}),
+                 stats::CsvWriter::num(std::int64_t{above}),
+                 stats::CsvWriter::num(std::int64_t{ok})});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: build a small lossless (PFC) network, pin two flows onto a
+// cyclic route set, analyze the buffer dependency graph, run packet-level
+// simulation, and check for deadlock — the paper's Figure 3 in ~60 lines.
+//
+//   $ ./quickstart
+//
+// Everything here is the library's public API: Topology -> Network ->
+// routes -> flows -> run -> analyze.
+#include <cstdio>
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/analysis/risk.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/sim/simulator.hpp"
+#include "dcdl/topo/topology.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+
+int main() {
+  // 1. Describe the physical network: four switches in a ring, one host
+  //    on each, 40 Gbps links with 2 us propagation delay.
+  Topology topo;
+  const NodeId A = topo.add_switch("A"), B = topo.add_switch("B");
+  const NodeId C = topo.add_switch("C"), D = topo.add_switch("D");
+  for (const auto [x, y] : {std::pair{A, B}, {B, C}, {C, D}, {D, A}}) {
+    topo.add_link(x, y, Rate::gbps(40), 2_us);
+  }
+  const NodeId hA = topo.add_host("hA"), hB = topo.add_host("hB");
+  const NodeId hC = topo.add_host("hC"), hD = topo.add_host("hD");
+  for (const auto [sw, h] : {std::pair{A, hA}, {B, hB}, {C, hC}, {D, hD}}) {
+    topo.add_link(sw, h, Rate::gbps(40), 2_us);
+  }
+
+  // 2. Bring it to life: a simulator plus a Network with the paper's PFC
+  //    parameters (40 KB Xoff per ingress queue, 12 MB shared buffer).
+  Simulator sim;
+  NetConfig cfg;
+  cfg.pfc.xoff_bytes = 40 * kKiB;
+  cfg.pfc.xon_bytes = 38 * kKiB;
+  cfg.tx_jitter = 10_ns;  // physical-layer asynchrony (see DESIGN.md)
+  Network net(sim, topo, cfg);
+
+  // 3. Static routes that pin the two flows of the paper's Figure 3.
+  FlowSpec f1;
+  f1.id = 1;
+  f1.src_host = hA;
+  f1.dst_host = hD;
+  routing::install_flow_path(net, f1.id, {hA, A, B, C, D, hD});
+  FlowSpec f2;
+  f2.id = 2;
+  f2.src_host = hC;
+  f2.dst_host = hB;
+  routing::install_flow_path(net, f2.id, {hC, C, D, A, B, hB});
+
+  // 4. Static analysis first: is the necessary condition present?
+  const auto bdg =
+      analysis::BufferDependencyGraph::build(net, {f1, f2});
+  std::printf("cyclic buffer dependency: %s\n",
+              bdg.has_cycle() ? "PRESENT" : "absent");
+  std::printf("%s", bdg.describe(net).c_str());
+  const auto risk = analysis::assess_deadlock_risk(net, {f1, f2});
+  std::printf("risk analysis: cycle saturation %.2f, %d slack link(s) -> "
+              "lockable: %s\n",
+              risk.max_risk, risk.cycles[0].slack_links,
+              risk.deadlock_reachable() ? "yes" : "no");
+
+  // 5. Inject greedy (infinite-demand) UDP flows and run 10 ms.
+  net.host_at(hA).add_flow(f1);
+  net.host_at(hC).add_flow(f2);
+  analysis::DeadlockMonitor monitor(net);
+  monitor.start(Time::zero(), 10_ms);
+  sim.run_until(10_ms);
+
+  // 6. Results: per-flow goodput and the deadlock verdict.
+  for (const FlowSpec& f : {f1, f2}) {
+    const double gbps =
+        static_cast<double>(net.host_at(f.dst_host).delivered_bytes(f.id)) *
+        8 / 10e-3 / 1e9;
+    std::printf("flow %u goodput: %.1f Gbps\n", f.id, gbps);
+  }
+  const auto drain = analysis::stop_and_drain(net, 20_ms);
+  std::printf("deadlock: %s (monitor: %s, trapped bytes: %lld)\n",
+              drain.deadlocked ? "YES" : "no",
+              monitor.deadlocked() ? "confirmed" : "none",
+              static_cast<long long>(drain.trapped_bytes));
+  std::printf("=> the paper's point: the dependency cycle alone is NOT "
+              "sufficient for deadlock.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Production-style incident replay (paper §1): a BGP fabric converges, an
+// RDMA-style lossless flow runs — then routing churn opens a transient
+// forwarding loop. The loop heals in 2 ms; the deadlock it caused does
+// not. Re-run with --mitigate to see TTL-class banding ride through the
+// same incident.
+//
+//   $ ./transient_loop_bgp
+//   $ ./transient_loop_bgp --mitigate
+//
+// Flags: --mitigate, --rate_gbps=10, --loop_ms=2, --run_ms=12.
+#include <cstdio>
+
+#include "dcdl/common/flags.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+using namespace dcdl;
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool mitigate = flags.get_bool("mitigate", false);
+  const double rate = flags.get_double("rate_gbps", 10);
+  const std::int64_t loop_ms = flags.get_int("loop_ms", 2);
+  const Time run_for = Time{flags.get_int("run_ms", 12) * 1'000'000'000};
+  flags.check_unused();
+
+  TransientLoopParams p;
+  p.inject = Rate::gbps(rate);
+  p.ttl = 16;
+  p.loop_start = 1_ms;
+  p.loop_duration = Time{loop_ms * 1'000'000'000};
+  if (mitigate) {
+    p.num_classes = 8;
+    p.ttl_class_band = 2;  // effective TTL ~ loop length: immune (§4)
+  }
+  Scenario s = make_transient_loop(p);
+  stats::PauseEventLog log(*s.net);
+
+  std::printf("incident replay: %s lossless flow, transient loop window "
+              "[%.0f ms, %.0f ms)%s\n",
+              p.inject.to_string().c_str(), p.loop_start.ms(),
+              (p.loop_start + p.loop_duration).ms(),
+              mitigate ? ", TTL-class mitigation ON" : "");
+
+  const NodeId dst = s.flows[0].dst_host;
+  std::int64_t last = 0;
+  for (Time t = 1_ms; t <= run_for; t += 1_ms) {
+    s.sim->run_until(t);
+    const std::int64_t now_bytes = s.net->host_at(dst).delivered_bytes(1);
+    const double gbps = static_cast<double>(now_bytes - last) * 8 / 1e-3 / 1e9;
+    const char* phase =
+        t <= p.loop_start ? "pre-loop"
+        : t <= p.loop_start + p.loop_duration ? "LOOP OPEN"
+                                              : "routes repaired";
+    std::printf("  t=%5.1f ms  goodput %6.2f Gbps   [%s]\n", t.ms(), gbps,
+                phase);
+    last = now_bytes;
+  }
+
+  const auto drain = analysis::stop_and_drain(*s.net, 20_ms);
+  std::printf("\nfinal verdict: %s\n",
+              drain.deadlocked
+                  ? "DEADLOCK — the loop is gone, the deadlock is not "
+                    "(reset links/hosts to recover)"
+                  : "network recovered by itself");
+  std::printf("pause events recorded: %zu, trapped bytes: %lld\n",
+              log.events().size(),
+              static_cast<long long>(drain.trapped_bytes));
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "dcdl/analysis/bdg.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::analysis {
+
+BufferDependencyGraph BufferDependencyGraph::build(
+    const Network& net, const std::vector<FlowSpec>& flows, int max_steps) {
+  BufferDependencyGraph g;
+  const Topology& topo = net.topo();
+  const auto& cfg = net.config();
+
+  for (const FlowSpec& flow : flows) {
+    // Mirror the data path: start at the source host, walk lookups.
+    Packet pkt;
+    pkt.flow = flow.id;
+    pkt.src = flow.src_host;
+    pkt.dst = flow.dst_host;
+    pkt.ttl = flow.ttl;
+    pkt.prio = flow.prio;
+    pkt.hops = 0;
+
+    const PortPeer& first = topo.peer(flow.src_host, 0);
+    NodeId cur = first.peer_node;
+    PortId in_port = first.peer_port;
+    std::set<std::tuple<NodeId, PortId, ClassId>> visited;
+    bool looping = false;
+
+    for (int step = 0; step < max_steps; ++step) {
+      if (!topo.is_switch(cur)) break;  // reached a host
+      const auto& sw = net.switch_at(cur);
+      const auto egress = sw.routes().lookup(pkt.flow, pkt.dst);
+      if (!egress) break;  // blackhole: no dependency beyond this queue
+      const NodeId next = topo.peer(cur, *egress).peer_node;
+      if (topo.is_switch(next)) {
+        if (pkt.ttl == 0) break;  // TTL drain ends the walk
+        pkt.ttl -= 1;
+      }
+      const ClassId cls_here = pkt.prio;
+      const QueueKey here{cur, in_port, cls_here};
+      g.vertices_.insert(here);
+      if (!visited.insert({cur, in_port, cls_here}).second) {
+        looping = true;
+        break;  // walked the loop once: all its edges are recorded
+      }
+      // Departure class after the reclass hook (hops as it will be on wire).
+      Packet out = pkt;
+      if (topo.is_switch(next)) out.hops += 1;
+      const ClassId out_cls = cfg.reclass ? cfg.reclass(out, cur) : out.prio;
+      DCDL_ASSERT(out_cls < cfg.num_classes);
+      if (topo.is_switch(next)) {
+        const QueueKey there{next, topo.peer(cur, *egress).peer_port, out_cls};
+        g.vertices_.insert(there);
+        g.edges_[here].insert(there);
+      }
+      pkt.hops = out.hops;
+      pkt.prio = out_cls;
+      in_port = topo.peer(cur, *egress).peer_port;
+      cur = next;
+    }
+    if (looping) g.looping_flows_.push_back(flow.id);
+  }
+  return g;
+}
+
+namespace {
+
+// Tarjan SCC over the QueueKey graph.
+struct Tarjan {
+  const std::map<QueueKey, std::set<QueueKey>>& edges;
+  std::map<QueueKey, int> index, low;
+  std::map<QueueKey, bool> on_stack;
+  std::vector<QueueKey> stack;
+  int counter = 0;
+  std::vector<std::vector<QueueKey>> sccs;
+
+  void strongconnect(const QueueKey& v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    if (const auto it = edges.find(v); it != edges.end()) {
+      for (const QueueKey& w : it->second) {
+        if (!index.count(w)) {
+          strongconnect(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<QueueKey> scc;
+      while (true) {
+        const QueueKey w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+std::vector<std::vector<QueueKey>> strongly_connected(
+    const std::set<QueueKey>& vertices,
+    const std::map<QueueKey, std::set<QueueKey>>& edges) {
+  Tarjan t{edges, {}, {}, {}, {}, 0, {}};
+  for (const QueueKey& v : vertices) {
+    if (!t.index.count(v)) t.strongconnect(v);
+  }
+  return t.sccs;
+}
+
+bool has_self_loop(const std::map<QueueKey, std::set<QueueKey>>& edges,
+                   const QueueKey& v) {
+  const auto it = edges.find(v);
+  return it != edges.end() && it->second.count(v) > 0;
+}
+
+}  // namespace
+
+bool BufferDependencyGraph::has_cycle() const {
+  for (const auto& scc : strongly_connected(vertices_, edges_)) {
+    if (scc.size() > 1) return true;
+    if (scc.size() == 1 && has_self_loop(edges_, scc[0])) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<QueueKey>> BufferDependencyGraph::cycles() const {
+  std::vector<std::vector<QueueKey>> out;
+  for (const auto& scc : strongly_connected(vertices_, edges_)) {
+    if (scc.size() == 1 && !has_self_loop(edges_, scc[0])) continue;
+    if (scc.size() == 1) {
+      out.push_back({scc[0]});
+      continue;
+    }
+    // Extract one cycle within the SCC by DFS back to the start vertex.
+    const std::set<QueueKey> members(scc.begin(), scc.end());
+    const QueueKey start = scc[0];
+    std::vector<QueueKey> path{start};
+    std::set<QueueKey> on_path{start};
+    std::function<bool(const QueueKey&)> dfs =
+        [&](const QueueKey& v) -> bool {
+      const auto it = edges_.find(v);
+      if (it == edges_.end()) return false;
+      for (const QueueKey& w : it->second) {
+        if (!members.count(w)) continue;
+        if (w == start && path.size() > 1) return true;
+        if (on_path.count(w)) continue;
+        path.push_back(w);
+        on_path.insert(w);
+        if (dfs(w)) return true;
+        path.pop_back();
+        on_path.erase(w);
+      }
+      return false;
+    };
+    if (dfs(start)) out.push_back(path);
+  }
+  return out;
+}
+
+std::string BufferDependencyGraph::describe(const Network& net) const {
+  std::string out = "buffer dependency graph:\n";
+  char buf[160];
+  for (const auto& [from, tos] : edges_) {
+    for (const auto& to : tos) {
+      std::snprintf(buf, sizeof(buf), "  %s[rx%u,c%u] -> %s[rx%u,c%u]\n",
+                    net.topo().node(from.node).name.c_str(), from.port,
+                    from.cls, net.topo().node(to.node).name.c_str(), to.port,
+                    to.cls);
+      out += buf;
+    }
+  }
+  const auto cyc = cycles();
+  std::snprintf(buf, sizeof(buf), "  cycles: %zu, looping flows: %zu\n",
+                cyc.size(), looping_flows_.size());
+  out += buf;
+  return out;
+}
+
+bool routing_deadlock_free(const Network& net,
+                           const std::vector<FlowSpec>& flows) {
+  return !BufferDependencyGraph::build(net, flows).has_cycle();
+}
+
+}  // namespace dcdl::analysis

@@ -1,0 +1,52 @@
+// Boundary-state analysis of deadlock in a routing loop (paper §3.1).
+//
+// Model: packets are injected into a loop of n switches at rate r; links in
+// the loop run at B; every packet carries an initial TTL. In the boundary
+// state, injection and drain balance on every switch:
+//
+//   Eq. 1:  r + B - r_d = B          (first switch: inject + carry = drain)
+//   Eq. 2:  n * B = TTL * r          (sum of TTL in the system is stable:
+//                                     every loop-link transmission burns one
+//                                     TTL unit; injections add TTL each)
+//   Eq. 3:  deadlock  <=>  r > r_d = n * B / TTL
+//
+// The paper's testbed check: B = 40 Gbps, n = 2, TTL = 16 gives a 5 Gbps
+// deadlock threshold, which the packet-level simulator must (and does)
+// reproduce.
+#pragma once
+
+#include "dcdl/common/units.hpp"
+
+namespace dcdl::analysis {
+
+struct BoundaryModel {
+  /// Eq. 3: deadlock threshold rate r_d = n*B/TTL. Injecting strictly above
+  /// this rate deadlocks the loop; at or below it, TTL drain keeps up.
+  static Rate deadlock_threshold(int loop_len, Rate bandwidth, int ttl) {
+    return Rate{static_cast<std::int64_t>(loop_len) * bandwidth.bps() / ttl};
+  }
+
+  /// Largest initial TTL for which injection at `inject` cannot deadlock an
+  /// n-switch loop: TTL <= n*B/r.
+  static int max_safe_ttl(int loop_len, Rate bandwidth, Rate inject) {
+    if (inject.is_zero()) return 255;
+    const std::int64_t ttl =
+        static_cast<std::int64_t>(loop_len) * bandwidth.bps() / inject.bps();
+    return static_cast<int>(ttl > 255 ? 255 : ttl);
+  }
+
+  /// TTL <= n makes the threshold equal B, which an injector can never
+  /// exceed: the loop is unconditionally deadlock-free (paper §4,
+  /// TTL-based mitigation).
+  static bool ttl_unconditionally_safe(int loop_len, int ttl) {
+    return ttl <= loop_len;
+  }
+
+  /// Predicts whether a loop scenario deadlocks.
+  static bool predicts_deadlock(int loop_len, Rate bandwidth, int ttl,
+                                Rate inject) {
+    return inject > deadlock_threshold(loop_len, bandwidth, ttl);
+  }
+};
+
+}  // namespace dcdl::analysis

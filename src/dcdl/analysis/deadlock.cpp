@@ -1,0 +1,168 @@
+#include "dcdl/analysis/deadlock.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::analysis {
+
+// In the output-queued/ingress-counted switch, a deadlock is a mutually
+// sustaining "frozen set":
+//   - an egress (port, class) queue is frozen if it is non-empty, paused,
+//     and its pauser (the downstream ingress counter of the same class)
+//     is frozen;
+//   - an ingress counter is frozen if it holds its upstream paused and
+//     every byte attributed to it sits in frozen egress queues (so it can
+//     never fall below Xon).
+// We compute the greatest fixpoint: start from all currently paused
+// entities and iteratively un-freeze anything with an escape path. A
+// non-empty result is a deadlock *candidate*; DeadlockMonitor confirms it
+// by re-checking after a dwell with no departures.
+WaitForSnapshot snapshot_wait_for(const Network& net) {
+  const Topology& topo = net.topo();
+  const int num_classes = net.config().num_classes;
+
+  struct EqKey {
+    NodeId sw;
+    PortId port;
+    ClassId cls;
+    auto operator<=>(const EqKey&) const = default;
+  };
+
+  std::set<EqKey> frozen_eq;
+  std::set<QueueKey> frozen_ctr;
+  // Pauser of each egress queue: the downstream ingress counter.
+  std::map<EqKey, QueueKey> pauser;
+
+  for (const NodeId sw_id : topo.switches()) {
+    const auto& sw = net.switch_at(sw_id);
+    for (PortId p = 0; p < sw.num_ports(); ++p) {
+      for (ClassId c = 0; c < num_classes; ++c) {
+        if (sw.egress_paused(p, c) && sw.egress_queue_bytes(p, c) > 0) {
+          const PortPeer& pp = topo.peer(sw_id, p);
+          if (!topo.is_switch(pp.peer_node)) continue;  // hosts never pause
+          const EqKey eq{sw_id, p, c};
+          frozen_eq.insert(eq);
+          pauser[eq] = QueueKey{pp.peer_node, pp.peer_port, c};
+        }
+        if (sw.pause_asserted(p, c)) {
+          frozen_ctr.insert(QueueKey{sw_id, p, c});
+        }
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // A counter escapes if bytes are held by a shaper (which always
+    // releases) or sit in any non-frozen egress queue.
+    for (auto it = frozen_ctr.begin(); it != frozen_ctr.end();) {
+      const QueueKey k = *it;
+      const auto& sw = net.switch_at(k.node);
+      bool escapes = sw.shaper_held_bytes(k.port) > 0 &&
+                     sw.ingress_bytes(k.port, k.cls) > 0;
+      if (!escapes) {
+        for (PortId e = 0; e < sw.num_ports() && !escapes; ++e) {
+          for (ClassId c = 0; c < num_classes && !escapes; ++c) {
+            if (sw.egress_bytes_from(e, c, k.port, k.cls) > 0 &&
+                !frozen_eq.count(EqKey{k.node, e, c})) {
+              escapes = true;
+            }
+          }
+        }
+      }
+      if (escapes) {
+        it = frozen_ctr.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = frozen_eq.begin(); it != frozen_eq.end();) {
+      if (!frozen_ctr.count(pauser.at(*it))) {
+        it = frozen_eq.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  WaitForSnapshot out;
+  if (!frozen_eq.empty() && !frozen_ctr.empty()) {
+    out.has_cycle = true;
+    out.cycle.assign(frozen_ctr.begin(), frozen_ctr.end());
+  }
+  return out;
+}
+
+DeadlockMonitor::DeadlockMonitor(Network& net, Time poll, Time dwell)
+    : net_(net), poll_(poll), dwell_(dwell) {
+  DCDL_EXPECTS(poll > Time::zero());
+  DCDL_EXPECTS(dwell >= poll);
+}
+
+void DeadlockMonitor::start(Time from, Time until) {
+  until_ = until;
+  net_.sim().schedule_at(from, [this] { poll_once(); });
+}
+
+std::vector<std::uint64_t> DeadlockMonitor::departures_of(
+    const std::vector<QueueKey>& keys) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(keys.size());
+  for (const auto& k : keys) {
+    out.push_back(net_.switch_at(k.node).departures(k.port, k.cls));
+  }
+  return out;
+}
+
+void DeadlockMonitor::poll_once() {
+  if (deadlocked_) return;
+  const Time now = net_.sim().now();
+  WaitForSnapshot snap = snapshot_wait_for(net_);
+  if (!snap.has_cycle) {
+    candidate_.clear();
+  } else {
+    std::vector<QueueKey> sorted = snap.cycle;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted != candidate_) {
+      candidate_ = std::move(sorted);
+      candidate_departures_ = departures_of(candidate_);
+      candidate_since_ = now;
+    } else if (now - candidate_since_ >= dwell_) {
+      if (departures_of(candidate_) == candidate_departures_) {
+        deadlocked_ = true;
+        detected_at_ = now;
+        cycle_ = candidate_;
+        return;
+      }
+      // Progress happened inside the candidate: restart the dwell clock.
+      candidate_departures_ = departures_of(candidate_);
+      candidate_since_ = now;
+    }
+  }
+  if (now + poll_ <= until_) {
+    net_.sim().schedule_in(poll_, [this] { poll_once(); });
+  }
+}
+
+DrainResult stop_and_drain(Network& net, Time grace) {
+  for (const NodeId h : net.topo().hosts()) {
+    net.host_at(h).stop_all_flows();
+  }
+  const Time deadline = net.sim().now() + grace;
+  net.sim().run_until(deadline);
+  DrainResult out;
+  out.trapped_bytes = net.total_queued_bytes();
+  out.deadlocked = out.trapped_bytes > 0;
+  out.quiesced_at = net.sim().now();
+  return out;
+}
+
+}  // namespace dcdl::analysis

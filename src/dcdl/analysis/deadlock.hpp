@@ -1,0 +1,79 @@
+// Runtime deadlock detection.
+//
+// Two complementary detectors:
+//
+// 1. Wait-for-graph snapshot (`snapshot_wait_for`): an ingress queue waits
+//    on the downstream ingress queue whose Xoff is pausing the egress its
+//    head packet needs. A cycle of waiting queues at one instant is a
+//    *candidate* deadlock; `DeadlockMonitor` confirms it by re-checking
+//    after a dwell period during which none of the cycle's queues made a
+//    departure — then no queue in the cycle can ever drain (each head needs
+//    an egress paused by the next queue, whose occupancy can only grow).
+//
+// 2. Stop-and-drain (paper §3.2 methodology): stop all flows, keep the
+//    simulator running; if buffered bytes remain once the network goes
+//    quiet, those packets are permanently trapped — deadlock.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/network.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+namespace dcdl::analysis {
+
+using QueueKey = stats::QueueKey;
+
+struct WaitForSnapshot {
+  bool has_cycle = false;
+  /// One blocked-queue cycle q0 -> q1 -> ... -> q0 (qi waits on qi+1).
+  std::vector<QueueKey> cycle;
+};
+
+/// Builds the instantaneous wait-for graph and returns a cycle if present.
+WaitForSnapshot snapshot_wait_for(const Network& net);
+
+/// Polls the wait-for graph and confirms persistent cycles.
+class DeadlockMonitor {
+ public:
+  /// Polls every `poll`; a detected cycle is confirmed as deadlock if after
+  /// `dwell` the same queues are still cycle-blocked with zero departures.
+  DeadlockMonitor(Network& net, Time poll = Time{100'000'000},   // 100 us
+                  Time dwell = Time{1'000'000'000});             // 1 ms
+
+  /// Starts polling at `from` until `until` or confirmation.
+  void start(Time from, Time until);
+
+  bool deadlocked() const { return deadlocked_; }
+  std::optional<Time> detected_at() const { return detected_at_; }
+  const std::vector<QueueKey>& cycle() const { return cycle_; }
+
+ private:
+  void poll_once();
+  std::vector<std::uint64_t> departures_of(const std::vector<QueueKey>& keys) const;
+
+  Network& net_;
+  Time poll_, dwell_, until_ = Time::zero();
+  bool deadlocked_ = false;
+  std::optional<Time> detected_at_;
+  std::vector<QueueKey> cycle_;
+  // Pending candidate awaiting confirmation.
+  std::vector<QueueKey> candidate_;
+  std::vector<std::uint64_t> candidate_departures_;
+  Time candidate_since_ = Time::zero();
+};
+
+/// Stop-and-drain check: stops every flow now, runs the simulator until the
+/// event queue empties or `grace` elapses, and reports trapped bytes
+/// (non-zero == deadlock). The network is not usable for further traffic
+/// afterwards.
+struct DrainResult {
+  bool deadlocked = false;
+  std::int64_t trapped_bytes = 0;
+  Time quiesced_at = Time::zero();
+};
+DrainResult stop_and_drain(Network& net, Time grace);
+
+}  // namespace dcdl::analysis

@@ -1,0 +1,364 @@
+#include "dcdl/analysis/fluid.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "dcdl/common/contract.hpp"
+
+namespace dcdl::analysis {
+
+namespace {
+constexpr double kEpsBytes = 1.0;         // "queue empty" tolerance
+constexpr double kLarge = 1e15;           // "unconstrained" offered rate
+
+// Max-min (water-filling) allocation of `capacity` among users with
+// offered-rate caps. Returns per-user allocations.
+std::vector<double> water_fill(double capacity, const std::vector<double>& caps) {
+  std::vector<double> alloc(caps.size(), 0.0);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (caps[i] > 0) active.push_back(i);
+  }
+  double remaining = capacity;
+  while (!active.empty() && remaining > 1e-6) {
+    const double share = remaining / static_cast<double>(active.size());
+    bool any_capped = false;
+    std::vector<std::size_t> still;
+    for (const std::size_t i : active) {
+      if (caps[i] - alloc[i] <= share) {
+        remaining -= caps[i] - alloc[i];
+        alloc[i] = caps[i];
+        any_capped = true;
+      } else {
+        still.push_back(i);
+      }
+    }
+    if (!any_capped) {
+      for (const std::size_t i : still) alloc[i] += share;
+      remaining = 0;
+    }
+    active = std::move(still);
+  }
+  return alloc;
+}
+}  // namespace
+
+int FluidModel::add_queue(FluidQueue q) {
+  DCDL_EXPECTS(q.xon_bytes <= q.xoff_bytes);
+  queues_.push_back(std::move(q));
+  return static_cast<int>(queues_.size()) - 1;
+}
+
+int FluidModel::add_link(FluidLink l) {
+  DCDL_EXPECTS(l.capacity.bps() > 0);
+  links_.push_back(std::move(l));
+  return static_cast<int>(links_.size()) - 1;
+}
+
+int FluidModel::add_flow(FluidFlow f) {
+  DCDL_EXPECTS(!f.queues.empty());
+  if (f.loop_from >= 0) {
+    DCDL_EXPECTS(f.loop_from < static_cast<int>(f.queues.size()));
+    DCDL_EXPECTS(f.loop_links >= 1);
+    DCDL_EXPECTS(f.ttl >= 1);
+  }
+  flows_.push_back(std::move(f));
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+FluidResult FluidModel::run(Time horizon, Time dt, Time warmup, Time dwell) {
+  const std::size_t nq = queues_.size();
+  const std::size_t nl = links_.size();
+  const std::size_t nf = flows_.size();
+  const double dt_s = dt.sec();
+
+  // State.
+  std::vector<double> occupancy(nq, 0.0);  // bytes per queue
+  std::vector<char> queue_asserted(nq, 0); // hysteresis state
+  std::vector<char> link_paused(nl, 0);    // effective at the sender
+  struct Transition {
+    Time at;
+    int link;
+    bool paused;
+  };
+  std::deque<Transition> pending;
+  std::vector<double> loop_fluid(nf, 0.0); // aggregate loop occupancy
+  std::vector<double> delivered(nf, 0.0);  // bytes delivered after warmup
+
+  FluidResult res;
+  res.min_bytes.assign(nq, std::numeric_limits<std::int64_t>::max());
+  res.max_bytes.assign(nq, 0);
+  res.paused_fraction.assign(nq, 0.0);
+  res.mean_goodput_bps.assign(nf, 0.0);
+
+  // hop -> (flow, hop index). Hop j of flow f crosses the upstream link of
+  // queue f.queues[j] into that queue. For loop flows, hops < loop_from are
+  // the injection path; the loop itself is handled in aggregate.
+  Time frozen_since = Time::max();
+  Time now = Time::zero();
+
+  while (now < horizon) {
+    // 1. Apply due pause/resume transitions.
+    while (!pending.empty() && pending.front().at <= now) {
+      link_paused[static_cast<std::size_t>(pending.front().link)] =
+          pending.front().paused ? 1 : 0;
+      pending.pop_front();
+    }
+
+    // 2. Compute hop rates to a fixpoint (caps propagate downstream; a few
+    //    sweeps suffice for the path lengths we model).
+    std::vector<std::vector<double>> rate(nf);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const int hops = flows_[f].loop_from >= 0 ? flows_[f].loop_from + 1
+                                                : static_cast<int>(
+                                                      flows_[f].queues.size());
+      rate[f].assign(static_cast<std::size_t>(hops), 0.0);
+    }
+    std::vector<double> loop_flux(nf, 0.0);
+
+    for (int sweep = 0; sweep < 6; ++sweep) {
+      // Offered rate (cap) of each hop user, then per-link water-filling.
+      struct User {
+        std::size_t flow;
+        int hop;  // -1 encodes the circulating loop flux
+      };
+      std::vector<std::vector<User>> users(nl);
+      std::vector<std::vector<double>> caps(nl);
+      for (std::size_t f = 0; f < nf; ++f) {
+        const FluidFlow& fl = flows_[f];
+        const std::size_t hops = rate[f].size();
+        for (std::size_t j = 0; j < hops; ++j) {
+          const int link = queues_[static_cast<std::size_t>(fl.queues[j])]
+                               .upstream_link;
+          DCDL_EXPECTS(link >= 0);
+          double cap;
+          if (j == 0) {
+            cap = fl.demand.is_zero()
+                      ? static_cast<double>(
+                            links_[static_cast<std::size_t>(link)]
+                                .capacity.bps()) / 8.0
+                      : static_cast<double>(fl.demand.bps()) / 8.0;
+          } else {
+            const double backlog =
+                occupancy[static_cast<std::size_t>(fl.queues[j - 1])];
+            cap = backlog > kEpsBytes ? kLarge : rate[f][j - 1];
+          }
+          users[static_cast<std::size_t>(link)].push_back(
+              User{f, static_cast<int>(j)});
+          caps[static_cast<std::size_t>(link)].push_back(cap);
+        }
+        if (fl.loop_from >= 0) {
+          // The circulating flux uses every loop link; register it on the
+          // loop-entry queue's upstream link as the binding constraint
+          // (symmetric loops share one bottleneck).
+          const int entry = fl.queues[static_cast<std::size_t>(fl.loop_from)];
+          const int link = queues_[static_cast<std::size_t>(entry)].upstream_link;
+          users[static_cast<std::size_t>(link)].push_back(User{f, -1});
+          caps[static_cast<std::size_t>(link)].push_back(
+              loop_fluid[f] > kEpsBytes ? kLarge : 0.0);
+        }
+      }
+      for (std::size_t l = 0; l < nl; ++l) {
+        if (users[l].empty()) continue;
+        const double capacity_Bps =
+            link_paused[l] ? 0.0
+                           : static_cast<double>(links_[l].capacity.bps()) / 8.0;
+        const std::vector<double> alloc = water_fill(capacity_Bps, caps[l]);
+        for (std::size_t u = 0; u < users[l].size(); ++u) {
+          if (users[l][u].hop < 0) {
+            loop_flux[users[l][u].flow] = alloc[u];
+          } else {
+            rate[users[l][u].flow]
+                [static_cast<std::size_t>(users[l][u].hop)] = alloc[u];
+          }
+        }
+      }
+    }
+
+    // 3. Integrate occupancies.
+    for (std::size_t f = 0; f < nf; ++f) {
+      const FluidFlow& fl = flows_[f];
+      const std::size_t hops = rate[f].size();
+      for (std::size_t j = 0; j < hops; ++j) {
+        const std::size_t q = static_cast<std::size_t>(fl.queues[j]);
+        const double in = rate[f][j];
+        // Outflow of hop j = inflow of hop j+1 (or loop/delivery).
+        double out;
+        if (j + 1 < hops) {
+          out = rate[f][j + 1];
+        } else if (fl.loop_from >= 0) {
+          out = rate[f][j];  // injection hop feeds the loop directly
+        } else {
+          out = occupancy[q] > kEpsBytes
+                    ? std::max(in, rate[f][j])  // uncontended delivery
+                    : in;
+        }
+        if (fl.loop_from >= 0 && static_cast<int>(j) == fl.loop_from) {
+          // Last injection hop: fluid moves into the loop aggregate.
+          loop_fluid[f] += in * dt_s;
+        } else {
+          occupancy[q] += (in - out) * dt_s;
+          if (occupancy[q] < 0) occupancy[q] = 0;
+        }
+        if (fl.loop_from < 0 && j + 1 == hops && now >= warmup) {
+          delivered[f] += out * dt_s;
+        }
+      }
+      if (fl.loop_from >= 0) {
+        // TTL drain (Eq. 2 in fluid form): every byte-hop on a loop link
+        // burns one TTL unit, and freshly injected fluid circulates too —
+        // at the boundary the entry link saturates at inj + F = B, giving
+        // the drain n*B/TTL of Eq. 1-3.
+        const double circulating =
+            loop_flux[f] + rate[f][static_cast<std::size_t>(fl.loop_from)];
+        const double drain = static_cast<double>(fl.loop_links) *
+                             circulating / static_cast<double>(fl.ttl);
+        loop_fluid[f] -= drain * dt_s;
+        if (loop_fluid[f] < 0) loop_fluid[f] = 0;
+        // The loop fluid sits spread over the loop queues.
+        const std::size_t loop_queues =
+            flows_[f].queues.size() - static_cast<std::size_t>(fl.loop_from);
+        for (std::size_t j = static_cast<std::size_t>(fl.loop_from);
+             j < fl.queues.size(); ++j) {
+          occupancy[static_cast<std::size_t>(fl.queues[j])] =
+              loop_fluid[f] / static_cast<double>(loop_queues);
+        }
+      }
+    }
+
+    // 4. PFC hysteresis: schedule pause/resume after the control delay.
+    for (std::size_t q = 0; q < nq; ++q) {
+      const int link = queues_[q].upstream_link;
+      if (link < 0) continue;
+      const Time delay = links_[static_cast<std::size_t>(link)].control_delay;
+      if (!queue_asserted[q] &&
+          occupancy[q] >= static_cast<double>(queues_[q].xoff_bytes)) {
+        queue_asserted[q] = 1;
+        pending.push_back(Transition{now + delay, link, true});
+      } else if (queue_asserted[q] &&
+                 occupancy[q] < static_cast<double>(queues_[q].xon_bytes)) {
+        queue_asserted[q] = 0;
+        pending.push_back(Transition{now + delay, link, false});
+      }
+    }
+
+    // 5. Freeze detection: fluid present but nothing moves anywhere.
+    double total_fluid = 0, total_motion = 0;
+    for (std::size_t q = 0; q < nq; ++q) total_fluid += occupancy[q];
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (const double r : rate[f]) total_motion += r;
+      total_motion += loop_flux[f];
+    }
+    if (total_fluid > 10 * kEpsBytes && total_motion < 1.0) {
+      if (frozen_since == Time::max()) frozen_since = now;
+      if (now - frozen_since >= dwell && !res.deadlocked) {
+        res.deadlocked = true;
+        res.deadlock_at = frozen_since;
+      }
+    } else {
+      frozen_since = Time::max();
+    }
+
+    // 6. Statistics.
+    if (now >= warmup) {
+      for (std::size_t q = 0; q < nq; ++q) {
+        const auto bytes = static_cast<std::int64_t>(occupancy[q]);
+        res.min_bytes[q] = std::min(res.min_bytes[q], bytes);
+        res.max_bytes[q] = std::max(res.max_bytes[q], bytes);
+        if (queue_asserted[q]) {
+          res.paused_fraction[q] += dt_s;
+        }
+      }
+    }
+    now += dt;
+  }
+
+  const double window_s = (horizon - warmup).sec();
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (res.min_bytes[q] == std::numeric_limits<std::int64_t>::max()) {
+      res.min_bytes[q] = 0;
+    }
+    if (window_s > 0) res.paused_fraction[q] /= window_s;
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (window_s > 0) res.mean_goodput_bps[f] = delivered[f] * 8.0 / window_s;
+  }
+  return res;
+}
+
+FluidModel make_fluid_routing_loop(int loop_len, Rate bandwidth, int ttl,
+                                   Rate inject, Time control_delay) {
+  DCDL_EXPECTS(loop_len >= 2);
+  FluidModel m;
+  // Links: host -> S0, then the ring links S_i -> S_{i+1}.
+  const int host_link = m.add_link(FluidLink{"host->S0", bandwidth,
+                                             control_delay});
+  std::vector<int> ring_links;
+  for (int i = 0; i < loop_len; ++i) {
+    ring_links.push_back(m.add_link(FluidLink{
+        "S" + std::to_string(i) + "->S" + std::to_string((i + 1) % loop_len),
+        bandwidth, control_delay}));
+  }
+  // Queue 0: S0's host-facing ingress. Queues 1..n: ring ingresses, where
+  // ring queue i is fed by ring link i-1 (S_{i-1} -> S_i in ring order).
+  FluidFlow flow;
+  flow.name = "loop_flow";
+  flow.demand = inject;
+  flow.queues.push_back(m.add_queue(FluidQueue{"S0.rxHost", 40 * kKiB,
+                                               38 * kKiB, host_link}));
+  for (int i = 0; i < loop_len; ++i) {
+    flow.queues.push_back(m.add_queue(
+        FluidQueue{"S" + std::to_string((i + 1) % loop_len) + ".rxRing",
+                   40 * kKiB, 38 * kKiB, ring_links[static_cast<std::size_t>(i)]}));
+  }
+  flow.loop_from = 1;
+  flow.ttl = ttl;
+  flow.loop_links = loop_len;
+  m.add_flow(flow);
+  return m;
+}
+
+FluidFourSwitch make_fluid_four_switch(bool with_flow3, Rate flow3_rate,
+                                       Time control_delay) {
+  FluidFourSwitch out;
+  FluidModel& m = out.model;
+  const Rate B = Rate::gbps(40);
+  // Links of the ring plus the three source access links.
+  const int lAB = m.add_link(FluidLink{"A->B", B, control_delay});
+  const int lBC = m.add_link(FluidLink{"B->C", B, control_delay});
+  const int lCD = m.add_link(FluidLink{"C->D", B, control_delay});
+  const int lDA = m.add_link(FluidLink{"D->A", B, control_delay});
+  const int l_hA = m.add_link(FluidLink{"hA->A", B, control_delay});
+  const int l_hC = m.add_link(FluidLink{"hC->C", B, control_delay});
+  const int l_hB3 = m.add_link(FluidLink{"hB3->B", B, control_delay});
+
+  const int rxA_host = m.add_queue(FluidQueue{"A.RX2", 40 * kKiB, 38 * kKiB, l_hA});
+  const int rxC_host = m.add_queue(FluidQueue{"C.RX2", 40 * kKiB, 38 * kKiB, l_hC});
+  const int rxB_host = m.add_queue(FluidQueue{"B.RX2", 40 * kKiB, 38 * kKiB, l_hB3});
+  out.rx1_B = m.add_queue(FluidQueue{"B.RX1", 40 * kKiB, 38 * kKiB, lAB});
+  out.rx1_C = m.add_queue(FluidQueue{"C.RX1", 40 * kKiB, 38 * kKiB, lBC});
+  out.rx1_D = m.add_queue(FluidQueue{"D.RX1", 40 * kKiB, 38 * kKiB, lCD});
+  out.rx1_A = m.add_queue(FluidQueue{"A.RX1", 40 * kKiB, 38 * kKiB, lDA});
+
+  // Flow 1: hA -> A -> B -> C -> D -> hD.
+  FluidFlow f1;
+  f1.name = "flow1";
+  f1.queues = {rxA_host, out.rx1_B, out.rx1_C, out.rx1_D};
+  m.add_flow(f1);
+  // Flow 2: hC -> C -> D -> A -> B -> hB.
+  FluidFlow f2;
+  f2.name = "flow2";
+  f2.queues = {rxC_host, out.rx1_D, out.rx1_A, out.rx1_B};
+  m.add_flow(f2);
+  if (with_flow3) {
+    FluidFlow f3;
+    f3.name = "flow3";
+    f3.demand = flow3_rate;
+    f3.queues = {rxB_host, out.rx1_C};
+    m.add_flow(f3);
+  }
+  return out;
+}
+
+}  // namespace dcdl::analysis

@@ -1,0 +1,247 @@
+#include "dcdl/analysis/risk.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::analysis {
+
+namespace {
+
+// Directed channel out of (node, port).
+using Channel = std::pair<NodeId, PortId>;
+
+struct FlowPath {
+  std::vector<Channel> channels;     // acyclic prefix (up to the loop)
+  bool looping = false;
+  std::vector<Channel> loop;         // the cyclic portion, once
+  int ttl_at_loop = 0;               // TTL when first crossing the loop
+};
+
+FlowPath walk_path(const Network& net, const FlowSpec& flow) {
+  const Topology& topo = net.topo();
+  FlowPath out;
+  NodeId cur = flow.src_host;
+  PortId out_port = 0;  // hosts transmit on their single port
+  int ttl = flow.ttl;
+  std::map<std::pair<NodeId, PortId>, std::size_t> seen;  // channel -> index
+  std::vector<int> ttl_at;  // TTL when each channel is first crossed
+  for (int step = 0; step < 4096; ++step) {
+    const Channel chan{cur, out_port};
+    if (const auto it = seen.find(chan); it != seen.end()) {
+      out.looping = true;
+      out.loop.assign(out.channels.begin() +
+                          static_cast<std::ptrdiff_t>(it->second),
+                      out.channels.end());
+      out.ttl_at_loop = ttl_at[it->second];
+      out.channels.resize(it->second);
+      return out;
+    }
+    seen[chan] = out.channels.size();
+    out.channels.push_back(chan);
+    ttl_at.push_back(ttl);
+    const PortPeer& pp = topo.peer(cur, out_port);
+    const NodeId next = pp.peer_node;
+    if (!topo.is_switch(next)) return out;  // delivered
+    if (topo.is_switch(cur)) {
+      if (ttl == 0) return out;  // TTL would expire before looping forever
+      --ttl;
+    }
+    const auto eg = net.switch_at(next).routes().lookup(flow.id, flow.dst_host);
+    if (!eg) return out;  // blackhole
+    cur = next;
+    out_port = *eg;
+  }
+  return out;
+}
+
+double channel_capacity_Bps(const Network& net, const Channel& c) {
+  return static_cast<double>(net.link_rate(c.first, c.second).bps()) / 8.0;
+}
+
+}  // namespace
+
+std::vector<Rate> stable_flow_rates(const Network& net,
+                                    const std::vector<FlowSpec>& flows,
+                                    const std::vector<Rate>& demands) {
+  const std::size_t n = flows.size();
+  std::vector<FlowPath> paths;
+  paths.reserve(n);
+  for (const FlowSpec& f : flows) paths.push_back(walk_path(net, f));
+
+  std::vector<double> rate(n, 0.0);
+  std::vector<char> frozen(n, 0);
+  const auto demand_of = [&](std::size_t i) -> double {
+    if (i < demands.size() && !demands[i].is_zero()) {
+      return static_cast<double>(demands[i].bps()) / 8.0;
+    }
+    return std::numeric_limits<double>::infinity();
+  };
+
+  // Looping flows are excluded from fair sharing (their fate is the
+  // boundary model's business); they get their demand capped at line rate.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (paths[i].looping) {
+      frozen[i] = 1;
+      rate[i] = std::min(demand_of(i),
+                         channel_capacity_Bps(net, paths[i].channels.front()));
+    }
+  }
+
+  // Progressive filling (classic max-min with demand caps).
+  while (true) {
+    // Gather channels with unfrozen flows.
+    std::map<Channel, std::pair<double, int>> load;  // frozen load, unfrozen n
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Channel& c : paths[i].channels) {
+        auto& entry = load[c];
+        if (frozen[i]) {
+          entry.first += rate[i];
+        } else {
+          entry.second += 1;
+        }
+      }
+    }
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (const auto& [chan, entry] : load) {
+      if (entry.second == 0) continue;
+      const double share =
+          std::max(0.0, channel_capacity_Bps(net, chan) - entry.first) /
+          entry.second;
+      bottleneck = std::min(bottleneck, share);
+    }
+    // Demand caps can bind before any channel does.
+    double min_demand = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen[i]) min_demand = std::min(min_demand, demand_of(i));
+    }
+    if (bottleneck == std::numeric_limits<double>::infinity() &&
+        min_demand == std::numeric_limits<double>::infinity()) {
+      break;  // nothing left to allocate
+    }
+    if (min_demand <= bottleneck) {
+      // Freeze demand-bound flows.
+      bool any = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!frozen[i] && demand_of(i) <= bottleneck) {
+          rate[i] = demand_of(i);
+          frozen[i] = 1;
+          any = true;
+        }
+      }
+      if (any) continue;
+    }
+    // Freeze the flows on the bottleneck channel(s) at the bottleneck rate.
+    bool froze = false;
+    for (const auto& [chan, entry] : load) {
+      if (entry.second == 0) continue;
+      const double share =
+          std::max(0.0, channel_capacity_Bps(net, chan) - entry.first) /
+          entry.second;
+      if (share <= bottleneck + 1e-6) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (frozen[i]) continue;
+          for (const Channel& c : paths[i].channels) {
+            if (c == chan) {
+              rate[i] = bottleneck;
+              frozen[i] = 1;
+              froze = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!froze) break;  // defensive: no progress
+    if (std::all_of(frozen.begin(), frozen.end(),
+                    [](char f) { return f != 0; })) {
+      break;
+    }
+  }
+
+  std::vector<Rate> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Rate{static_cast<std::int64_t>(rate[i] * 8.0)});
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<NodeId, PortId>>> flow_channels(
+    const Network& net, const std::vector<FlowSpec>& flows) {
+  std::vector<std::vector<std::pair<NodeId, PortId>>> out;
+  out.reserve(flows.size());
+  for (const FlowSpec& f : flows) {
+    const FlowPath path = walk_path(net, f);
+    std::vector<std::pair<NodeId, PortId>> channels = path.channels;
+    channels.insert(channels.end(), path.loop.begin(), path.loop.end());
+    out.push_back(std::move(channels));
+  }
+  return out;
+}
+
+RiskReport assess_deadlock_risk(const Network& net,
+                                const std::vector<FlowSpec>& flows,
+                                const std::vector<Rate>& demands) {
+  RiskReport report;
+  const auto bdg = BufferDependencyGraph::build(net, flows);
+  report.cbd_present = bdg.has_cycle();
+  report.stable_rates = stable_flow_rates(net, flows, demands);
+  if (!report.cbd_present) return report;
+
+  // Offered load per channel: fair-share rates on acyclic paths, plus the
+  // circulating flux r*TTL/n of looping flows on their loop channels
+  // (Eq. 2), capped at line rate.
+  std::map<Channel, double> load;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowPath path = walk_path(net, flows[i]);
+    const double r = static_cast<double>(report.stable_rates[i].bps()) / 8.0;
+    for (const Channel& c : path.channels) load[c] += r;
+    if (path.looping && !path.loop.empty()) {
+      const int ttl = path.ttl_at_loop;
+      const double flux =
+          r * static_cast<double>(ttl) / static_cast<double>(path.loop.size());
+      for (const Channel& c : path.loop) {
+        load[c] += std::min(flux, channel_capacity_Bps(net, c));
+      }
+    }
+  }
+
+  constexpr double kSaturated = 0.95;
+  const std::set<FlowId> looping(bdg.looping_flows().begin(),
+                                 bdg.looping_flows().end());
+  for (const auto& cycle : bdg.cycles()) {
+    CycleRisk risk;
+    risk.cycle = cycle;
+    risk.min_utilization = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      // Cycle link i feeds cycle[(i+1)]: it is that queue's upstream
+      // channel.
+      const QueueKey& next = cycle[(i + 1) % cycle.size()];
+      const PortPeer& pp = net.topo().peer(next.node, next.port);
+      const Channel chan{pp.peer_node, pp.peer_port};
+      const double util =
+          std::min(1.0, (load.count(chan) ? load.at(chan) : 0.0) /
+                            channel_capacity_Bps(net, chan));
+      risk.link_utilization.push_back(util);
+      if (util < kSaturated) risk.slack_links += 1;
+      if (util < risk.min_utilization) {
+        risk.min_utilization = util;
+        risk.weakest_hop = i;
+      }
+    }
+    if (risk.min_utilization == std::numeric_limits<double>::infinity()) {
+      risk.min_utilization = 0;
+    }
+    risk.from_routing_loop = !looping.empty();
+    report.max_risk = std::max(report.max_risk, risk.min_utilization);
+    report.cycles.push_back(std::move(risk));
+  }
+  return report;
+}
+
+}  // namespace dcdl::analysis

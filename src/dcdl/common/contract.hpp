@@ -1,0 +1,29 @@
+// Lightweight contract checks in the spirit of the Core Guidelines'
+// Expects/Ensures. Always on (the simulator is not a hot inner loop for
+// users; correctness of accounting matters more than the branch).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcdl::detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "dcdl: %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+}  // namespace dcdl::detail
+
+#define DCDL_EXPECTS(cond)                                                   \
+  ((cond) ? void(0)                                                          \
+          : ::dcdl::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                          __LINE__))
+#define DCDL_ENSURES(cond)                                                   \
+  ((cond) ? void(0)                                                          \
+          : ::dcdl::detail::contract_fail("postcondition", #cond, __FILE__,  \
+                                          __LINE__))
+#define DCDL_ASSERT(cond)                                                    \
+  ((cond) ? void(0)                                                          \
+          : ::dcdl::detail::contract_fail("invariant", #cond, __FILE__,      \
+                                          __LINE__))

@@ -1,0 +1,38 @@
+// A tiny command-line flag parser for the bench/example binaries, so every
+// experiment can be re-run with different parameters without recompiling.
+// Syntax: --name=value or --name value; bools accept --name / --name=false.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcdl {
+
+class Flags {
+ public:
+  /// Parses argv. Unknown flags abort with a usage message listing the
+  /// flags that were queried so far, so call get_* for all flags first or
+  /// use declare() up front.
+  Flags(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name, std::int64_t default_value);
+  double get_double(const std::string& name, double default_value);
+  bool get_bool(const std::string& name, bool default_value);
+  std::string get_string(const std::string& name, const std::string& default_value);
+
+  /// Call after all get_* calls: aborts if the command line contained a flag
+  /// that was never queried (almost always a typo in an experiment sweep).
+  void check_unused() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+  std::string program_;
+};
+
+}  // namespace dcdl

@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr. The simulator itself never logs on the
+// fast path; logging exists for tools and debugging scenario setups.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dcdl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define DCDL_LOG_DEBUG(...) ::dcdl::detail::log_line(::dcdl::LogLevel::kDebug, __VA_ARGS__)
+#define DCDL_LOG_INFO(...) ::dcdl::detail::log_line(::dcdl::LogLevel::kInfo, __VA_ARGS__)
+#define DCDL_LOG_WARN(...) ::dcdl::detail::log_line(::dcdl::LogLevel::kWarn, __VA_ARGS__)
+#define DCDL_LOG_ERROR(...) ::dcdl::detail::log_line(::dcdl::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dcdl

@@ -1,0 +1,14 @@
+#include "dcdl/common/rng.hpp"
+
+#include <cmath>
+
+namespace dcdl {
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; guard against log(0).
+  double u = uniform_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace dcdl

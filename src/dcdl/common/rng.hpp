@@ -1,0 +1,83 @@
+// Deterministic pseudo-random numbers for reproducible simulations.
+// xoshiro256++ seeded through SplitMix64, as recommended by the authors of
+// the generator family. Not cryptographic; plenty for workload generation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace dcdl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into four non-zero words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    // Rejection sampling over the largest multiple of bound that fits.
+    const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+    while (true) {
+      const std::uint64_t x = next();
+      if (x < limit) return x % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  /// Fisher-Yates shuffle of [first, last).
+  template <typename It>
+  void shuffle(It first, It last) {
+    const auto n = last - first;
+    for (auto i = n - 1; i > 0; --i) {
+      const auto j = static_cast<decltype(i)>(
+          uniform(static_cast<std::uint64_t>(i + 1)));
+      using std::swap;
+      swap(first[i], first[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace dcdl

@@ -1,0 +1,30 @@
+#include "dcdl/common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dcdl {
+
+std::string Time::to_string() const {
+  char buf[64];
+  if (ps_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ms());
+  } else if (ps_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", us());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fns", ns());
+  }
+  return buf;
+}
+
+std::string Rate::to_string() const {
+  char buf[64];
+  if (bps_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fGbps", as_gbps());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fMbps", static_cast<double>(bps_) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace dcdl

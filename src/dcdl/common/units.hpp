@@ -1,0 +1,112 @@
+// Strongly-typed physical units used throughout dcdl.
+//
+// Time is an integer count of picoseconds. At 40 Gbps a 1000-byte frame
+// serializes in exactly 200 ns = 200'000 ps, so every quantity the paper's
+// scenarios need is exactly representable; no floating-point drift can
+// reorder events. Rates are integer bits/second.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dcdl {
+
+/// A point in (or span of) simulated time, in picoseconds.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t picoseconds) : ps_(picoseconds) {}
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ps() const { return ps_; }
+  constexpr double ns() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double us() const { return static_cast<double>(ps_) / 1e6; }
+  constexpr double ms() const { return static_cast<double>(ps_) / 1e9; }
+  constexpr double sec() const { return static_cast<double>(ps_) / 1e12; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ps_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ps_ * k}; }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ps_ / k}; }
+  constexpr Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
+  constexpr Time& operator-=(Time o) { ps_ -= o.ps_; return *this; }
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_ps(unsigned long long v) { return Time{static_cast<std::int64_t>(v)}; }
+constexpr Time operator""_ns(unsigned long long v) { return Time{static_cast<std::int64_t>(v) * 1'000}; }
+constexpr Time operator""_us(unsigned long long v) { return Time{static_cast<std::int64_t>(v) * 1'000'000}; }
+constexpr Time operator""_ms(unsigned long long v) { return Time{static_cast<std::int64_t>(v) * 1'000'000'000}; }
+constexpr Time operator""_sec(unsigned long long v) { return Time{static_cast<std::int64_t>(v) * 1'000'000'000'000}; }
+}  // namespace literals
+
+/// A link or flow rate in bits per second.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  constexpr explicit Rate(std::int64_t bits_per_second) : bps_(bits_per_second) {}
+
+  static constexpr Rate zero() { return Rate{0}; }
+  static constexpr Rate gbps(double g) {
+    return Rate{static_cast<std::int64_t>(g * 1e9)};
+  }
+  static constexpr Rate mbps(double m) {
+    return Rate{static_cast<std::int64_t>(m * 1e6)};
+  }
+
+  constexpr std::int64_t bps() const { return bps_; }
+  constexpr double as_gbps() const { return static_cast<double>(bps_) / 1e9; }
+  constexpr bool is_zero() const { return bps_ == 0; }
+
+  friend constexpr auto operator<=>(Rate, Rate) = default;
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.bps_ + b.bps_}; }
+  friend constexpr Rate operator-(Rate a, Rate b) { return Rate{a.bps_ - b.bps_}; }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+/// Time to serialize `bytes` onto a wire running at `rate`.
+/// Rounds up to the next picosecond so a transmission never finishes early.
+constexpr Time serialization_time(std::int64_t bytes, Rate rate) {
+  // ps = bytes * 8 / (bps / 1e12) = bytes * 8e12 / bps, computed without
+  // overflow for bytes up to ~10^5 and bps down to 1 Mbps.
+  const std::int64_t bits = bytes * 8;
+  const std::int64_t whole = bits / rate.bps();
+  const std::int64_t rem = bits % rate.bps();
+  return Time{whole * 1'000'000'000'000 +
+              (rem * 1'000'000'000'000 + rate.bps() - 1) / rate.bps()};
+}
+
+/// Bytes transferred at `rate` over duration `t` (floor).
+constexpr std::int64_t bytes_in(Rate rate, Time t) {
+  // bytes = bps * ps / 8e12. Split to avoid overflow: bps up to ~1e12,
+  // ps up to ~1e13 for realistic runs would overflow, so divide first.
+  const std::int64_t whole_us = t.ps() / 1'000'000;
+  const std::int64_t rem_ps = t.ps() % 1'000'000;
+  // bits = bps * seconds
+  const std::int64_t bits =
+      rate.bps() / 1'000'000 * whole_us +
+      rate.bps() % 1'000'000 * whole_us / 1'000'000 +
+      rate.bps() / 1'000'000 * rem_ps / 1'000'000;
+  return bits / 8;
+}
+
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * 1024;
+
+}  // namespace dcdl

@@ -1,0 +1,53 @@
+// Umbrella header: the whole public API of dcdl.
+//
+// For faster builds include only what you use; this header exists for
+// exploratory programs and examples.
+#pragma once
+
+#include "dcdl/common/flags.hpp"
+#include "dcdl/common/log.hpp"
+#include "dcdl/common/rng.hpp"
+#include "dcdl/common/units.hpp"
+
+#include "dcdl/sim/simulator.hpp"
+
+#include "dcdl/net/packet.hpp"
+#include "dcdl/topo/generators.hpp"
+#include "dcdl/topo/topology.hpp"
+
+#include "dcdl/routing/bgp.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/routing/mesh_routing.hpp"
+#include "dcdl/routing/route_table.hpp"
+#include "dcdl/routing/sdn.hpp"
+
+#include "dcdl/device/config.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/network.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/device/trace.hpp"
+
+#include "dcdl/traffic/flow.hpp"
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/analysis/boundary.hpp"
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/analysis/fluid.hpp"
+#include "dcdl/analysis/risk.hpp"
+
+#include "dcdl/mitigation/class_policy.hpp"
+#include "dcdl/mitigation/dcqcn.hpp"
+#include "dcdl/mitigation/smart_limiter.hpp"
+#include "dcdl/mitigation/thresholds.hpp"
+#include "dcdl/mitigation/timely.hpp"
+#include "dcdl/mitigation/watchdog.hpp"
+
+#include "dcdl/stats/cascade.hpp"
+#include "dcdl/stats/csv.hpp"
+#include "dcdl/stats/hooks.hpp"
+#include "dcdl/stats/latency.hpp"
+#include "dcdl/stats/pause_log.hpp"
+#include "dcdl/stats/sampler.hpp"
+#include "dcdl/stats/throughput.hpp"
+
+#include "dcdl/scenarios/scenario.hpp"

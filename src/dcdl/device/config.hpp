@@ -1,0 +1,88 @@
+// Runtime network configuration: PFC thresholds, buffer sizes, ECN/phantom
+// queue marking, class remapping hooks. Defaults follow the paper's
+// simulation setup (§3.2): 40 Gbps links, 12 MB switch buffer, 40 KB static
+// PFC threshold per ingress queue, 1000-byte packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl {
+
+struct PfcConfig {
+  bool enabled = true;
+  /// Ingress-queue occupancy at/above which a PAUSE is sent upstream.
+  std::int64_t xoff_bytes = 40 * kKiB;
+  /// Occupancy below which a RESUME is sent (Xon). Hysteresis of two MTUs
+  /// below Xoff by default; must be <= xoff_bytes.
+  std::int64_t xon_bytes = 40 * kKiB - 2 * 1000;
+  /// PFC frame size: control frames incur this serialization on the reverse
+  /// channel plus propagation delay, but never queue behind data.
+  std::int64_t control_frame_bytes = 64;
+
+  /// 802.1Qbb pause quanta: a received PAUSE expires after this duration
+  /// unless refreshed. Zero (default) models the common simulator
+  /// simplification of a persistent pause-until-resume. The real maximum
+  /// is 65535 quanta of 512 bit-times (~838 us at 40 GbE).
+  Time pause_quanta = Time::zero();
+  /// With quanta enabled, the asserting switch re-sends PAUSE every
+  /// quanta/2 while the counter stays above Xon — real switches do this,
+  /// which is exactly why deadlocks do NOT expire with the quanta. Turning
+  /// refresh off lets pauses lapse: deadlocks self-heal, but the expired
+  /// pause admits traffic into a full buffer (overflow drops — the
+  /// lossless guarantee is gone).
+  bool pause_refresh = true;
+};
+
+/// ECN marking via a per-egress phantom (virtual) queue, as in the paper's
+/// §4 "preventing PFC from being generated" (DCQCN + phantom queuing,
+/// citing Alizadeh et al.). With `phantom_speed_fraction == 1.0` this
+/// degenerates to marking on the real egress backlog.
+struct EcnConfig {
+  bool enabled = false;
+  std::int64_t mark_threshold_bytes = 60 * kKiB;
+  /// Phantom queue drains at this fraction of the link speed (<1 marks
+  /// early, signalling congestion before the real queue builds).
+  double phantom_speed_fraction = 1.0;
+};
+
+struct NetConfig {
+  /// Number of PFC priority classes instantiated per ingress port.
+  int num_classes = 1;
+  std::uint32_t mtu_bytes = 1000;
+  /// Total shared buffer per switch; exceeding it is a buffer-overflow drop
+  /// (the lossless invariant tests assert this never happens with sane
+  /// thresholds/headroom).
+  std::int64_t switch_buffer_bytes = 12 * kMiB;
+  PfcConfig pfc;
+  EcnConfig ecn;
+  /// Delay from a receiver spotting an ECN mark to the sender's rate
+  /// controller reacting (models the CNP path out of band).
+  Time cnp_feedback_delay = Time{5'000'000};  // 5 us
+
+  /// When true, receivers feed every packet's end-to-end RTT back to the
+  /// source pacer (after cnp_feedback_delay) — the TIMELY signal path
+  /// (paper §4 cites TIMELY alongside DCQCN).
+  bool rtt_feedback = false;
+
+  /// Per-transmission inter-frame gap jitter: each data transmission holds
+  /// its egress for serialization + U[0, tx_jitter]. Physical networks and
+  /// the paper's NS-3 stack are never perfectly synchronous; a few ns of
+  /// seeded jitter reproduces the threshold-crossing fluctuations that
+  /// drive multi-flow deadlock formation (§3.2), which an exactly
+  /// symmetric discrete-event schedule would otherwise suppress. Zero
+  /// disables (used by the analytic-threshold experiments).
+  Time tx_jitter = Time::zero();
+  std::uint64_t jitter_seed = 1;
+
+  /// Optional per-switch re-classification hook, evaluated when a packet is
+  /// accepted at a switch ingress (after TTL processing). Used by the
+  /// TTL-class mitigation and the structured-buffer-pool baseline. Must
+  /// return a class in [0, num_classes).
+  std::function<ClassId(const Packet&, NodeId sw)> reclass;
+};
+
+}  // namespace dcdl

@@ -1,0 +1,31 @@
+// Base class for runtime network elements (switches and hosts).
+#pragma once
+
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl {
+
+class Network;
+
+class Device {
+ public:
+  Device(Network& net, NodeId id) : net_(net), id_(id) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// A data packet finished arriving on `in_port` (store-and-forward).
+  virtual void on_receive(PortId in_port, Packet pkt) = 0;
+
+  /// A PFC frame from the peer of `port` changed the pause state of this
+  /// device's egress on that port for class `cls`.
+  virtual void on_pfc(PortId port, ClassId cls, bool pause) = 0;
+
+ protected:
+  Network& net_;
+  NodeId id_;
+};
+
+}  // namespace dcdl

@@ -1,0 +1,91 @@
+// Host / RDMA-NIC model.
+//
+// Hosts source flows (each with a pacing model) and sink packets. The NIC
+// egress honours PFC: when the attached switch pauses a class, flows of
+// that class stop at the source — which is exactly the backpressure that
+// lets deadlocks starve whole applications. Active flows of equal priority
+// share the NIC round-robin.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dcdl/common/rng.hpp"
+#include "dcdl/device/config.hpp"
+#include "dcdl/device/device.hpp"
+#include "dcdl/sim/simulator.hpp"
+#include "dcdl/traffic/flow.hpp"
+
+namespace dcdl {
+
+class Host final : public Device {
+ public:
+  Host(Network& net, NodeId id, const NetConfig& cfg);
+
+  /// Registers a flow sourced by this host. A null pacer means greedy
+  /// (infinite demand). Injection begins at spec.start.
+  void add_flow(const FlowSpec& spec, std::unique_ptr<Pacer> pacer = nullptr);
+
+  /// Stops a flow immediately (no further packets are injected).
+  void stop_flow(FlowId flow);
+  void stop_all_flows();
+
+  /// Replaces a flow's pacer with a token bucket at `rate` — the NIC-side
+  /// rate limiter used by intelligent rate limiting (shaping at the source
+  /// avoids the PFC backpressure that switch-side shaping inflicts on
+  /// co-located innocent flows).
+  void limit_flow(FlowId flow, Rate rate, std::int64_t burst_bytes);
+
+  // Device interface.
+  void on_receive(PortId in_port, Packet pkt) override;
+  void on_pfc(PortId port, ClassId cls, bool pause) override;
+
+  /// Congestion feedback for a flow sourced here (from Network::send_cnp).
+  void on_cnp(FlowId flow);
+
+  /// RTT sample for a flow sourced here (from Network::send_rtt_sample).
+  void on_rtt(FlowId flow, Time rtt);
+
+  // --- statistics ---
+  std::int64_t sent_bytes(FlowId flow) const;
+  std::uint64_t sent_packets(FlowId flow) const;
+  std::int64_t delivered_bytes(FlowId flow) const;
+  std::uint64_t delivered_packets(FlowId flow) const;
+  Pacer* pacer(FlowId flow);
+  bool egress_paused(ClassId cls) const { return paused_.at(cls); }
+
+ private:
+  struct FlowState {
+    FlowSpec spec;
+    std::unique_ptr<Pacer> pacer;  // null = greedy
+    std::int64_t sent_bytes = 0;
+    std::uint64_t sent_packets = 0;
+    bool stopped = false;
+  };
+  struct SinkStats {
+    std::int64_t bytes = 0;
+    std::uint64_t packets = 0;
+  };
+
+  void try_send();
+  void complete_transmit();
+  void schedule_wake(Time at);
+  /// Pause state after 802.1Qbb quanta expiry (if configured).
+  bool paused_now(ClassId cls) const;
+
+  const NetConfig& cfg_;
+  std::vector<FlowState> flows_;
+  std::size_t rr_ = 0;
+  bool busy_ = false;
+  std::array<bool, kMaxClasses> paused_{};
+  std::array<Time, kMaxClasses> pause_expiry_{};
+  EventId wake_{};
+  Time wake_at_ = Time::max();
+  std::unordered_map<FlowId, SinkStats> delivered_;
+  Rng jitter_rng_;
+};
+
+}  // namespace dcdl

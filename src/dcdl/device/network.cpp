@@ -1,0 +1,103 @@
+#include "dcdl/device/network.hpp"
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl {
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kTtlExpired: return "ttl_expired";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kBufferOverflow: return "buffer_overflow";
+    case DropReason::kWatchdogReset: return "watchdog_reset";
+  }
+  return "?";
+}
+
+Network::Network(Simulator& sim, const Topology& topo, NetConfig cfg)
+    : sim_(sim), topo_(topo), cfg_(std::move(cfg)) {
+  DCDL_EXPECTS(cfg_.pfc.xon_bytes <= cfg_.pfc.xoff_bytes);
+  devices_.reserve(topo.node_count());
+  for (NodeId id = 0; id < topo.node_count(); ++id) {
+    if (topo.is_switch(id)) {
+      devices_.push_back(std::make_unique<Switch>(*this, id, cfg_));
+    } else {
+      devices_.push_back(std::make_unique<Host>(*this, id, cfg_));
+    }
+  }
+}
+
+Network::~Network() = default;
+
+Switch& Network::switch_at(NodeId id) {
+  DCDL_EXPECTS(topo_.is_switch(id));
+  return static_cast<Switch&>(*devices_.at(id));
+}
+
+const Switch& Network::switch_at(NodeId id) const {
+  DCDL_EXPECTS(topo_.is_switch(id));
+  return static_cast<const Switch&>(*devices_.at(id));
+}
+
+Host& Network::host_at(NodeId id) {
+  DCDL_EXPECTS(topo_.is_host(id));
+  return static_cast<Host&>(*devices_.at(id));
+}
+
+const Host& Network::host_at(NodeId id) const {
+  DCDL_EXPECTS(topo_.is_host(id));
+  return static_cast<const Host&>(*devices_.at(id));
+}
+
+void Network::transmit(NodeId from, PortId port, Packet pkt) {
+  const PortPeer& pp = topo_.peer(from, port);
+  const LinkSpec& link = topo_.link(pp.link);
+  const Time ser = serialization_time(pkt.size_bytes, link.rate);
+  Device* peer = devices_.at(pp.peer_node).get();
+  const PortId peer_port = pp.peer_port;
+  sim_.schedule_in(ser + link.delay, [peer, peer_port, pkt]() mutable {
+    peer->on_receive(peer_port, pkt);
+  });
+}
+
+void Network::send_pfc(NodeId from, PortId port, ClassId cls, bool pause) {
+  const PortPeer& pp = topo_.peer(from, port);
+  const LinkSpec& link = topo_.link(pp.link);
+  const Time ser = serialization_time(cfg_.pfc.control_frame_bytes, link.rate);
+  Device* peer = devices_.at(pp.peer_node).get();
+  const PortId peer_port = pp.peer_port;
+  sim_.schedule_in(ser + link.delay, [peer, peer_port, cls, pause] {
+    peer->on_pfc(peer_port, cls, pause);
+  });
+}
+
+void Network::send_cnp(FlowId flow, NodeId src_host) {
+  DCDL_EXPECTS(topo_.is_host(src_host));
+  sim_.schedule_in(cfg_.cnp_feedback_delay, [this, flow, src_host] {
+    if (trace_.cnp) trace_.cnp(sim_.now(), flow);
+    host_at(src_host).on_cnp(flow);
+  });
+}
+
+void Network::send_rtt_sample(FlowId flow, NodeId src_host, Time rtt) {
+  DCDL_EXPECTS(topo_.is_host(src_host));
+  sim_.schedule_in(cfg_.cnp_feedback_delay, [this, flow, src_host, rtt] {
+    host_at(src_host).on_rtt(flow, rtt);
+  });
+}
+
+void Network::notify_routes_changed(NodeId sw) {
+  switch_at(sw).on_routes_changed();
+}
+
+std::int64_t Network::total_queued_bytes() const {
+  std::int64_t total = 0;
+  for (NodeId id = 0; id < topo_.node_count(); ++id) {
+    if (topo_.is_switch(id)) total += switch_at(id).total_buffered();
+  }
+  return total;
+}
+
+}  // namespace dcdl

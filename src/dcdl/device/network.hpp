@@ -1,0 +1,95 @@
+// The runtime network: owns the devices built from a Topology, moves packets
+// and PFC frames across wires, and exposes global introspection used by the
+// analysis and statistics layers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/config.hpp"
+#include "dcdl/device/device.hpp"
+#include "dcdl/device/trace.hpp"
+#include "dcdl/net/packet.hpp"
+#include "dcdl/sim/simulator.hpp"
+#include "dcdl/topo/topology.hpp"
+
+namespace dcdl {
+
+class Switch;
+class Host;
+
+class Network {
+ public:
+  /// Builds one device per topology node. The topology and simulator must
+  /// outlive the network.
+  Network(Simulator& sim, const Topology& topo, NetConfig cfg);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+  const Topology& topo() const { return topo_; }
+  const NetConfig& config() const { return cfg_; }
+  Trace& trace() { return trace_; }
+
+  Device& device(NodeId id) { return *devices_.at(id); }
+  Switch& switch_at(NodeId id);
+  const Switch& switch_at(NodeId id) const;
+  Host& host_at(NodeId id);
+  const Host& host_at(NodeId id) const;
+
+  Rate link_rate(NodeId node, PortId port) const {
+    return topo_.link(topo_.peer(node, port).link).rate;
+  }
+  Time link_delay(NodeId node, PortId port) const {
+    return topo_.link(topo_.peer(node, port).link).delay;
+  }
+
+  /// Serializes `pkt` out of (from, port): the peer's on_receive fires after
+  /// serialization + propagation. The caller owns modelling the sender's
+  /// busy period (it lasts exactly serialization_time(size, link_rate)).
+  void transmit(NodeId from, PortId port, Packet pkt);
+
+  /// Sends a PFC pause/resume for `cls` to the peer of (from, port).
+  /// Control frames incur propagation plus their own 64-byte serialization
+  /// but never queue behind data (modelling simplification; see DESIGN.md).
+  void send_pfc(NodeId from, PortId port, ClassId cls, bool pause);
+
+  /// Out-of-band congestion notification to the flow's source host.
+  void send_cnp(FlowId flow, NodeId src_host);
+
+  /// Out-of-band RTT sample to the flow's source host (TIMELY feedback).
+  void send_rtt_sample(FlowId flow, NodeId src_host, Time rtt);
+
+  /// Tell a switch its route table changed so it can re-resolve queued
+  /// packets (used by the BGP / SDN-update substrates).
+  void notify_routes_changed(NodeId sw);
+
+  std::uint64_t next_packet_id() { return ++packet_id_; }
+
+  /// Total bytes buffered across all switch ingress queues. After all flows
+  /// stop, a non-zero residue once the event queue is quiet means packets
+  /// are permanently trapped — the paper's operational deadlock criterion.
+  std::int64_t total_queued_bytes() const;
+
+  /// Total packets dropped, by reason (for the lossless-invariant tests).
+  std::uint64_t drops(DropReason reason) const {
+    return drop_counts_[static_cast<int>(reason)];
+  }
+  void count_drop(DropReason reason) {
+    ++drop_counts_[static_cast<int>(reason)];
+  }
+
+ private:
+  Simulator& sim_;
+  const Topology& topo_;
+  NetConfig cfg_;
+  Trace trace_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::uint64_t packet_id_ = 0;
+  std::uint64_t drop_counts_[kNumDropReasons] = {};
+};
+
+}  // namespace dcdl

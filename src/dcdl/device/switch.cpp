@@ -1,0 +1,442 @@
+#include "dcdl/device/switch.hpp"
+
+#include <algorithm>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/network.hpp"
+
+namespace dcdl {
+
+Switch::Switch(Network& net, NodeId id, const NetConfig& cfg)
+    : Device(net, id), cfg_(cfg) {
+  DCDL_EXPECTS(cfg.num_classes >= 1 && cfg.num_classes <= kMaxClasses);
+  const std::size_t ports = net.topo().degree(id);
+  ingress_.resize(ports);
+  egress_.resize(ports);
+  for (auto& in : ingress_) {
+    in.cls.resize(static_cast<std::size_t>(cfg.num_classes));
+    for (auto& c : in.cls) {
+      c.xoff = cfg.pfc.xoff_bytes;
+      c.xon = cfg.pfc.xon_bytes;
+    }
+  }
+  for (auto& eg : egress_) {
+    eg.cls.resize(static_cast<std::size_t>(cfg.num_classes));
+  }
+  routes_.set_ecmp_salt(0x5DEECE66DULL * (id + 1));
+  jitter_rng_.reseed(cfg.jitter_seed * 0x9E3779B97F4A7C15ULL + id);
+}
+
+void Switch::set_thresholds(PortId port, ClassId cls, std::int64_t xoff_bytes,
+                            std::int64_t xon_bytes) {
+  DCDL_EXPECTS(xon_bytes <= xoff_bytes);
+  auto& c = ingress_.at(port).cls.at(cls);
+  c.xoff = xoff_bytes;
+  c.xon = xon_bytes;
+}
+
+void Switch::set_ingress_shaper(PortId port, Rate rate,
+                                std::int64_t burst_bytes) {
+  ingress_.at(port).shaper =
+      std::make_unique<TokenBucketPacer>(rate, burst_bytes);
+}
+
+void Switch::clear_ingress_shaper(PortId port) {
+  auto& in = ingress_.at(port);
+  in.shaper.reset();
+  while (!in.held.empty()) {
+    Packet pkt = std::move(in.held.front());
+    in.held.pop_front();
+    in.held_bytes -= pkt.size_bytes;
+    route_and_enqueue(port, pkt.prio, std::move(pkt));
+  }
+}
+
+Time Switch::tx_hold_time(const Packet& pkt, PortId egress) {
+  Time hold = serialization_time(pkt.size_bytes, net_.link_rate(id_, egress));
+  if (cfg_.tx_jitter > Time::zero()) {
+    hold += Time{static_cast<std::int64_t>(jitter_rng_.uniform(
+        static_cast<std::uint64_t>(cfg_.tx_jitter.ps()) + 1))};
+  }
+  return hold;
+}
+
+void Switch::update_pause_state(PortId port, ClassId cls) {
+  if (!cfg_.pfc.enabled) return;
+  auto& c = ingress_.at(port).cls.at(cls);
+  if (!c.pause_asserted && c.bytes >= c.xoff) {
+    c.pause_asserted = true;
+    net_.send_pfc(id_, port, cls, /*pause=*/true);
+    schedule_pause_refresh(port, cls);
+    if (net_.trace().pfc_state) {
+      net_.trace().pfc_state(net_.sim().now(), id_, port, cls, true);
+    }
+  } else if (c.pause_asserted && c.bytes < c.xon) {
+    c.pause_asserted = false;
+    net_.send_pfc(id_, port, cls, /*pause=*/false);
+    if (net_.trace().pfc_state) {
+      net_.trace().pfc_state(net_.sim().now(), id_, port, cls, false);
+    }
+  }
+}
+
+void Switch::on_receive(PortId in_port, Packet pkt) {
+  const Time now = net_.sim().now();
+  if (total_buffered_ + pkt.size_bytes > cfg_.switch_buffer_bytes) {
+    // Shared buffer exhausted. With sane PFC headroom this cannot happen;
+    // the lossless-invariant tests assert the drop counter stays zero.
+    net_.count_drop(DropReason::kBufferOverflow);
+    if (net_.trace().dropped) {
+      net_.trace().dropped(now, pkt, id_, DropReason::kBufferOverflow);
+    }
+    return;
+  }
+
+  const ClassId in_class = pkt.prio;  // accounting class = class as received
+  auto& in = ingress_.at(in_port);
+  DCDL_ASSERT(in_class < in.cls.size());
+
+  // Ingress admission: the packet now occupies buffer.
+  auto& ctr = in.cls[in_class];
+  ctr.bytes += pkt.size_bytes;
+  ctr.flow_bytes[pkt.flow] += pkt.size_bytes;
+  total_buffered_ += pkt.size_bytes;
+  update_pause_state(in_port, in_class);
+
+  if (const auto it = flow_shapers_.find(pkt.flow);
+      it != flow_shapers_.end()) {
+    it->second.held_bytes += pkt.size_bytes;
+    it->second.held.emplace_back(std::move(pkt), in_port, in_class);
+    schedule_flow_release(it->first);
+    return;
+  }
+  if (in.shaper) {
+    in.held.push_back(std::move(pkt));
+    in.held_bytes += in.held.back().size_bytes;
+    schedule_shaper_release(in_port);
+    return;
+  }
+  route_and_enqueue(in_port, in_class, std::move(pkt));
+}
+
+void Switch::set_flow_shaper(FlowId flow, Rate rate,
+                             std::int64_t burst_bytes) {
+  flow_shapers_[flow].shaper =
+      std::make_unique<TokenBucketPacer>(rate, burst_bytes);
+}
+
+void Switch::clear_flow_shaper(FlowId flow) {
+  const auto it = flow_shapers_.find(flow);
+  if (it == flow_shapers_.end()) return;
+  while (!it->second.held.empty()) {
+    auto [pkt, in_port, in_class] = std::move(it->second.held.front());
+    it->second.held.pop_front();
+    route_and_enqueue(in_port, in_class, std::move(pkt));
+  }
+  flow_shapers_.erase(it);
+}
+
+void Switch::schedule_flow_release(FlowId flow) {
+  auto& fs = flow_shapers_.at(flow);
+  if (fs.release_scheduled || fs.held.empty()) return;
+  const Time now = net_.sim().now();
+  const Time ready =
+      fs.shaper->ready_at(now, std::get<0>(fs.held.front()).size_bytes);
+  fs.release_scheduled = true;
+  net_.sim().schedule_at(std::max(now, ready), [this, flow] {
+    // The shaper may have been cleared while this release was in flight.
+    const auto it = flow_shapers_.find(flow);
+    if (it == flow_shapers_.end()) return;
+    it->second.release_scheduled = false;
+    release_flow_held(flow);
+  });
+}
+
+void Switch::release_flow_held(FlowId flow) {
+  auto& fs = flow_shapers_.at(flow);
+  const Time now = net_.sim().now();
+  while (!fs.held.empty() &&
+         fs.shaper->ready_at(now, std::get<0>(fs.held.front()).size_bytes) <=
+             now) {
+    auto [pkt, in_port, in_class] = std::move(fs.held.front());
+    fs.held.pop_front();
+    fs.held_bytes -= pkt.size_bytes;
+    fs.shaper->on_sent(now, pkt.size_bytes);
+    route_and_enqueue(in_port, in_class, std::move(pkt));
+  }
+  schedule_flow_release(flow);
+}
+
+void Switch::schedule_shaper_release(PortId in_port) {
+  auto& in = ingress_.at(in_port);
+  if (in.release_scheduled || in.held.empty() || !in.shaper) return;
+  const Time now = net_.sim().now();
+  const Time ready = in.shaper->ready_at(now, in.held.front().size_bytes);
+  in.release_scheduled = true;
+  net_.sim().schedule_at(std::max(now, ready), [this, in_port] {
+    ingress_.at(in_port).release_scheduled = false;
+    release_held(in_port);
+  });
+}
+
+void Switch::release_held(PortId in_port) {
+  auto& in = ingress_.at(in_port);
+  const Time now = net_.sim().now();
+  while (!in.held.empty() && in.shaper &&
+         in.shaper->ready_at(now, in.held.front().size_bytes) <= now) {
+    Packet pkt = std::move(in.held.front());
+    in.held.pop_front();
+    in.held_bytes -= pkt.size_bytes;
+    in.shaper->on_sent(now, pkt.size_bytes);
+    route_and_enqueue(in_port, pkt.prio, std::move(pkt));
+  }
+  schedule_shaper_release(in_port);
+}
+
+void Switch::dec_ingress(PortId in_port, ClassId in_class, const Packet& pkt) {
+  auto& ctr = ingress_.at(in_port).cls.at(in_class);
+  ctr.bytes -= pkt.size_bytes;
+  DCDL_ASSERT(ctr.bytes >= 0);
+  total_buffered_ -= pkt.size_bytes;
+  ctr.departure_count += 1;
+  if (auto it = ctr.flow_bytes.find(pkt.flow); it != ctr.flow_bytes.end()) {
+    it->second -= pkt.size_bytes;
+    if (it->second <= 0) ctr.flow_bytes.erase(it);
+  }
+  update_pause_state(in_port, in_class);
+}
+
+void Switch::route_and_enqueue(PortId in_port, ClassId in_class, Packet pkt) {
+  const Time now = net_.sim().now();
+  const auto egress = routes_.lookup(pkt.flow, pkt.dst);
+  if (!egress) {
+    dec_ingress(in_port, in_class, pkt);
+    net_.count_drop(DropReason::kNoRoute);
+    if (net_.trace().dropped) {
+      net_.trace().dropped(now, pkt, id_, DropReason::kNoRoute);
+    }
+    return;
+  }
+  const NodeId next = net_.topo().peer(id_, *egress).peer_node;
+  if (net_.topo().is_switch(next)) {
+    // Further switch-to-switch forwarding: TTL check and decrement.
+    if (pkt.ttl == 0) {
+      dec_ingress(in_port, in_class, pkt);
+      net_.count_drop(DropReason::kTtlExpired);
+      if (net_.trace().dropped) {
+        net_.trace().dropped(now, pkt, id_, DropReason::kTtlExpired);
+      }
+      return;
+    }
+    pkt.ttl -= 1;
+    pkt.hops += 1;
+  }
+  // Departure class: the class the packet will occupy on the next wire.
+  if (cfg_.reclass) {
+    const ClassId out = cfg_.reclass(pkt, id_);
+    DCDL_ASSERT(out < cfg_.num_classes);
+    pkt.prio = out;
+  }
+  auto& eg = egress_.at(*egress);
+  if (ecn_mark_on_enqueue(eg, *egress, pkt)) pkt.ecn_marked = true;
+  auto& q = eg.cls.at(pkt.prio);
+  q.bytes += pkt.size_bytes;
+  q.from[from_key(in_port, in_class)] += pkt.size_bytes;
+  q.q.push_back(QueuedPacket{std::move(pkt), in_port, in_class});
+  try_transmit(*egress);
+}
+
+bool Switch::ecn_mark_on_enqueue(EgressPort& eg, PortId port,
+                                 const Packet& pkt) {
+  if (!cfg_.ecn.enabled || !pkt.ecn_capable) return false;
+  if (cfg_.ecn.phantom_speed_fraction >= 1.0) {
+    // Mark against the real egress backlog.
+    std::int64_t backlog = 0;
+    for (const auto& q : eg.cls) backlog += q.bytes;
+    return backlog > cfg_.ecn.mark_threshold_bytes;
+  }
+  // Phantom queue: drains at a fraction of line speed, marks early.
+  const Time now = net_.sim().now();
+  const double drain_bps =
+      static_cast<double>(net_.link_rate(id_, port).bps()) *
+      cfg_.ecn.phantom_speed_fraction;
+  const double drained = drain_bps * (now - eg.phantom_last).ps() / 8e12;
+  eg.phantom_bytes = std::max(0.0, eg.phantom_bytes - drained);
+  eg.phantom_last = now;
+  eg.phantom_bytes += pkt.size_bytes;
+  return eg.phantom_bytes > static_cast<double>(cfg_.ecn.mark_threshold_bytes);
+}
+
+bool Switch::effectively_paused(const EgressPort& eg, ClassId cls) const {
+  if (!eg.paused[cls]) return false;
+  const Time now = net_.sim().now();
+  if (cfg_.pfc.pause_quanta > Time::zero() && now >= eg.pause_expiry[cls]) {
+    return false;  // the pause quanta lapsed without a refresh
+  }
+  return now >= eg.ignore_pause_until[cls];
+}
+
+void Switch::schedule_pause_refresh(PortId port, ClassId cls) {
+  if (cfg_.pfc.pause_quanta == Time::zero() || !cfg_.pfc.pause_refresh) {
+    return;
+  }
+  auto& ctr = ingress_.at(port).cls.at(cls);
+  if (ctr.refresh_scheduled) return;
+  ctr.refresh_scheduled = true;
+  net_.sim().schedule_in(cfg_.pfc.pause_quanta / 2, [this, port, cls] {
+    auto& c = ingress_.at(port).cls.at(cls);
+    c.refresh_scheduled = false;
+    if (c.pause_asserted) {
+      net_.send_pfc(id_, port, cls, /*pause=*/true);
+      schedule_pause_refresh(port, cls);
+    }
+  });
+}
+
+void Switch::try_transmit(PortId egress) {
+  auto& eg = egress_.at(egress);
+  if (eg.busy) return;
+  const std::size_t num_cls = eg.cls.size();
+  for (std::size_t i = 0; i < num_cls; ++i) {
+    const std::size_t c = (eg.rr_class + i) % num_cls;
+    auto& q = eg.cls[c];
+    if (q.q.empty() || effectively_paused(eg, static_cast<ClassId>(c))) {
+      continue;
+    }
+
+    eg.rr_class = (c + 1) % num_cls;
+    QueuedPacket qp = std::move(q.q.front());
+    q.q.pop_front();
+    q.bytes -= qp.pkt.size_bytes;
+    auto fit = q.from.find(from_key(qp.in_port, qp.in_class));
+    DCDL_ASSERT(fit != q.from.end());
+    fit->second -= qp.pkt.size_bytes;
+    if (fit->second <= 0) q.from.erase(fit);
+    dec_ingress(qp.in_port, qp.in_class, qp.pkt);
+
+    if (net_.trace().tx_start) {
+      net_.trace().tx_start(net_.sim().now(), qp.pkt, id_, egress);
+    }
+    eg.busy = true;
+    const Time hold = tx_hold_time(qp.pkt, egress);
+    net_.sim().schedule_in(hold,
+                           [this, egress] { complete_transmit(egress); });
+    net_.transmit(id_, egress, std::move(qp.pkt));
+    return;
+  }
+}
+
+void Switch::complete_transmit(PortId egress) {
+  egress_.at(egress).busy = false;
+  try_transmit(egress);
+}
+
+void Switch::on_pfc(PortId port, ClassId cls, bool pause) {
+  auto& eg = egress_.at(port);
+  const Time now = net_.sim().now();
+  if (pause && !eg.paused.at(cls)) {
+    eg.paused_since.at(cls) = now;
+  }
+  eg.paused.at(cls) = pause;
+  if (pause && cfg_.pfc.pause_quanta > Time::zero()) {
+    eg.pause_expiry.at(cls) = now + cfg_.pfc.pause_quanta;
+    // Wake the transmitter when the quanta lapses in case no refresh comes.
+    net_.sim().schedule_in(cfg_.pfc.pause_quanta,
+                           [this, port] { try_transmit(port); });
+  }
+  if (!pause) try_transmit(port);
+}
+
+Time Switch::egress_paused_for(PortId port, ClassId cls) const {
+  const auto& eg = egress_.at(port);
+  if (!eg.paused.at(cls)) return Time::zero();
+  return net_.sim().now() - eg.paused_since.at(cls);
+}
+
+std::uint64_t Switch::flush_egress_queue(PortId port, ClassId cls) {
+  auto& eg = egress_.at(port);
+  auto& q = eg.cls.at(cls);
+  const Time now = net_.sim().now();
+  std::uint64_t dropped = 0;
+  while (!q.q.empty()) {
+    QueuedPacket qp = std::move(q.q.front());
+    q.q.pop_front();
+    q.bytes -= qp.pkt.size_bytes;
+    auto fit = q.from.find(from_key(qp.in_port, qp.in_class));
+    DCDL_ASSERT(fit != q.from.end());
+    fit->second -= qp.pkt.size_bytes;
+    if (fit->second <= 0) q.from.erase(fit);
+    // Releasing the buffer credits the ingress counter (possibly sending
+    // the RESUME that untangles the upstream), exactly like a forward.
+    auto& ctr = ingress_.at(qp.in_port).cls.at(qp.in_class);
+    ctr.bytes -= qp.pkt.size_bytes;
+    total_buffered_ -= qp.pkt.size_bytes;
+    if (auto it = ctr.flow_bytes.find(qp.pkt.flow);
+        it != ctr.flow_bytes.end()) {
+      it->second -= qp.pkt.size_bytes;
+      if (it->second <= 0) ctr.flow_bytes.erase(it);
+    }
+    update_pause_state(qp.in_port, qp.in_class);
+    net_.count_drop(DropReason::kWatchdogReset);
+    if (net_.trace().dropped) {
+      net_.trace().dropped(now, qp.pkt, id_, DropReason::kWatchdogReset);
+    }
+    ++dropped;
+  }
+  return dropped;
+}
+
+void Switch::ignore_pause_until(PortId port, ClassId cls, Time until) {
+  auto& eg = egress_.at(port);
+  eg.ignore_pause_until.at(cls) = until;
+  // Restart the storm clock so the watchdog measures the pause anew after
+  // its intervention rather than re-firing every poll.
+  eg.paused_since.at(cls) = net_.sim().now();
+  try_transmit(port);
+}
+
+std::int64_t Switch::ingress_bytes(PortId port, ClassId cls) const {
+  return ingress_.at(port).cls.at(cls).bytes;
+}
+
+std::int64_t Switch::ingress_flow_bytes(PortId port, ClassId cls,
+                                        FlowId flow) const {
+  const auto& fb = ingress_.at(port).cls.at(cls).flow_bytes;
+  const auto it = fb.find(flow);
+  return it == fb.end() ? 0 : it->second;
+}
+
+bool Switch::pause_asserted(PortId port, ClassId cls) const {
+  return ingress_.at(port).cls.at(cls).pause_asserted;
+}
+
+bool Switch::egress_paused(PortId port, ClassId cls) const {
+  return egress_.at(port).paused.at(cls);
+}
+
+std::int64_t Switch::egress_queue_bytes(PortId port, ClassId cls) const {
+  return egress_.at(port).cls.at(cls).bytes;
+}
+
+std::int64_t Switch::egress_bytes_from(PortId port, ClassId cls,
+                                       PortId in_port, ClassId in_cls) const {
+  const auto& from = egress_.at(port).cls.at(cls).from;
+  const auto it = from.find(from_key(in_port, in_cls));
+  return it == from.end() ? 0 : it->second;
+}
+
+std::uint64_t Switch::departures(PortId port, ClassId cls) const {
+  return ingress_.at(port).cls.at(cls).departure_count;
+}
+
+std::int64_t Switch::shaper_held_bytes(PortId port) const {
+  std::int64_t total = ingress_.at(port).held_bytes;
+  for (const auto& [flow, fs] : flow_shapers_) {
+    for (const auto& [pkt, in_port, in_class] : fs.held) {
+      if (in_port == port) total += pkt.size_bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace dcdl

@@ -1,0 +1,213 @@
+// The lossless-Ethernet switch model.
+//
+// Architecture — output-queued with ingress accounting, mirroring the
+// shared-buffer commodity switches (and the authors' NS-3 qbb model) the
+// paper studies:
+//
+//  - A packet that finishes arriving on ingress port p is routed at once
+//    and placed in the FIFO of its egress (port, class) queue. There is no
+//    head-of-line blocking at the ingress.
+//  - An *ingress counter* per (ingress port, class) tracks the bytes of all
+//    packets resident in the switch that arrived on that port/class (the
+//    paper: "for each ingress queue, the switch maintains a counter to
+//    track the bytes of buffered packets received by this ingress queue").
+//    The counter rises at arrival and falls when the packet is dequeued
+//    for transmission.
+//  - PFC: counter >= Xoff sends PAUSE(class) to the upstream device;
+//    counter < Xon sends RESUME. A received PAUSE freezes this switch's
+//    (egress, class) queue on that port. Frozen queues hold buffer, which
+//    keeps upstream ingress counters high — the cascade that makes
+//    deadlock possible.
+//  - Egress scheduling: one transmitter per port serving its per-class
+//    FIFOs round-robin across unpaused classes; within a class, strict
+//    arrival order. Per-ingress fairness at a saturated egress emerges
+//    from PFC duty-cycling the ingresses (paper footnote 4).
+//  - TTL: on arrival, a packet that still needs switch-to-switch
+//    forwarding is dropped if its TTL is exhausted, else decremented, so a
+//    packet injected with TTL=T survives exactly T switch-to-switch hops —
+//    matching the boundary-state model (Eq. 2: n·B = TTL·r).
+//  - Optional per-ingress-port token-bucket shapers (paper §3.3/§4 rate
+//    limiting): arriving packets wait in a per-ingress holding FIFO and
+//    are released to their egress queue at the shaped rate. Held bytes
+//    count toward the ingress counter (they occupy buffer).
+//  - ECN marking for the DCQCN mitigation: on enqueue against the real
+//    egress backlog, or against a phantom queue draining at a fraction of
+//    line rate (EcnConfig).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "dcdl/common/rng.hpp"
+#include "dcdl/device/config.hpp"
+#include "dcdl/device/device.hpp"
+#include "dcdl/routing/route_table.hpp"
+#include "dcdl/sim/simulator.hpp"
+#include "dcdl/traffic/flow.hpp"
+
+namespace dcdl {
+
+class Switch final : public Device {
+ public:
+  Switch(Network& net, NodeId id, const NetConfig& cfg);
+
+  RouteTable& routes() { return routes_; }
+  const RouteTable& routes() const { return routes_; }
+
+  /// Overrides the PFC thresholds of one ingress counter (per-port /
+  /// per-tier / per-class threshold policies, paper §4).
+  void set_thresholds(PortId port, ClassId cls, std::int64_t xoff_bytes,
+                      std::int64_t xon_bytes);
+
+  /// Installs a token-bucket rate limiter on an ingress port (paper §3.3:
+  /// Figure 5 applies one to RX2 of switch B).
+  void set_ingress_shaper(PortId port, Rate rate, std::int64_t burst_bytes);
+  void clear_ingress_shaper(PortId port);
+
+  /// Installs a per-flow token-bucket limiter (paper §4: "commodity
+  /// switches support bandwidth shaping ... even [for] particular flows").
+  /// Shaped packets wait in a per-flow holding queue (still charged to
+  /// their ingress counter) and are released at `rate`. The basis of the
+  /// "intelligent rate limiting [that] avoid[s] over-punishing innocent
+  /// flows".
+  void set_flow_shaper(FlowId flow, Rate rate, std::int64_t burst_bytes);
+  void clear_flow_shaper(FlowId flow);
+
+  /// Route changes only affect packets not yet routed (already-queued
+  /// packets keep their egress, as in real switches).
+  void on_routes_changed() {}
+
+  // Device interface.
+  void on_receive(PortId in_port, Packet pkt) override;
+  void on_pfc(PortId port, ClassId cls, bool pause) override;
+
+  // --- Introspection (analysis & statistics) ---
+  std::size_t num_ports() const { return ingress_.size(); }
+  /// Ingress counter value (the quantity PFC thresholds act on).
+  std::int64_t ingress_bytes(PortId port, ClassId cls) const;
+  /// Bytes of one flow currently attributed to an ingress counter (the
+  /// paper's per-flow "buffer occupancy at RX1" series).
+  std::int64_t ingress_flow_bytes(PortId port, ClassId cls, FlowId flow) const;
+  /// True if this ingress counter currently holds its upstream in PAUSE.
+  bool pause_asserted(PortId port, ClassId cls) const;
+  /// True if the downstream device paused this egress queue.
+  bool egress_paused(PortId port, ClassId cls) const;
+  bool egress_busy(PortId port) const { return egress_.at(port).busy; }
+  std::int64_t egress_queue_bytes(PortId port, ClassId cls) const;
+  /// Bytes in egress queue (port, cls) attributed to ingress counter
+  /// (in_port, in_cls) — used by the deadlock detector's frozen-set
+  /// fixpoint.
+  std::int64_t egress_bytes_from(PortId port, ClassId cls, PortId in_port,
+                                 ClassId in_cls) const;
+  /// Transmissions attributed to an ingress counter.
+  std::uint64_t departures(PortId port, ClassId cls) const;
+  std::int64_t total_buffered() const { return total_buffered_; }
+  /// Bytes waiting in the ingress shaper's holding queue (0 if no shaper).
+  std::int64_t shaper_held_bytes(PortId port) const;
+
+  // --- Reactive recovery (PFC watchdog support, paper §1) ---
+  /// How long this egress (port, class) has been continuously paused by
+  /// its downstream (zero if not currently paused).
+  Time egress_paused_for(PortId port, ClassId cls) const;
+  /// Flushes every packet queued in egress (port, class), releasing the
+  /// ingress counters they were charged to (traced as kWatchdogReset
+  /// drops). Returns the number of packets dropped.
+  std::uint64_t flush_egress_queue(PortId port, ClassId cls);
+  /// Ignores the received pause state of (port, class) until `until`
+  /// (transmission proceeds as if unpaused; late RESUMEs re-arm normally).
+  void ignore_pause_until(PortId port, ClassId cls, Time until);
+
+ private:
+  struct QueuedPacket {
+    Packet pkt;          ///< prio already rewritten to the departure class
+    PortId in_port;      ///< ingress attribution for counter/PFC accounting
+    ClassId in_class;
+  };
+
+  struct IngressCounter {
+    std::int64_t bytes = 0;
+    bool pause_asserted = false;
+    bool refresh_scheduled = false;
+    std::uint64_t departure_count = 0;
+    std::int64_t xoff = 0;
+    std::int64_t xon = 0;
+    std::unordered_map<FlowId, std::int64_t> flow_bytes;
+  };
+
+  struct IngressPort {
+    std::vector<IngressCounter> cls;
+    std::unique_ptr<TokenBucketPacer> shaper;
+    std::deque<Packet> held;        ///< awaiting shaper release
+    std::int64_t held_bytes = 0;
+    bool release_scheduled = false;
+  };
+
+  struct FlowShaper {
+    std::unique_ptr<TokenBucketPacer> shaper;
+    /// Held packets remember their ingress attribution.
+    std::deque<std::tuple<Packet, PortId, ClassId>> held;
+    std::int64_t held_bytes = 0;
+    bool release_scheduled = false;
+  };
+
+  struct EgressClassQueue {
+    std::deque<QueuedPacket> q;
+    std::int64_t bytes = 0;
+    /// Attribution: bytes per (in_port * num_classes + in_class).
+    std::unordered_map<std::uint32_t, std::int64_t> from;
+  };
+
+  struct EgressPort {
+    std::vector<EgressClassQueue> cls;
+    std::array<bool, kMaxClasses> paused{};
+    std::array<Time, kMaxClasses> paused_since{};
+    std::array<Time, kMaxClasses> ignore_pause_until{};
+    /// With pause_quanta enabled: when the current pause lapses.
+    std::array<Time, kMaxClasses> pause_expiry{};
+    bool busy = false;
+    std::size_t rr_class = 0;
+    // Phantom queue state for ECN marking.
+    double phantom_bytes = 0;
+    Time phantom_last = Time::zero();
+  };
+
+  /// Effective pause state after quanta expiry and any watchdog
+  /// ignore-window.
+  bool effectively_paused(const EgressPort& eg, ClassId cls) const;
+  void schedule_pause_refresh(PortId port, ClassId cls);
+
+  /// Routes and enqueues a packet that has cleared ingress admission (and
+  /// the shaper, if any).
+  void route_and_enqueue(PortId in_port, ClassId in_class, Packet pkt);
+  void try_transmit(PortId egress);
+  void complete_transmit(PortId egress);
+  void schedule_shaper_release(PortId in_port);
+  void release_held(PortId in_port);
+  void schedule_flow_release(FlowId flow);
+  void release_flow_held(FlowId flow);
+  void dec_ingress(PortId in_port, ClassId in_class, const Packet& pkt);
+  void update_pause_state(PortId port, ClassId cls);
+  bool ecn_mark_on_enqueue(EgressPort& eg, PortId port, const Packet& pkt);
+  Time tx_hold_time(const Packet& pkt, PortId egress);
+  std::uint32_t from_key(PortId in_port, ClassId in_cls) const {
+    return static_cast<std::uint32_t>(in_port) *
+               static_cast<std::uint32_t>(cfg_.num_classes) +
+           in_cls;
+  }
+
+  const NetConfig& cfg_;
+  RouteTable routes_;
+  std::vector<IngressPort> ingress_;
+  std::vector<EgressPort> egress_;
+  std::unordered_map<FlowId, FlowShaper> flow_shapers_;
+  std::int64_t total_buffered_ = 0;
+  Rng jitter_rng_;
+};
+
+}  // namespace dcdl

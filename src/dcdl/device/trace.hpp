@@ -1,0 +1,43 @@
+// Observation hooks. All instrumentation (pause-event logs, occupancy
+// samplers, throughput meters, deadlock detectors) attaches through these
+// callbacks; the data path never depends on what is listening.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl {
+
+enum class DropReason : std::uint8_t {
+  kTtlExpired,      ///< TTL reached zero at a switch (the r_d drain of Eq. 1)
+  kNoRoute,         ///< no forwarding entry (transient blackhole)
+  kBufferOverflow,  ///< shared buffer exhausted (must not happen under PFC)
+  kWatchdogReset,   ///< reactive recovery flushed a storm-paused queue (§1)
+};
+constexpr int kNumDropReasons = 4;
+
+const char* to_string(DropReason r);
+
+struct Trace {
+  /// A switch ingress queue (node, port, class) changed the pause state it
+  /// imposes on its upstream: paused=true means an Xoff was emitted.
+  std::function<void(Time, NodeId node, PortId port, ClassId cls, bool paused)>
+      pfc_state;
+
+  /// Packet delivered to its destination host.
+  std::function<void(Time, const Packet&)> delivered;
+
+  /// Packet dropped at `node`.
+  std::function<void(Time, const Packet&, NodeId node, DropReason)> dropped;
+
+  /// A device started serializing a packet out of (node, port).
+  std::function<void(Time, const Packet&, NodeId node, PortId port)> tx_start;
+
+  /// Sender-side congestion notification delivered for a flow.
+  std::function<void(Time, FlowId)> cnp;
+};
+
+}  // namespace dcdl

@@ -1,0 +1,28 @@
+#include "dcdl/mitigation/class_policy.hpp"
+
+#include <algorithm>
+
+#include "dcdl/common/contract.hpp"
+
+namespace dcdl::mitigation {
+
+std::function<ClassId(const Packet&, NodeId)> ttl_class_mapper(
+    int band, int num_classes) {
+  DCDL_EXPECTS(band >= 1);
+  DCDL_EXPECTS(num_classes >= 1 && num_classes <= kMaxClasses);
+  return [band, num_classes](const Packet& pkt, NodeId) -> ClassId {
+    const int cls = pkt.ttl / band;
+    return static_cast<ClassId>(std::min(cls, num_classes - 1));
+  };
+}
+
+std::function<ClassId(const Packet&, NodeId)> hop_class_mapper(
+    int num_classes) {
+  DCDL_EXPECTS(num_classes >= 1 && num_classes <= kMaxClasses);
+  return [num_classes](const Packet& pkt, NodeId) -> ClassId {
+    return static_cast<ClassId>(
+        std::min<int>(pkt.hops, num_classes - 1));
+  };
+}
+
+}  // namespace dcdl::mitigation

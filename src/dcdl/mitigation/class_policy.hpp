@@ -1,0 +1,34 @@
+// Priority-class assignment policies (paper §4 "TTL-based mitigation" and
+// the structured-buffer-pool baseline of §1/§2).
+//
+// These return reclass hooks for NetConfig::reclass. The hook runs when a
+// packet departs a switch, so the class a packet travels in reflects its
+// current TTL / hop count, exactly as the paper's schemes require.
+#pragma once
+
+#include <functional>
+
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl::mitigation {
+
+/// TTL-banded classes: packets whose TTLs differ by at least `band` travel
+/// in different PFC classes, so the *effective* TTL inside one class is at
+/// most `band` (paper §4). class = min(ttl / band, num_classes - 1).
+/// TTL only decreases, so inter-class dependencies point from higher class
+/// to lower class and can never cycle — except inside the top class, where
+/// all TTLs >= (num_classes-1)*band are clamped together (the "worst case"
+/// the paper notes, where rate limiting must take over).
+std::function<ClassId(const Packet&, NodeId)> ttl_class_mapper(
+    int band, int num_classes);
+
+/// Structured buffer pool (Gerla–Kleinrock / Karol et al.): the class
+/// equals the number of switch-to-switch hops traveled, clamped to the top
+/// class. With num_classes > longest path length there is no cyclic buffer
+/// dependency at all — the classic (expensive) deadlock-free guarantee the
+/// paper's §1 describes as needing more lossless classes than shallow
+/// commodity switches can offer.
+std::function<ClassId(const Packet&, NodeId)> hop_class_mapper(
+    int num_classes);
+
+}  // namespace dcdl::mitigation

@@ -1,0 +1,87 @@
+#include "dcdl/mitigation/dcqcn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcdl/common/contract.hpp"
+
+namespace dcdl::mitigation {
+
+DcqcnPacer::DcqcnPacer(DcqcnParams params)
+    : p_(params), rc_(params.line_rate), rt_(params.line_rate),
+      last_increase_(Time::zero()), last_alpha_(Time::zero()),
+      tokens_last_(Time::zero()) {
+  DCDL_EXPECTS(params.line_rate.bps() > 0);
+  DCDL_EXPECTS(params.min_rate.bps() > 0);
+  tokens_bytes_ = 0;
+}
+
+void DcqcnPacer::clamp() {
+  rc_ = Rate{std::clamp(rc_.bps(), p_.min_rate.bps(), p_.line_rate.bps())};
+  rt_ = Rate{std::clamp(rt_.bps(), p_.min_rate.bps(), p_.line_rate.bps())};
+}
+
+void DcqcnPacer::increase_step() {
+  ++increase_stage_;
+  if (increase_stage_ > p_.fast_recovery_periods) {
+    rt_ = rt_ + p_.rai;  // additive increase ("active increase" stage)
+  }
+  rc_ = Rate{(rc_.bps() + rt_.bps()) / 2};
+  clamp();
+}
+
+void DcqcnPacer::advance(Time now) {
+  // Rate-increase periods since the last CNP (or last processed period).
+  while (now - last_increase_ >= p_.increase_timer) {
+    last_increase_ += p_.increase_timer;
+    increase_step();
+  }
+  while (now - last_alpha_ >= p_.alpha_timer) {
+    last_alpha_ += p_.alpha_timer;
+    alpha_ *= (1.0 - p_.g);
+  }
+}
+
+Time DcqcnPacer::ready_at(Time now, std::uint32_t bytes) {
+  advance(now);
+  // Token bucket at rc_, burst of one packet.
+  const double added = static_cast<double>(rc_.bps()) *
+                       (now - tokens_last_).ps() / 8e12;
+  tokens_bytes_ = std::min(static_cast<double>(bytes), tokens_bytes_ + added);
+  tokens_last_ = now;
+  if (tokens_bytes_ >= static_cast<double>(bytes)) return now;
+  const double deficit = static_cast<double>(bytes) - tokens_bytes_;
+  const double wait_ps = deficit * 8e12 / static_cast<double>(rc_.bps());
+  return now + Time{static_cast<std::int64_t>(std::ceil(wait_ps))};
+}
+
+void DcqcnPacer::on_sent(Time now, std::uint32_t bytes) {
+  advance(now);
+  const double added = static_cast<double>(rc_.bps()) *
+                       (now - tokens_last_).ps() / 8e12;
+  tokens_bytes_ = std::min(static_cast<double>(bytes), tokens_bytes_ + added);
+  tokens_last_ = now;
+  tokens_bytes_ -= static_cast<double>(bytes);
+  // Byte-counter increase events (one per byte_counter bytes since CNP).
+  bytes_since_cnp_ += bytes;
+  while (bytes_since_cnp_ >= p_.byte_counter) {
+    bytes_since_cnp_ -= p_.byte_counter;
+    increase_step();
+  }
+}
+
+void DcqcnPacer::on_cnp(Time now) {
+  advance(now);
+  ++cnp_count_;
+  rt_ = rc_;
+  rc_ = Rate{static_cast<std::int64_t>(
+      static_cast<double>(rc_.bps()) * (1.0 - alpha_ / 2.0))};
+  alpha_ = (1.0 - p_.g) * alpha_ + p_.g;
+  increase_stage_ = 0;
+  bytes_since_cnp_ = 0;
+  last_increase_ = now;
+  last_alpha_ = now;
+  clamp();
+}
+
+}  // namespace dcdl::mitigation

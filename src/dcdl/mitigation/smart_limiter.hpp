@@ -1,0 +1,56 @@
+// Intelligent rate limiting (paper §4): "If we are able to predict the
+// rate threshold for deadlock, we may bound the individual flow rate by
+// that threshold on switches that are involved in cyclic buffer
+// dependency. However, this requires intelligent rate limiting schemes to
+// avoid over-punishing innocent flows. We leave this to future work."
+//
+// This planner is that future work, built on the risk analyzer: for every
+// lockable dependency cycle it de-saturates cycle links (starting with the
+// ones carrying the fewest flows — minimal blast radius) by installing
+// per-flow shapers at each guilty flow's first switch, until the cycle has
+// at least two slack links (the empirically safe configuration; see
+// analysis/risk.hpp). Flows not crossing any lockable cycle are never
+// touched.
+#pragma once
+
+#include <vector>
+
+#include "dcdl/analysis/risk.hpp"
+#include "dcdl/device/network.hpp"
+#include "dcdl/traffic/flow.hpp"
+
+namespace dcdl::mitigation {
+
+struct RateLimitAction {
+  NodeId sw;        ///< the flow's first switch (switch-side option)
+  NodeId src_host;  ///< the flow's source NIC (default install point)
+  FlowId flow;
+  Rate rate;        ///< shaped rate
+};
+
+struct RateLimitPlan {
+  std::vector<RateLimitAction> actions;
+  /// Flows left untouched (for the over-punishment audit).
+  std::vector<FlowId> untouched;
+
+  bool empty() const { return actions.empty(); }
+};
+
+/// Plans per-flow limits so every dependency cycle ends up with at least
+/// `required_slack_links` links below `target_utilization`.
+RateLimitPlan plan_rate_limits(const Network& net,
+                               const std::vector<FlowSpec>& flows,
+                               const std::vector<Rate>& demands = {},
+                               double target_utilization = 0.85,
+                               int required_slack_links = 2);
+
+/// Installs the plan. By default limits are applied at each flow's source
+/// NIC; `at_source=false` uses switch-side per-flow shapers instead —
+/// physically valid, but held packets occupy the ingress buffer, so PFC
+/// backpressure then throttles *everything* sharing that ingress (see
+/// tests/test_smart_limiter.cpp for the measured difference).
+void apply_rate_limits(Network& net, const RateLimitPlan& plan,
+                       std::uint32_t burst_bytes = 2000,
+                       bool at_source = true);
+
+}  // namespace dcdl::mitigation

@@ -1,0 +1,64 @@
+#include "dcdl/mitigation/thresholds.hpp"
+
+#include <algorithm>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::mitigation {
+
+void apply_directional_thresholds(Network& net, std::int64_t xoff_down,
+                                  std::int64_t xoff_up,
+                                  std::int64_t hysteresis) {
+  const Topology& topo = net.topo();
+  for (const NodeId sw : topo.switches()) {
+    const int my_tier = topo.node(sw).tier;
+    const auto& ports = topo.ports(sw);
+    for (PortId p = 0; p < ports.size(); ++p) {
+      const int peer_tier = topo.node(ports[p].peer_node).tier;
+      const std::int64_t xoff = peer_tier < my_tier ? xoff_down : xoff_up;
+      for (int c = 0; c < net.config().num_classes; ++c) {
+        net.switch_at(sw).set_thresholds(p, static_cast<ClassId>(c), xoff,
+                                         std::max<std::int64_t>(0, xoff - hysteresis));
+      }
+    }
+  }
+}
+
+void apply_tier_thresholds(Network& net,
+                           const std::vector<std::int64_t>& xoff_by_tier,
+                           std::int64_t hysteresis) {
+  DCDL_EXPECTS(!xoff_by_tier.empty());
+  const Topology& topo = net.topo();
+  for (const NodeId sw : topo.switches()) {
+    const std::size_t tier = static_cast<std::size_t>(
+        std::max(0, topo.node(sw).tier));
+    const std::int64_t xoff =
+        xoff_by_tier[std::min(tier, xoff_by_tier.size() - 1)];
+    for (PortId p = 0; p < topo.ports(sw).size(); ++p) {
+      for (int c = 0; c < net.config().num_classes; ++c) {
+        net.switch_at(sw).set_thresholds(p, static_cast<ClassId>(c), xoff,
+                                         std::max<std::int64_t>(0, xoff - hysteresis));
+      }
+    }
+  }
+}
+
+void apply_class_thresholds(Network& net,
+                            const std::vector<std::int64_t>& xoff_by_class,
+                            std::int64_t hysteresis) {
+  DCDL_EXPECTS(static_cast<int>(xoff_by_class.size()) >=
+               net.config().num_classes);
+  const Topology& topo = net.topo();
+  for (const NodeId sw : topo.switches()) {
+    for (PortId p = 0; p < topo.ports(sw).size(); ++p) {
+      for (int c = 0; c < net.config().num_classes; ++c) {
+        const std::int64_t xoff = xoff_by_class[static_cast<std::size_t>(c)];
+        net.switch_at(sw).set_thresholds(p, static_cast<ClassId>(c), xoff,
+                                         std::max<std::int64_t>(0, xoff - hysteresis));
+      }
+    }
+  }
+}
+
+}  // namespace dcdl::mitigation

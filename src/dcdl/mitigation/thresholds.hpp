@@ -1,0 +1,35 @@
+// PFC threshold policies (paper §4, "limiting PFC pause frames
+// propagation"): make pauses originate near sources and let higher tiers
+// absorb bursts instead of cascading them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcdl/device/network.hpp"
+
+namespace dcdl::mitigation {
+
+/// Directional thresholds: on every switch, ingress ports facing a
+/// *lower-tier* neighbour (downstream, toward leaves/hosts) get
+/// `xoff_down`, ports facing an equal-or-higher tier get `xoff_up`.
+/// The paper suggests smaller thresholds downstream and larger upstream so
+/// pause propagation is damped near the core. Xon is xoff - hysteresis.
+void apply_directional_thresholds(Network& net, std::int64_t xoff_down,
+                                  std::int64_t xoff_up,
+                                  std::int64_t hysteresis);
+
+/// Per-tier thresholds: switch tier t uses xoff_by_tier[min(t, size-1)]
+/// on all its ingress queues ("use switches with larger threshold values at
+/// higher tiers so that they absorb small bursts").
+void apply_tier_thresholds(Network& net,
+                           const std::vector<std::int64_t>& xoff_by_tier,
+                           std::int64_t hysteresis);
+
+/// Per-class thresholds on every switch ("classify packets with different
+/// TTL into different classes and assign them different PFC thresholds").
+void apply_class_thresholds(Network& net,
+                            const std::vector<std::int64_t>& xoff_by_class,
+                            std::int64_t hysteresis);
+
+}  // namespace dcdl::mitigation

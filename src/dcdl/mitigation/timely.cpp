@@ -1,0 +1,77 @@
+#include "dcdl/mitigation/timely.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcdl/common/contract.hpp"
+
+namespace dcdl::mitigation {
+
+TimelyPacer::TimelyPacer(TimelyParams params)
+    : p_(params), rate_(params.line_rate) {
+  DCDL_EXPECTS(params.line_rate.bps() > 0);
+  DCDL_EXPECTS(params.min_rate.bps() > 0);
+  DCDL_EXPECTS(params.t_low <= params.t_high);
+}
+
+void TimelyPacer::clamp() {
+  rate_ = Rate{std::clamp(rate_.bps(), p_.min_rate.bps(), p_.line_rate.bps())};
+}
+
+void TimelyPacer::on_rtt(Time, Time rtt) {
+  ++samples_;
+  if (prev_rtt_ == Time::zero()) {
+    prev_rtt_ = rtt;
+    return;
+  }
+  const double new_diff = static_cast<double>((rtt - prev_rtt_).ps());
+  rtt_diff_ps_ = (1.0 - p_.ewma_alpha) * rtt_diff_ps_ +
+                 p_.ewma_alpha * new_diff;
+  prev_rtt_ = rtt;
+  last_gradient_ =
+      rtt_diff_ps_ / static_cast<double>(std::max<std::int64_t>(
+                         p_.min_rtt.ps(), 1));
+
+  if (rtt < p_.t_low) {
+    rate_ = rate_ + p_.delta;
+    negative_streak_ = 0;
+  } else if (rtt > p_.t_high) {
+    const double cut =
+        1.0 - p_.beta * (1.0 - static_cast<double>(p_.t_high.ps()) /
+                                   static_cast<double>(rtt.ps()));
+    rate_ = Rate{static_cast<std::int64_t>(
+        static_cast<double>(rate_.bps()) * cut)};
+    negative_streak_ = 0;
+  } else if (last_gradient_ <= 0) {
+    ++negative_streak_;
+    const int n = negative_streak_ >= p_.hai_threshold ? 5 : 1;
+    rate_ = rate_ + Rate{p_.delta.bps() * n};
+  } else {
+    negative_streak_ = 0;
+    const double cut = 1.0 - p_.beta * std::min(last_gradient_, 1.0);
+    rate_ = Rate{static_cast<std::int64_t>(
+        static_cast<double>(rate_.bps()) * cut)};
+  }
+  clamp();
+}
+
+Time TimelyPacer::ready_at(Time now, std::uint32_t bytes) {
+  const double added = static_cast<double>(rate_.bps()) *
+                       (now - tokens_last_).ps() / 8e12;
+  tokens_bytes_ = std::min(static_cast<double>(bytes), tokens_bytes_ + added);
+  tokens_last_ = now;
+  if (tokens_bytes_ >= static_cast<double>(bytes)) return now;
+  const double wait_ps = (static_cast<double>(bytes) - tokens_bytes_) * 8e12 /
+                         static_cast<double>(rate_.bps());
+  return now + Time{static_cast<std::int64_t>(std::ceil(wait_ps))};
+}
+
+void TimelyPacer::on_sent(Time now, std::uint32_t bytes) {
+  const double added = static_cast<double>(rate_.bps()) *
+                       (now - tokens_last_).ps() / 8e12;
+  tokens_bytes_ = std::min(static_cast<double>(bytes), tokens_bytes_ + added);
+  tokens_last_ = now;
+  tokens_bytes_ -= static_cast<double>(bytes);
+}
+
+}  // namespace dcdl::mitigation

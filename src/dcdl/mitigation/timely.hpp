@@ -1,0 +1,65 @@
+// TIMELY-like RTT-gradient congestion control (Mittal et al., SIGCOMM'15 —
+// the paper's §4 cites it next to DCQCN among the transports "designed to
+// reduce the possibility of PFC generation").
+//
+// Per RTT sample:
+//   rtt_diff  <- (1-a) * rtt_diff + a * (rtt - prev_rtt)
+//   gradient  <- rtt_diff / min_rtt
+//   if rtt < T_low:            rate += delta            (additive)
+//   else if rtt > T_high:      rate *= (1 - b * (1 - T_high/rtt))
+//   else if gradient <= 0:     rate += N * delta        (N grows while the
+//                                                        gradient stays <=0)
+//   else:                      rate *= (1 - b * gradient)
+//
+// Pacing is a token bucket at the current rate, as with the DCQCN pacer.
+#pragma once
+
+#include <cstdint>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/traffic/flow.hpp"
+
+namespace dcdl::mitigation {
+
+struct TimelyParams {
+  Rate line_rate = Rate::gbps(40);
+  Rate min_rate = Rate::mbps(10);
+  Rate delta = Rate::mbps(100);       ///< additive increment
+  double beta = 0.8;                  ///< multiplicative decrease factor
+  double ewma_alpha = 0.125;          ///< rtt_diff gain
+  /// Thresholds are tuned to this simulator's fabrics (base one-way
+  /// latency ~4 us at 1 us/link propagation); the original paper used
+  /// ~50/500 us against full datacenter RTTs.
+  Time t_low = Time{8'000'000};       ///< 8 us
+  Time t_high = Time{40'000'000};     ///< 40 us
+  Time min_rtt = Time{4'000'000};     ///< propagation floor for gradients
+  int hai_threshold = 5;              ///< samples before hyper-increase
+};
+
+class TimelyPacer final : public Pacer {
+ public:
+  explicit TimelyPacer(TimelyParams params);
+
+  Time ready_at(Time now, std::uint32_t bytes) override;
+  void on_sent(Time now, std::uint32_t bytes) override;
+  void on_rtt(Time now, Time rtt) override;
+  std::optional<Rate> current_rate() const override { return rate_; }
+
+  double gradient() const { return last_gradient_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  void clamp();
+
+  TimelyParams p_;
+  Rate rate_;
+  Time prev_rtt_ = Time::zero();
+  double rtt_diff_ps_ = 0;
+  double last_gradient_ = 0;
+  int negative_streak_ = 0;
+  std::uint64_t samples_ = 0;
+  double tokens_bytes_ = 0;
+  Time tokens_last_ = Time::zero();
+};
+
+}  // namespace dcdl::mitigation

@@ -1,0 +1,38 @@
+#include "dcdl/mitigation/watchdog.hpp"
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::mitigation {
+
+PfcWatchdog::PfcWatchdog(Network& net, Params params)
+    : net_(net), params_(params) {
+  DCDL_EXPECTS(params.poll > Time::zero());
+  DCDL_EXPECTS(params.storm_threshold > Time::zero());
+}
+
+void PfcWatchdog::start(Time from, Time until) {
+  until_ = until;
+  net_.sim().schedule_at(from, [this] { poll_once(); });
+}
+
+void PfcWatchdog::poll_once() {
+  const Time now = net_.sim().now();
+  for (const NodeId sw_id : net_.topo().switches()) {
+    auto& sw = net_.switch_at(sw_id);
+    for (PortId p = 0; p < sw.num_ports(); ++p) {
+      for (ClassId c = 0; c < net_.config().num_classes; ++c) {
+        if (sw.egress_paused_for(p, c) < params_.storm_threshold) continue;
+        const std::uint64_t dropped = sw.flush_egress_queue(p, c);
+        sw.ignore_pause_until(p, c, now + params_.ignore_duration);
+        packets_dropped_ += dropped;
+        resets_.push_back(ResetEvent{now, sw_id, p, c, dropped});
+      }
+    }
+  }
+  if (now + params_.poll <= until_) {
+    net_.sim().schedule_in(params_.poll, [this] { poll_once(); });
+  }
+}
+
+}  // namespace dcdl::mitigation

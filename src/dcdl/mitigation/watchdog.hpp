@@ -1,0 +1,58 @@
+// Reactive deadlock recovery: a PFC storm watchdog (paper §1's "reactive
+// mechanisms ... detect that a deadlock has formed, and then try to break
+// it by resetting links/ports/hosts ... inelegant, disruptive, and should
+// be used only as a last resort").
+//
+// Mirrors production PFC watchdogs (SONiC/Arista/Mellanox): every `poll`,
+// each switch egress (port, class) that has been continuously paused for
+// longer than `storm_threshold` is declared stormed; its queue is flushed
+// (packets dropped — the disruption) and its received pause state is
+// ignored for `ignore_duration` so the flushed buffer can drain and the
+// upstream RESUMEs can propagate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/network.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+namespace dcdl::mitigation {
+
+class PfcWatchdog {
+ public:
+  struct Params {
+    Time poll = Time{100'000'000};              // 100 us
+    Time storm_threshold = Time{2'000'000'000}; // 2 ms continuous pause
+    Time ignore_duration = Time{500'000'000};   // 500 us
+  };
+
+  struct ResetEvent {
+    Time at;
+    NodeId sw;
+    PortId port;
+    ClassId cls;
+    std::uint64_t packets_dropped;
+  };
+
+  PfcWatchdog(Network& net, Params params);
+
+  /// Starts polling at `from` until `until`.
+  void start(Time from, Time until);
+
+  std::uint64_t resets() const { return resets_.size(); }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  const std::vector<ResetEvent>& reset_events() const { return resets_; }
+
+ private:
+  void poll_once();
+
+  Network& net_;
+  Params params_;
+  Time until_ = Time::zero();
+  std::vector<ResetEvent> resets_;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace dcdl::mitigation

@@ -1,0 +1,37 @@
+// Data-plane packet model. Packets are small value types moved through
+// queues; there is no payload, only the header fields the paper's dynamics
+// depend on (size, TTL, priority class, flow identity, ECN bits).
+#pragma once
+
+#include <cstdint>
+
+#include "dcdl/common/units.hpp"
+
+namespace dcdl {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint16_t;
+using FlowId = std::uint32_t;
+using ClassId = std::uint8_t;
+
+constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+constexpr PortId kInvalidPort = 0xFFFFu;
+
+/// Maximum number of PFC priority classes (IEEE 802.1Qbb defines 8).
+constexpr int kMaxClasses = 8;
+
+struct Packet {
+  std::uint64_t id = 0;       ///< globally unique, assigned at injection
+  FlowId flow = 0;
+  NodeId src = kInvalidNode;  ///< source host
+  NodeId dst = kInvalidNode;  ///< destination host
+  std::uint32_t size_bytes = 0;
+  std::uint8_t ttl = 0;       ///< remaining hops; 0 means "about to be dropped"
+  ClassId prio = 0;           ///< PFC priority class the packet travels in
+  std::uint8_t hops = 0;      ///< switch-to-switch hops traversed so far
+  bool ecn_capable = false;
+  bool ecn_marked = false;
+  Time injected_at = Time::zero();
+};
+
+}  // namespace dcdl

@@ -1,0 +1,66 @@
+// Route computation and installation.
+//
+// The paper's case studies pin exact per-flow paths ("we configure static
+// routing on all switches so that flow paths are enforced"); the fabric
+// experiments use destination-based shortest-path/ECMP; the baseline uses
+// up*/down* (valley-free) routing, which is deadlock-free on tiered
+// topologies; and the routing-loop experiments install a deliberate
+// forwarding cycle for one destination.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dcdl/device/network.hpp"
+#include "dcdl/net/packet.hpp"
+#include "dcdl/topo/topology.hpp"
+
+namespace dcdl::routing {
+
+/// Installs hop-count shortest-path routes for every host destination on
+/// every switch. With `ecmp` true all equal-cost next hops are installed
+/// (selection by deterministic per-switch flow hash), else only the first.
+void install_shortest_paths(Network& net, bool ecmp = true);
+
+/// Installs an exact path for one flow. `path` = [src_host, sw0, sw1, ...,
+/// dst_host]; consecutive nodes must be adjacent. Only switch hops get
+/// table entries (hosts always transmit on their single port).
+void install_flow_path(Network& net, FlowId flow,
+                       const std::vector<NodeId>& path);
+
+/// Installs destination-based forwarding for `dst` along a switch cycle:
+/// cycle[i] forwards to cycle[i+1], the last back to the first. Any packet
+/// for `dst` entering the cycle loops until its TTL drains (paper §3.1).
+void install_loop_route(Network& net, NodeId dst,
+                        const std::vector<NodeId>& cycle);
+
+/// Up*/down* (valley-free) routing on a tiered topology: a legal path goes
+/// up zero or more tiers, then down zero or more tiers. On trees this is
+/// deadlock-free (Stephens et al., the paper's routing-restriction
+/// baseline). Ordering between nodes uses (tier, id). Destinations that are
+/// unreachable under the restriction simply get no entry.
+void install_up_down(Network& net, bool ecmp = true);
+
+/// The node ordering install_up_down orients links by: BFS levels from the
+/// root switch (highest (tier, id)); hosts sit one level below their
+/// switch. "Up" = strictly smaller (level, id). Exposed so analyses and
+/// tests can verify valley-freedom against the same orientation.
+std::vector<int> up_down_levels(const Topology& topo);
+
+/// Pure computation used by tests and analysis: hop distances from every
+/// node to `dst` over switch-switch and switch-host links.
+std::vector<int> hop_distances(const Topology& topo, NodeId dst);
+
+/// One shortest path (node sequence) from src host to dst host, or empty if
+/// unreachable.
+std::vector<NodeId> shortest_path(const Topology& topo, NodeId src_host,
+                                  NodeId dst_host);
+
+/// Walks the installed destination-based tables for `dst` from every
+/// switch; returns a forwarding loop (switch cycle) if one currently
+/// exists. Used to observe transient micro-loops during BGP convergence
+/// and SDN updates.
+std::optional<std::vector<NodeId>> find_forwarding_loop(const Network& net,
+                                                        NodeId dst);
+
+}  // namespace dcdl::routing

@@ -1,0 +1,71 @@
+#include "dcdl/routing/mesh_routing.hpp"
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/common/rng.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::routing {
+
+namespace {
+
+// Installs one destination's routes with row-first (xy=true) or
+// column-first (xy=false) order.
+void install_one(Network& net, const topo::MeshTopo& mesh, int dst_r,
+                 int dst_c, bool xy) {
+  const NodeId dst_host = mesh.host[static_cast<std::size_t>(dst_r)]
+                                   [static_cast<std::size_t>(dst_c)];
+  for (int r = 0; r < mesh.rows; ++r) {
+    for (int c = 0; c < mesh.cols; ++c) {
+      const NodeId sw = mesh.sw[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(c)];
+      NodeId next;
+      if (r == dst_r && c == dst_c) {
+        next = dst_host;
+      } else if (xy ? c != dst_c : r == dst_r) {
+        // Correct the column index (east/west move).
+        const int nc = c + (dst_c > c ? 1 : -1);
+        next = mesh.sw[static_cast<std::size_t>(r)]
+                      [static_cast<std::size_t>(nc)];
+      } else {
+        // Correct the row index (north/south move).
+        const int nr = r + (dst_r > r ? 1 : -1);
+        next = mesh.sw[static_cast<std::size_t>(nr)]
+                      [static_cast<std::size_t>(c)];
+      }
+      const auto port = net.topo().port_towards(sw, next);
+      DCDL_ASSERT(port.has_value());
+      net.switch_at(sw).routes().set_dst_route(dst_host, *port);
+    }
+  }
+}
+
+}  // namespace
+
+void install_xy_routing(Network& net, const topo::MeshTopo& mesh) {
+  for (int r = 0; r < mesh.rows; ++r) {
+    for (int c = 0; c < mesh.cols; ++c) install_one(net, mesh, r, c, true);
+  }
+}
+
+void install_yx_routing(Network& net, const topo::MeshTopo& mesh) {
+  for (int r = 0; r < mesh.rows; ++r) {
+    for (int c = 0; c < mesh.cols; ++c) install_one(net, mesh, r, c, false);
+  }
+}
+
+void install_mixed_xy_yx(Network& net, const topo::MeshTopo& mesh,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  for (int r = 0; r < mesh.rows; ++r) {
+    for (int c = 0; c < mesh.cols; ++c) {
+      install_one(net, mesh, r, c, rng.uniform(2) == 0);
+    }
+  }
+}
+
+void install_mesh_route(Network& net, const topo::MeshTopo& mesh, int dst_r,
+                        int dst_c, bool xy) {
+  install_one(net, mesh, dst_r, dst_c, xy);
+}
+
+}  // namespace dcdl::routing

@@ -1,0 +1,40 @@
+// Turn-model routing on 2D meshes (the paper's reference [22], Wu's
+// odd-even turn model, belongs to this family). Dimension-order (XY)
+// routing forbids half of all turns and is the classic deadlock-free
+// baseline; mixing XY and YX per destination re-introduces the forbidden
+// turn combinations and with them cyclic buffer dependencies — a compact
+// demonstration that deadlock-freedom is a property of the *turn set*,
+// not of the topology.
+#pragma once
+
+#include <cstdint>
+
+#include "dcdl/device/network.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::routing {
+
+/// Dimension-order XY routing: correct column first... no — row first:
+/// packets travel along their row (X/east-west) to the destination's
+/// column, then along the column (Y/north-south). Only four of the eight
+/// turns occur, the channel dependency graph is acyclic, and the mesh is
+/// deadlock-free for any traffic (Dally-Seitz).
+void install_xy_routing(Network& net, const topo::MeshTopo& mesh);
+
+/// YX routing (column first): equally deadlock-free on its own.
+void install_yx_routing(Network& net, const topo::MeshTopo& mesh);
+
+/// Per-destination random mix of XY and YX: each destination is routed
+/// consistently (no loops), but the union of turn sets is the full eight
+/// turns, so cyclic buffer dependencies appear across destinations — the
+/// misconfiguration analogue for NoC-style fabrics.
+void install_mixed_xy_yx(Network& net, const topo::MeshTopo& mesh,
+                         std::uint64_t seed);
+
+/// Routes a single destination (given by mesh coordinates) with row-first
+/// (xy=true) or column-first order — the building block of the above, for
+/// constructing specific turn combinations.
+void install_mesh_route(Network& net, const topo::MeshTopo& mesh, int dst_r,
+                        int dst_c, bool xy);
+
+}  // namespace dcdl::routing

@@ -1,0 +1,27 @@
+#include "dcdl/routing/route_table.hpp"
+
+namespace dcdl {
+
+namespace {
+// 64-bit mix (SplitMix64 finalizer) for ECMP selection.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::optional<PortId> RouteTable::lookup(FlowId flow, NodeId dst) const {
+  if (const auto it = by_flow_.find(flow); it != by_flow_.end()) {
+    return it->second;
+  }
+  const auto it = by_dst_.find(dst);
+  if (it == by_dst_.end() || it->second.empty()) return std::nullopt;
+  const auto& set = it->second;
+  if (set.size() == 1) return set[0];
+  const std::uint64_t h = mix((static_cast<std::uint64_t>(flow) << 32) ^
+                              dst ^ salt_ * 0x9E3779B97F4A7C15ULL);
+  return set[h % set.size()];
+}
+
+}  // namespace dcdl

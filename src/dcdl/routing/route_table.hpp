@@ -1,0 +1,82 @@
+// Per-device forwarding state.
+//
+// Lookup order: exact per-flow routes (used by the paper's case studies,
+// which pin flow paths with static routing), then destination-based entries
+// (possibly ECMP sets, selected by a deterministic flow hash salted per
+// switch). Tables are mutable at runtime so the BGP-convergence and
+// SDN-update substrates can produce transient loops; `version()` lets the
+// switch invalidate egress decisions cached on queued packets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl {
+
+class RouteTable {
+ public:
+  void set_flow_route(FlowId flow, PortId egress) {
+    by_flow_[flow] = egress;
+    ++version_;
+  }
+
+  void set_dst_route(NodeId dst, PortId egress) {
+    set_dst_ecmp(dst, {egress});
+  }
+
+  void set_dst_ecmp(NodeId dst, std::vector<PortId> egresses) {
+    by_dst_[dst] = std::move(egresses);
+    ++version_;
+  }
+
+  void clear_dst_route(NodeId dst) {
+    by_dst_.erase(dst);
+    ++version_;
+  }
+
+  void clear() {
+    by_flow_.clear();
+    by_dst_.clear();
+    ++version_;
+  }
+
+  /// Salt mixed into the ECMP hash so distinct switches spread flows
+  /// differently (mirrors per-switch hash seeds in real fabrics).
+  void set_ecmp_salt(std::uint64_t salt) { salt_ = salt; }
+
+  std::optional<PortId> lookup(FlowId flow, NodeId dst) const;
+
+  /// ECMP candidate set for a destination (nullptr if none).
+  const std::vector<PortId>* dst_candidates(NodeId dst) const {
+    const auto it = by_dst_.find(dst);
+    return it == by_dst_.end() ? nullptr : &it->second;
+  }
+
+  std::optional<PortId> flow_route(FlowId flow) const {
+    const auto it = by_flow_.find(flow);
+    if (it == by_flow_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::unordered_map<FlowId, PortId>& flow_routes() const {
+    return by_flow_;
+  }
+  const std::unordered_map<NodeId, std::vector<PortId>>& dst_routes() const {
+    return by_dst_;
+  }
+
+  /// Monotonic change counter.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::unordered_map<FlowId, PortId> by_flow_;
+  std::unordered_map<NodeId, std::vector<PortId>> by_dst_;
+  std::uint64_t salt_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace dcdl

@@ -1,0 +1,79 @@
+#include "dcdl/routing/sdn.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::routing {
+
+void SdnUpdatePlan::apply_one(Network& net, const SdnRouteChange& c) const {
+  auto& routes = net.switch_at(c.sw).routes();
+  if (c.egress) {
+    routes.set_dst_route(c.dst, *c.egress);
+  } else {
+    routes.clear_dst_route(c.dst);
+  }
+  net.notify_routes_changed(c.sw);
+}
+
+Time SdnUpdatePlan::apply_naive(Network& net, Time start, Time spread,
+                                std::uint64_t seed) const {
+  Rng rng(seed);
+  Time last = start;
+  for (const SdnRouteChange& c : changes_) {
+    const Time at =
+        start + Time{static_cast<std::int64_t>(rng.uniform(
+                    static_cast<std::uint64_t>(spread.ps()) + 1))};
+    last = std::max(last, at);
+    net.sim().schedule_at(at, [this, &net, c] { apply_one(net, c); });
+  }
+  return last;
+}
+
+Time SdnUpdatePlan::apply_ordered(Network& net, Time start, Time gap) const {
+  const Topology& topo = net.topo();
+  // Final next-hop map: current tables overlaid with the plan.
+  std::map<NodeId, std::optional<PortId>> final_next;
+  for (const NodeId sw : topo.switches()) {
+    final_next[sw] = net.switch_at(sw).routes().lookup(0, dst_);
+  }
+  for (const SdnRouteChange& c : changes_) final_next[c.sw] = c.egress;
+
+  // Distance of each switch to dst under the final state (|V|+1 = cannot
+  // reach / loops).
+  const int inf = static_cast<int>(topo.node_count()) + 1;
+  std::map<NodeId, int> dist;
+  const std::function<int(NodeId, int)> walk = [&](NodeId sw,
+                                                   int depth) -> int {
+    if (const auto it = dist.find(sw); it != dist.end()) return it->second;
+    if (depth > static_cast<int>(topo.node_count())) return inf;
+    const auto eg = final_next[sw];
+    if (!eg) return dist[sw] = inf;
+    const NodeId next = topo.peer(sw, *eg).peer_node;
+    if (next == dst_) return dist[sw] = 1;
+    if (!topo.is_switch(next)) return dist[sw] = inf;
+    const int d = walk(next, depth + 1);
+    return dist[sw] = (d >= inf ? inf : d + 1);
+  };
+  for (const NodeId sw : topo.switches()) walk(sw, 0);
+
+  // Downstream-first: update switches closest to dst (in the final state)
+  // before anything that will route through them. Every intermediate state
+  // is loop-free: updated switches only point at updated-or-final-correct
+  // downstream switches.
+  std::vector<SdnRouteChange> ordered = changes_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const SdnRouteChange& a, const SdnRouteChange& b) {
+                     return dist[a.sw] < dist[b.sw];
+                   });
+  Time at = start;
+  for (const SdnRouteChange& c : ordered) {
+    net.sim().schedule_at(at, [this, &net, c] { apply_one(net, c); });
+    at += gap;
+  }
+  return at - gap;
+}
+
+}  // namespace dcdl::routing

@@ -1,0 +1,58 @@
+// SDN route-update model (paper §1: "In SDN-based datacenters, transient
+// loops can occur during updates", citing Jin et al., SIGCOMM'14).
+//
+// A plan is a set of per-switch route replacements for one destination.
+// Applying it "naively" pushes each switch's update at its own time
+// (controller-to-switch latency varies), so the fabric passes through
+// mixed old/new states that may contain forwarding loops. Applying it
+// "ordered" sequences the updates so that every intermediate state is
+// loop-free (updates are applied downstream-first along the new paths —
+// the classic consistent-update order), at the cost of a longer update.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dcdl/common/rng.hpp"
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/network.hpp"
+
+namespace dcdl::routing {
+
+struct SdnRouteChange {
+  NodeId sw;
+  NodeId dst;
+  /// New egress port; nullopt removes the entry.
+  std::optional<PortId> egress;
+};
+
+class SdnUpdatePlan {
+ public:
+  explicit SdnUpdatePlan(NodeId dst) : dst_(dst) {}
+
+  void add(NodeId sw, std::optional<PortId> egress) {
+    changes_.push_back(SdnRouteChange{sw, dst_, egress});
+  }
+  NodeId dst() const { return dst_; }
+  const std::vector<SdnRouteChange>& changes() const { return changes_; }
+
+  /// Naive apply: each change lands at start + U[0, spread]. Returns the
+  /// (scheduled) completion time of the last change.
+  Time apply_naive(Network& net, Time start, Time spread,
+                   std::uint64_t seed = 11) const;
+
+  /// Consistent apply: changes are ordered so no intermediate table state
+  /// contains a loop for dst (each switch is updated only after every
+  /// switch on its *new* downstream path is updated), with `gap` between
+  /// consecutive updates. Returns the completion time.
+  Time apply_ordered(Network& net, Time start, Time gap) const;
+
+ private:
+  void apply_one(Network& net, const SdnRouteChange& c) const;
+
+  NodeId dst_;
+  std::vector<SdnRouteChange> changes_;
+};
+
+}  // namespace dcdl::routing

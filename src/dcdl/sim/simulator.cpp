@@ -1,0 +1,64 @@
+#include "dcdl/sim/simulator.hpp"
+
+#include "dcdl/common/contract.hpp"
+
+namespace dcdl {
+
+EventId Simulator::schedule_at(Time at, EventFn fn) {
+  DCDL_EXPECTS(at >= now_);
+  DCDL_EXPECTS(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+void Simulator::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.seq);
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; move out via const_cast on the known
+    // non-const underlying entry. The entry is popped immediately after.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (const auto it = cancelled_.find(entry.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    DCDL_ASSERT(entry.at >= now_);
+    now_ = entry.at;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+bool Simulator::run_until(Time deadline) {
+  DCDL_EXPECTS(deadline >= now_);
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek past cancelled entries without executing live ones beyond the
+    // deadline.
+    while (!heap_.empty() && cancelled_.count(heap_.top().seq)) {
+      cancelled_.erase(heap_.top().seq);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > deadline) break;
+    step();
+  }
+  if (!stopped_) {
+    now_ = deadline;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dcdl

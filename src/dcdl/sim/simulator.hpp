@@ -1,0 +1,80 @@
+// Single-threaded discrete-event simulation engine.
+//
+// Determinism: events at the same timestamp fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so a scenario with
+// a fixed RNG seed replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+
+namespace dcdl {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, EventFn fn);
+
+  /// Schedules `fn` to run `delay` after now().
+  EventId schedule_in(Time delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or already
+  /// cancelled event is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs until the event queue is empty or stop() is called.
+  void run();
+
+  /// Runs events with timestamp <= deadline; afterwards now() == deadline
+  /// (unless stop() fired earlier). Returns false if stopped early.
+  bool run_until(Time deadline);
+
+  /// Stops the current run() / run_until() after the current event returns.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  bool step();  // pops and runs one live event; false if queue empty
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace dcdl

@@ -1,0 +1,47 @@
+#include "dcdl/stats/cascade.hpp"
+
+#include <algorithm>
+
+namespace dcdl::stats {
+
+CascadeStats analyze_pause_cascade(const Network& net,
+                                   const PauseEventLog& log) {
+  const Topology& topo = net.topo();
+  CascadeStats out;
+  std::map<QueueKey, int> active;  // currently asserted pause -> depth
+  std::uint64_t depth_sum = 0;
+
+  for (const PauseEvent& e : log.events()) {
+    const QueueKey key{e.node, e.port, e.cls};
+    if (!e.paused) {
+      active.erase(key);
+      continue;
+    }
+    // Parents: active pauses imposed on any of this switch's egress ports
+    // for the same class — i.e. the downstream ingress queues currently
+    // pausing this switch's transmissions.
+    int depth = 0;
+    const auto& ports = topo.ports(e.node);
+    for (PortId p = 0; p < ports.size(); ++p) {
+      const PortPeer& pp = ports[p];
+      if (!topo.is_switch(pp.peer_node)) continue;
+      const auto it = active.find(QueueKey{pp.peer_node, pp.peer_port, e.cls});
+      if (it != active.end()) depth = std::max(depth, it->second + 1);
+    }
+    active[key] = depth;
+    if (static_cast<int>(out.count_by_depth.size()) <= depth) {
+      out.count_by_depth.resize(static_cast<std::size_t>(depth) + 1, 0);
+    }
+    out.count_by_depth[static_cast<std::size_t>(depth)] += 1;
+    out.total_pauses += 1;
+    out.max_depth = std::max(out.max_depth, depth);
+    depth_sum += static_cast<std::uint64_t>(depth);
+  }
+  out.mean_depth = out.total_pauses
+                       ? static_cast<double>(depth_sum) /
+                             static_cast<double>(out.total_pauses)
+                       : 0.0;
+  return out;
+}
+
+}  // namespace dcdl::stats

@@ -1,0 +1,42 @@
+// Pause-cascade analysis (paper §4, "limiting PFC pause frames
+// propagation": "the damage of HoL and the potential deadlock caused by
+// PFC is significant because the pause frames are generated near the
+// destination or in the middle of the network").
+//
+// From a PauseEventLog and the topology, reconstructs causality chains: a
+// pause asserted by queue Q is attributed to a parent pause if, when Q
+// crossed Xoff, the switch's relevant egress was being held by a
+// downstream pause that was already active. Chains measure how deep PFC
+// backpressure propagated from its congestion origin — the quantity the
+// §4 threshold policies are designed to shrink.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dcdl/device/network.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+namespace dcdl::stats {
+
+struct CascadeStats {
+  /// Number of pause assertions at each depth (0 = origin: no downstream
+  /// pause was active anywhere on the switch when it fired).
+  std::vector<std::uint64_t> count_by_depth;
+  std::uint64_t total_pauses = 0;
+  int max_depth = 0;
+  double mean_depth = 0;
+};
+
+/// Attributes every pause assertion in `log` to a causal depth.
+///
+/// Attribution rule (conservative, topology-driven): assertion A at
+/// (sw, port, cls) has parent B if B is an active pause assertion at the
+/// downstream switch reachable from ANY of sw's egress ports for class
+/// cls, i.e. sw's forwarding for that class was (partially) blocked when A
+/// fired. Depth(A) = 1 + max depth of active parents; origins have depth 0.
+CascadeStats analyze_pause_cascade(const Network& net,
+                                   const PauseEventLog& log);
+
+}  // namespace dcdl::stats

@@ -1,0 +1,39 @@
+#include "dcdl/stats/csv.hpp"
+
+namespace dcdl::stats {
+
+void CsvWriter::header(std::initializer_list<const char*> columns) {
+  bool first = true;
+  for (const char* c : columns) {
+    std::fprintf(out_, "%s%s", first ? "" : ",", c);
+    first = false;
+  }
+  std::fputc('\n', out_);
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    std::fprintf(out_, "%s%s", first ? "" : ",", c.c_str());
+    first = false;
+  }
+  std::fputc('\n', out_);
+}
+
+void CsvWriter::section(const std::string& title) {
+  std::fprintf(out_, "\n# %s\n", title.c_str());
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace dcdl::stats

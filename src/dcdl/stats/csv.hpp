@@ -1,0 +1,29 @@
+// Small CSV/series printer used by the bench harnesses so every figure's
+// data can be regenerated as machine-readable rows on stdout.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dcdl::stats {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::FILE* out = stdout) : out_(out) {}
+
+  void header(std::initializer_list<const char*> columns);
+  void row(std::initializer_list<std::string> cells);
+
+  /// Blank line + "# title" comment — separates series within one stream.
+  void section(const std::string& title);
+
+  static std::string num(double v);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::FILE* out_;
+};
+
+}  // namespace dcdl::stats

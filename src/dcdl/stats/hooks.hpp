@@ -1,0 +1,22 @@
+// Helper for attaching several observers to one Trace slot.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+namespace dcdl::stats {
+
+/// Chains `fn` after whatever is already installed in `slot`.
+template <typename... Args, typename F>
+void append_hook(std::function<void(Args...)>& slot, F fn) {
+  if (!slot) {
+    slot = std::move(fn);
+    return;
+  }
+  slot = [prev = std::move(slot), fn = std::move(fn)](Args... args) {
+    prev(args...);
+    fn(args...);
+  };
+}
+
+}  // namespace dcdl::stats

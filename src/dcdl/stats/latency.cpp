@@ -1,0 +1,69 @@
+#include "dcdl/stats/latency.hpp"
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/stats/hooks.hpp"
+
+namespace dcdl::stats {
+
+const std::vector<Time> LatencyMeter::kEmpty;
+
+LatencyMeter::LatencyMeter(Network& net) {
+  append_hook<Time, const Packet&>(
+      net.trace().delivered, [this](Time t, const Packet& pkt) {
+        lat_[pkt.flow].push_back(t - pkt.injected_at);
+        dirty_[pkt.flow] = true;
+      });
+}
+
+const std::vector<Time>& LatencyMeter::sorted(FlowId flow) const {
+  const auto it = lat_.find(flow);
+  if (it == lat_.end()) return kEmpty;
+  if (dirty_[flow]) {
+    std::sort(it->second.begin(), it->second.end());
+    dirty_[flow] = false;
+  }
+  return it->second;
+}
+
+std::size_t LatencyMeter::samples(FlowId flow) const {
+  const auto it = lat_.find(flow);
+  return it == lat_.end() ? 0 : it->second.size();
+}
+
+Time LatencyMeter::mean(FlowId flow) const {
+  const auto& v = sorted(flow);
+  if (v.empty()) return Time::zero();
+  std::int64_t sum = 0;
+  for (const Time t : v) sum += t.ps();
+  return Time{sum / static_cast<std::int64_t>(v.size())};
+}
+
+Time LatencyMeter::percentile(FlowId flow, double q) const {
+  DCDL_EXPECTS(q >= 0.0 && q <= 1.0);
+  const auto& v = sorted(flow);
+  if (v.empty()) return Time::zero();
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+Time LatencyMeter::max(FlowId flow) const {
+  const auto& v = sorted(flow);
+  return v.empty() ? Time::zero() : v.back();
+}
+
+Time LatencyMeter::percentile_of(const std::vector<FlowId>& flows,
+                                 double q) const {
+  std::vector<Time> pool;
+  for (const FlowId f : flows) {
+    const auto& v = sorted(f);
+    pool.insert(pool.end(), v.begin(), v.end());
+  }
+  if (pool.empty()) return Time::zero();
+  std::sort(pool.begin(), pool.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(pool.size() - 1) + 0.5);
+  return pool[idx];
+}
+
+}  // namespace dcdl::stats

@@ -1,0 +1,37 @@
+// Per-flow end-to-end latency statistics (injection to delivery), for the
+// fairness and HoL-damage analyses the paper's §4 calls for ("unfairness
+// between long and short flows ... requires further study").
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/network.hpp"
+
+namespace dcdl::stats {
+
+class LatencyMeter {
+ public:
+  /// Attaches to the network's delivered hook.
+  explicit LatencyMeter(Network& net);
+
+  std::size_t samples(FlowId flow) const;
+  Time mean(FlowId flow) const;
+  /// q in [0, 1]; e.g. 0.5 = median, 0.99 = p99.
+  Time percentile(FlowId flow, double q) const;
+  Time max(FlowId flow) const;
+
+  /// Pooled percentile across a set of flows.
+  Time percentile_of(const std::vector<FlowId>& flows, double q) const;
+
+ private:
+  const std::vector<Time>& sorted(FlowId flow) const;
+
+  mutable std::map<FlowId, std::vector<Time>> lat_;
+  mutable std::map<FlowId, bool> dirty_;
+  static const std::vector<Time> kEmpty;
+};
+
+}  // namespace dcdl::stats

@@ -1,0 +1,84 @@
+#include "dcdl/stats/pause_log.hpp"
+
+#include "dcdl/stats/hooks.hpp"
+
+namespace dcdl::stats {
+
+PauseEventLog::PauseEventLog(Network& net) {
+  append_hook<Time, NodeId, PortId, ClassId, bool>(
+      net.trace().pfc_state,
+      [this](Time t, NodeId node, PortId port, ClassId cls, bool paused) {
+        events_.push_back(PauseEvent{t, node, port, cls, paused});
+      });
+}
+
+std::uint64_t PauseEventLog::pause_count(QueueKey key) const {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) {
+    if (e.paused && e.node == key.node && e.port == key.port &&
+        e.cls == key.cls) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::pair<Time, Time>> PauseEventLog::intervals(QueueKey key,
+                                                            Time until) const {
+  std::vector<std::pair<Time, Time>> out;
+  bool open = false;
+  Time begin = Time::zero();
+  for (const auto& e : events_) {
+    if (e.node != key.node || e.port != key.port || e.cls != key.cls) continue;
+    if (e.paused && !open) {
+      open = true;
+      begin = e.t;
+    } else if (!e.paused && open) {
+      open = false;
+      out.emplace_back(begin, e.t);
+    }
+  }
+  if (open) out.emplace_back(begin, until);
+  return out;
+}
+
+Time PauseEventLog::total_paused(QueueKey key, Time until) const {
+  Time total = Time::zero();
+  for (const auto& [b, e] : intervals(key, until)) total += e - b;
+  return total;
+}
+
+bool PauseEventLog::paused_at_end(QueueKey key) const {
+  bool paused = false;
+  for (const auto& e : events_) {
+    if (e.node == key.node && e.port == key.port && e.cls == key.cls) {
+      paused = e.paused;
+    }
+  }
+  return paused;
+}
+
+std::optional<Time> PauseEventLog::first_all_paused(
+    const std::vector<QueueKey>& keys, Time until) const {
+  std::map<QueueKey, bool> state;
+  for (const auto& k : keys) state[k] = false;
+  std::size_t paused_count = 0;
+  for (const auto& e : events_) {
+    if (e.t > until) break;
+    const auto it = state.find(QueueKey{e.node, e.port, e.cls});
+    if (it == state.end()) continue;
+    if (it->second != e.paused) {
+      it->second = e.paused;
+      paused_count += e.paused ? 1 : std::size_t(-1);
+      if (paused_count == keys.size()) return e.t;
+    }
+  }
+  return std::nullopt;
+}
+
+bool PauseEventLog::ever_all_paused(const std::vector<QueueKey>& keys,
+                                    Time until) const {
+  return first_all_paused(keys, until).has_value();
+}
+
+}  // namespace dcdl::stats

@@ -1,0 +1,70 @@
+// Records PFC pause/resume transitions — the raw material for the paper's
+// "pause events at link Li" plots (Figures 3c, 4c, 5b).
+//
+// Identity convention: a pause event belongs to the *ingress queue that
+// asserts it* — (switch, ingress port, class). The paused link is the link
+// attached to that port, direction upstream-peer -> switch. "Link L4 is
+// paused" in the paper means switch A's ingress from D asserted Xoff.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/network.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl::stats {
+
+struct PauseEvent {
+  Time t;
+  NodeId node;
+  PortId port;
+  ClassId cls;
+  bool paused;
+};
+
+struct QueueKey {
+  NodeId node;
+  PortId port;
+  ClassId cls;
+  friend auto operator<=>(const QueueKey&, const QueueKey&) = default;
+};
+
+class PauseEventLog {
+ public:
+  /// Starts recording; chains onto the network's pfc_state hook.
+  explicit PauseEventLog(Network& net);
+
+  const std::vector<PauseEvent>& events() const { return events_; }
+
+  /// Number of Xoff assertions for one queue.
+  std::uint64_t pause_count(QueueKey key) const;
+
+  /// Total time the queue held its upstream paused, up to `until`
+  /// (open pauses count until `until`).
+  Time total_paused(QueueKey key, Time until) const;
+
+  /// Whether the queue holds its upstream paused at the end of the log.
+  bool paused_at_end(QueueKey key) const;
+
+  /// Pause intervals [begin, end) for one queue; an open interval is closed
+  /// at `until`.
+  std::vector<std::pair<Time, Time>> intervals(QueueKey key, Time until) const;
+
+  /// True if all `keys` are simultaneously paused at any instant <= until —
+  /// the "all links in the cycle paused at once" condition of §3.2.
+  bool ever_all_paused(const std::vector<QueueKey>& keys, Time until) const;
+
+  /// First instant at which all `keys` are simultaneously paused, if any.
+  std::optional<Time> first_all_paused(const std::vector<QueueKey>& keys,
+                                       Time until) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<PauseEvent> events_;
+};
+
+}  // namespace dcdl::stats

@@ -1,0 +1,62 @@
+#include "dcdl/stats/sampler.hpp"
+
+#include <algorithm>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::stats {
+
+OccupancySampler::OccupancySampler(Network& net, std::vector<Target> targets,
+                                   Time period)
+    : net_(net), targets_(std::move(targets)), period_(period) {
+  DCDL_EXPECTS(period > Time::zero());
+  series_.resize(targets_.size());
+}
+
+void OccupancySampler::start(Time from, Time until) {
+  DCDL_EXPECTS(from >= net_.sim().now());
+  until_ = until;
+  net_.sim().schedule_at(from, [this] { sample_once(); });
+}
+
+void OccupancySampler::sample_once() {
+  const Time now = net_.sim().now();
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const Target& t = targets_[i];
+    const auto& sw = net_.switch_at(t.sw);
+    const std::int64_t bytes =
+        t.flow ? sw.ingress_flow_bytes(t.port, t.cls, *t.flow)
+               : sw.ingress_bytes(t.port, t.cls);
+    series_[i].push_back(SamplePoint{now, bytes});
+  }
+  if (now + period_ <= until_) {
+    net_.sim().schedule_in(period_, [this] { sample_once(); });
+  }
+}
+
+std::int64_t OccupancySampler::max_bytes(std::size_t target_index) const {
+  std::int64_t best = 0;
+  for (const auto& p : series_.at(target_index)) best = std::max(best, p.bytes);
+  return best;
+}
+
+std::int64_t OccupancySampler::min_bytes_after(std::size_t target_index,
+                                               Time from) const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const auto& p : series_.at(target_index)) {
+    if (p.t >= from) best = std::min(best, p.bytes);
+  }
+  return best == std::numeric_limits<std::int64_t>::max() ? 0 : best;
+}
+
+std::int64_t OccupancySampler::max_bytes_after(std::size_t target_index,
+                                               Time from) const {
+  std::int64_t best = 0;
+  for (const auto& p : series_.at(target_index)) {
+    if (p.t >= from) best = std::max(best, p.bytes);
+  }
+  return best;
+}
+
+}  // namespace dcdl::stats

@@ -1,0 +1,56 @@
+// Periodic sampling of ingress-queue occupancy — the paper samples "the
+// instantaneous buffer occupancy of both flows at RX1 queues every 1us"
+// for Figures 3(d-g) and 5(c-d).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/network.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl::stats {
+
+struct SamplePoint {
+  Time t;
+  std::int64_t bytes;
+};
+
+class OccupancySampler {
+ public:
+  struct Target {
+    NodeId sw;
+    PortId port;
+    ClassId cls = 0;
+    /// If set, sample only this flow's bytes in the queue (as the paper's
+    /// per-flow occupancy plots do); otherwise the whole queue.
+    std::optional<FlowId> flow;
+  };
+
+  OccupancySampler(Network& net, std::vector<Target> targets, Time period);
+
+  /// Begins sampling at `from`, stopping after `until`.
+  void start(Time from, Time until);
+
+  const std::vector<Target>& targets() const { return targets_; }
+  const std::vector<SamplePoint>& series(std::size_t target_index) const {
+    return series_.at(target_index);
+  }
+
+  std::int64_t max_bytes(std::size_t target_index) const;
+  std::int64_t min_bytes_after(std::size_t target_index, Time from) const;
+  std::int64_t max_bytes_after(std::size_t target_index, Time from) const;
+
+ private:
+  void sample_once();
+
+  Network& net_;
+  std::vector<Target> targets_;
+  Time period_;
+  Time until_ = Time::zero();
+  std::vector<std::vector<SamplePoint>> series_;
+};
+
+}  // namespace dcdl::stats

@@ -1,0 +1,68 @@
+#include "dcdl/stats/throughput.hpp"
+
+#include <algorithm>
+
+#include "dcdl/stats/hooks.hpp"
+
+namespace dcdl::stats {
+
+const std::vector<std::int64_t> ThroughputMeter::kEmpty;
+
+ThroughputMeter::ThroughputMeter(Network& net, Time window) : window_(window) {
+  append_hook<Time, const Packet&>(
+      net.trace().delivered, [this](Time t, const Packet& pkt) {
+        PerFlow& f = flows_[pkt.flow];
+        f.bytes += pkt.size_bytes;
+        f.packets += 1;
+        f.cumulative.emplace_back(t, f.bytes);
+        if (window_ > Time::zero()) {
+          const std::size_t bucket =
+              static_cast<std::size_t>(t.ps() / window_.ps());
+          if (f.windows.size() <= bucket) f.windows.resize(bucket + 1, 0);
+          f.windows[bucket] += pkt.size_bytes;
+        }
+      });
+}
+
+std::int64_t ThroughputMeter::delivered_bytes(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t ThroughputMeter::delivered_packets(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.packets;
+}
+
+std::int64_t ThroughputMeter::total_delivered_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [flow, f] : flows_) total += f.bytes;
+  return total;
+}
+
+Rate ThroughputMeter::average_rate(FlowId flow, Time t0, Time t1) const {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end() || t1 <= t0) return Rate::zero();
+  const auto& cum = it->second.cumulative;
+  const auto bytes_at = [&cum](Time t) -> std::int64_t {
+    // Last cumulative total at or before t.
+    std::int64_t best = 0;
+    for (const auto& [when, total] : cum) {
+      if (when <= t) best = total;
+      else break;
+    }
+    return best;
+  };
+  const std::int64_t delta = bytes_at(t1) - bytes_at(t0);
+  const double bps = static_cast<double>(delta) * 8e12 /
+                     static_cast<double>((t1 - t0).ps());
+  return Rate{static_cast<std::int64_t>(bps)};
+}
+
+const std::vector<std::int64_t>& ThroughputMeter::window_series(
+    FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? kEmpty : it->second.windows;
+}
+
+}  // namespace dcdl::stats

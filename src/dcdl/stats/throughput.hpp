@@ -1,0 +1,46 @@
+// Per-flow delivery accounting: running totals plus a windowed rate series
+// (for throughput-over-time plots and goodput comparisons).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/network.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl::stats {
+
+class ThroughputMeter {
+ public:
+  /// Attaches to the network's `delivered` hook. `window` buckets the rate
+  /// series (0 disables the series, totals only).
+  explicit ThroughputMeter(Network& net, Time window = Time::zero());
+
+  std::int64_t delivered_bytes(FlowId flow) const;
+  std::uint64_t delivered_packets(FlowId flow) const;
+  std::int64_t total_delivered_bytes() const;
+
+  /// Average goodput of a flow between t0 and t1.
+  Rate average_rate(FlowId flow, Time t0, Time t1) const;
+
+  /// Windowed series: bucket index -> bytes delivered in that window.
+  const std::vector<std::int64_t>& window_series(FlowId flow) const;
+
+  Time window() const { return window_; }
+
+ private:
+  struct PerFlow {
+    std::int64_t bytes = 0;
+    std::uint64_t packets = 0;
+    std::vector<std::int64_t> windows;
+    std::vector<std::pair<Time, std::int64_t>> cumulative;  // (t, total bytes)
+  };
+
+  Time window_;
+  std::map<FlowId, PerFlow> flows_;
+  static const std::vector<std::int64_t> kEmpty;
+};
+
+}  // namespace dcdl::stats

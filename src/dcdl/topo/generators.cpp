@@ -1,0 +1,284 @@
+#include "dcdl/topo/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "dcdl/common/contract.hpp"
+
+namespace dcdl::topo {
+
+namespace {
+std::string idx_name(const char* prefix, int i) {
+  return std::string(prefix) + std::to_string(i);
+}
+}  // namespace
+
+RingTopo make_ring(int n, int hosts_per_switch, LinkParams lp) {
+  DCDL_EXPECTS(n >= 2);
+  RingTopo out;
+  for (int i = 0; i < n; ++i) {
+    out.switches.push_back(out.topo.add_switch(idx_name("S", i), 1));
+  }
+  // For n == 2 the "ring" degenerates to a single full-duplex link.
+  const int ring_links = n == 2 ? 1 : n;
+  for (int i = 0; i < ring_links; ++i) {
+    out.topo.add_link(out.switches[i], out.switches[(i + 1) % n], lp.rate,
+                      lp.delay);
+  }
+  out.hosts.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int h = 0; h < hosts_per_switch; ++h) {
+      const NodeId host = out.topo.add_host(
+          idx_name("H", i * hosts_per_switch + h));
+      out.topo.add_link(out.switches[i], host, lp.rate, lp.delay);
+      out.hosts[i].push_back(host);
+    }
+  }
+  return out;
+}
+
+RingTopo make_line(int n, int hosts_per_switch, LinkParams lp) {
+  DCDL_EXPECTS(n >= 1);
+  RingTopo out;
+  for (int i = 0; i < n; ++i) {
+    out.switches.push_back(out.topo.add_switch(idx_name("S", i), 1));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    out.topo.add_link(out.switches[i], out.switches[i + 1], lp.rate, lp.delay);
+  }
+  out.hosts.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int h = 0; h < hosts_per_switch; ++h) {
+      const NodeId host = out.topo.add_host(
+          idx_name("H", i * hosts_per_switch + h));
+      out.topo.add_link(out.switches[i], host, lp.rate, lp.delay);
+      out.hosts[i].push_back(host);
+    }
+  }
+  return out;
+}
+
+MeshTopo make_mesh(int rows, int cols, LinkParams lp) {
+  DCDL_EXPECTS(rows >= 1 && cols >= 1);
+  MeshTopo out;
+  out.rows = rows;
+  out.cols = cols;
+  out.sw.assign(rows, std::vector<NodeId>(cols));
+  out.host.assign(rows, std::vector<NodeId>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out.sw[r][c] = out.topo.add_switch(
+          "S" + std::to_string(r) + "_" + std::to_string(c), 1);
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        out.topo.add_link(out.sw[r][c], out.sw[r][c + 1], lp.rate, lp.delay);
+      }
+      if (r + 1 < rows) {
+        out.topo.add_link(out.sw[r][c], out.sw[r + 1][c], lp.rate, lp.delay);
+      }
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out.host[r][c] = out.topo.add_host(
+          "H" + std::to_string(r) + "_" + std::to_string(c));
+      out.topo.add_link(out.sw[r][c], out.host[r][c], lp.rate, lp.delay);
+    }
+  }
+  return out;
+}
+
+LeafSpineTopo make_leaf_spine(int num_leaves, int num_spines,
+                              int hosts_per_leaf, LinkParams lp) {
+  DCDL_EXPECTS(num_leaves >= 1 && num_spines >= 1 && hosts_per_leaf >= 0);
+  LeafSpineTopo out;
+  for (int i = 0; i < num_leaves; ++i) {
+    out.leaves.push_back(out.topo.add_switch(idx_name("leaf", i), 1));
+  }
+  for (int i = 0; i < num_spines; ++i) {
+    out.spines.push_back(out.topo.add_switch(idx_name("spine", i), 2));
+  }
+  for (const NodeId leaf : out.leaves) {
+    for (const NodeId spine : out.spines) {
+      out.topo.add_link(leaf, spine, lp.rate, lp.delay);
+    }
+  }
+  out.hosts.resize(num_leaves);
+  int h = 0;
+  for (int i = 0; i < num_leaves; ++i) {
+    for (int j = 0; j < hosts_per_leaf; ++j) {
+      const NodeId host = out.topo.add_host(idx_name("H", h++));
+      out.topo.add_link(out.leaves[i], host, lp.rate, lp.delay);
+      out.hosts[i].push_back(host);
+    }
+  }
+  return out;
+}
+
+FatTreeTopo make_fat_tree(int k, LinkParams lp) {
+  DCDL_EXPECTS(k >= 2 && k % 2 == 0);
+  FatTreeTopo out;
+  out.k = k;
+  const int half = k / 2;
+  // Core switches.
+  for (int i = 0; i < half * half; ++i) {
+    out.core.push_back(out.topo.add_switch(idx_name("core", i), 3));
+  }
+  out.agg.resize(k);
+  out.edge.resize(k);
+  for (int pod = 0; pod < k; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      out.agg[pod].push_back(out.topo.add_switch(
+          "agg" + std::to_string(pod) + "_" + std::to_string(i), 2));
+      out.edge[pod].push_back(out.topo.add_switch(
+          "edge" + std::to_string(pod) + "_" + std::to_string(i), 1));
+    }
+    // Pod-internal full bipartite agg <-> edge.
+    for (int a = 0; a < half; ++a) {
+      for (int e = 0; e < half; ++e) {
+        out.topo.add_link(out.agg[pod][a], out.edge[pod][e], lp.rate, lp.delay);
+      }
+    }
+    // Core uplinks: agg switch a in each pod connects to cores
+    // [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        out.topo.add_link(out.core[a * half + c], out.agg[pod][a], lp.rate,
+                          lp.delay);
+      }
+    }
+    // Hosts.
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        const NodeId host = out.topo.add_host(
+            "h" + std::to_string(pod) + "_" + std::to_string(e) + "_" +
+            std::to_string(h));
+        out.topo.add_link(out.edge[pod][e], host, lp.rate, lp.delay);
+        out.all_hosts.push_back(host);
+      }
+    }
+  }
+  return out;
+}
+
+BCubeTopo make_bcube(int n, int k, LinkParams lp) {
+  DCDL_EXPECTS(n >= 2 && k >= 0 && k <= 3);
+  BCubeTopo out;
+  out.n = n;
+  out.k = k;
+  int num_hosts = 1;
+  for (int i = 0; i <= k; ++i) num_hosts *= n;
+  for (int h = 0; h < num_hosts; ++h) {
+    out.hosts.push_back(out.topo.add_host(idx_name("srv", h)));
+  }
+  const int switches_per_level = num_hosts / n;
+  out.level_switches.resize(k + 1);
+  for (int level = 0; level <= k; ++level) {
+    for (int s = 0; s < switches_per_level; ++s) {
+      out.level_switches[level].push_back(out.topo.add_switch(
+          "b" + std::to_string(level) + "_" + std::to_string(s), level + 1));
+    }
+    // Host h (digits d_k..d_0 base n) connects to level-l switch indexed by
+    // the digits of h with digit l removed.
+    for (int h = 0; h < num_hosts; ++h) {
+      int high = h;
+      int low = 0;
+      int pow_l = 1;
+      for (int i = 0; i < level; ++i) pow_l *= n;
+      low = h % pow_l;
+      high = h / (pow_l * n);
+      const int sw_index = high * pow_l + low;
+      out.topo.add_link(out.level_switches[level][sw_index], out.hosts[h],
+                        lp.rate, lp.delay);
+    }
+  }
+  return out;
+}
+
+BCubeRelayTopo make_bcube_relay(int n, int k, LinkParams lp) {
+  DCDL_EXPECTS(n >= 2 && k >= 0 && k <= 3);
+  BCubeRelayTopo out;
+  out.n = n;
+  out.k = k;
+  int num_servers = 1;
+  for (int i = 0; i <= k; ++i) num_servers *= n;
+  for (int s = 0; s < num_servers; ++s) {
+    out.servers.push_back(out.topo.add_switch(idx_name("nic", s), 0));
+  }
+  const int switches_per_level = num_servers / n;
+  out.level_switches.resize(k + 1);
+  for (int level = 0; level <= k; ++level) {
+    for (int s = 0; s < switches_per_level; ++s) {
+      out.level_switches[level].push_back(out.topo.add_switch(
+          "b" + std::to_string(level) + "_" + std::to_string(s), level + 1));
+    }
+    for (int srv = 0; srv < num_servers; ++srv) {
+      int pow_l = 1;
+      for (int i = 0; i < level; ++i) pow_l *= n;
+      const int low = srv % pow_l;
+      const int high = srv / (pow_l * n);
+      const int sw_index = high * pow_l + low;
+      out.topo.add_link(out.level_switches[level][sw_index],
+                        out.servers[static_cast<std::size_t>(srv)], lp.rate,
+                        lp.delay);
+    }
+  }
+  for (int s = 0; s < num_servers; ++s) {
+    const NodeId host = out.topo.add_host(idx_name("srv", s));
+    out.topo.add_link(out.servers[static_cast<std::size_t>(s)], host, lp.rate,
+                      lp.delay);
+    out.hosts.push_back(host);
+  }
+  return out;
+}
+
+JellyfishTopo make_jellyfish(int num_switches, int degree,
+                             int hosts_per_switch, std::uint64_t seed,
+                             LinkParams lp) {
+  DCDL_EXPECTS(num_switches > degree);
+  DCDL_EXPECTS((num_switches * degree) % 2 == 0);
+  JellyfishTopo out;
+  for (int i = 0; i < num_switches; ++i) {
+    out.switches.push_back(out.topo.add_switch(idx_name("J", i), 1));
+  }
+  // Random regular graph via repeated pairing of free stubs; restart on a
+  // dead end (simple and adequate at the scales we simulate).
+  Rng rng(seed);
+  std::set<std::pair<int, int>> edges;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    edges.clear();
+    std::vector<int> stubs;
+    for (int i = 0; i < num_switches; ++i) {
+      for (int d = 0; d < degree; ++d) stubs.push_back(i);
+    }
+    rng.shuffle(stubs.begin(), stubs.end());
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      int a = stubs[i], b = stubs[i + 1];
+      if (a == b) { ok = false; break; }
+      if (a > b) std::swap(a, b);
+      if (!edges.insert({a, b}).second) { ok = false; break; }
+    }
+    if (ok) break;
+  }
+  DCDL_ASSERT(!edges.empty());
+  for (const auto& [a, b] : edges) {
+    out.topo.add_link(out.switches[a], out.switches[b], lp.rate, lp.delay);
+  }
+  out.hosts.resize(num_switches);
+  int h = 0;
+  for (int i = 0; i < num_switches; ++i) {
+    for (int j = 0; j < hosts_per_switch; ++j) {
+      const NodeId host = out.topo.add_host(idx_name("H", h++));
+      out.topo.add_link(out.switches[i], host, lp.rate, lp.delay);
+      out.hosts[i].push_back(host);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcdl::topo

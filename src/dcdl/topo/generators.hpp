@@ -1,0 +1,103 @@
+// Canonical datacenter (and test) topology generators.
+//
+// Every generator attaches hosts where the experiments need traffic
+// endpoints and annotates switch tiers so tier-aware PFC threshold policies
+// (paper §4, "limiting PFC pause frame propagation") can be applied.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcdl/common/rng.hpp"
+#include "dcdl/common/units.hpp"
+#include "dcdl/topo/topology.hpp"
+
+namespace dcdl::topo {
+
+struct LinkParams {
+  Rate rate = Rate::gbps(40);
+  Time delay = Time{1'000'000};  // 1 us
+};
+
+/// A ring of `n` switches, each with `hosts_per_switch` hosts.
+/// The 3-switch ring is the paper's Figure 1 deadlock illustration.
+struct RingTopo {
+  Topology topo;
+  std::vector<NodeId> switches;               // in ring order
+  std::vector<std::vector<NodeId>> hosts;     // hosts[i] under switches[i]
+};
+RingTopo make_ring(int n, int hosts_per_switch = 1, LinkParams lp = {});
+
+/// A line (path) of `n` switches with hosts at each switch.
+RingTopo make_line(int n, int hosts_per_switch = 1, LinkParams lp = {});
+
+/// rows x cols grid of switches, one host each; used for mesh-routing and
+/// odd-even turn-model experiments.
+struct MeshTopo {
+  Topology topo;
+  std::vector<std::vector<NodeId>> sw;     // sw[r][c]
+  std::vector<std::vector<NodeId>> host;   // host[r][c]
+  int rows = 0, cols = 0;
+};
+MeshTopo make_mesh(int rows, int cols, LinkParams lp = {});
+
+/// Two-tier leaf-spine fabric: every leaf connects to every spine.
+struct LeafSpineTopo {
+  Topology topo;
+  std::vector<NodeId> leaves;               // tier 1
+  std::vector<NodeId> spines;               // tier 2
+  std::vector<std::vector<NodeId>> hosts;   // hosts[i] under leaves[i]
+};
+LeafSpineTopo make_leaf_spine(int num_leaves, int num_spines,
+                              int hosts_per_leaf, LinkParams lp = {});
+
+/// Canonical k-ary fat-tree (k even): k pods, (k/2)^2 core switches,
+/// k/2 aggregation + k/2 edge per pod, (k/2) hosts per edge switch.
+struct FatTreeTopo {
+  Topology topo;
+  int k = 0;
+  std::vector<NodeId> core;                          // tier 3
+  std::vector<std::vector<NodeId>> agg;              // [pod][i], tier 2
+  std::vector<std::vector<NodeId>> edge;             // [pod][i], tier 1
+  std::vector<NodeId> all_hosts;
+};
+FatTreeTopo make_fat_tree(int k, LinkParams lp = {});
+
+/// BCube(n, k): server-centric topology (paper cites it as a non-tree
+/// topology without a deadlock-free-routing guarantee). Hosts have k+1
+/// ports; level-l switches connect n hosts each.
+struct BCubeTopo {
+  Topology topo;
+  int n = 0, k = 0;
+  std::vector<NodeId> hosts;                          // n^(k+1) servers
+  std::vector<std::vector<NodeId>> level_switches;    // [level][index]
+};
+BCubeTopo make_bcube(int n, int k, LinkParams lp = {});
+
+/// BCube(n, k) with *relaying servers*: BCube's defining property is that
+/// servers forward traffic. Each server is modelled as a relay switch (its
+/// NIC, tier 0) with the actual host hanging off it, so the standard
+/// switch data path (PFC, TTL, buffer accounting) applies to server-relay
+/// hops and multi-digit BCube paths become routable.
+struct BCubeRelayTopo {
+  Topology topo;
+  int n = 0, k = 0;
+  std::vector<NodeId> servers;                        // relay NIC switches
+  std::vector<NodeId> hosts;                          // hosts[i] on servers[i]
+  std::vector<std::vector<NodeId>> level_switches;
+};
+BCubeRelayTopo make_bcube_relay(int n, int k, LinkParams lp = {});
+
+/// Jellyfish: random r-regular graph over `num_switches` switches with
+/// `hosts_per_switch` hosts each (paper cites it as another topology with
+/// no deadlock-free guarantee).
+struct JellyfishTopo {
+  Topology topo;
+  std::vector<NodeId> switches;
+  std::vector<std::vector<NodeId>> hosts;
+};
+JellyfishTopo make_jellyfish(int num_switches, int degree,
+                             int hosts_per_switch, std::uint64_t seed,
+                             LinkParams lp = {});
+
+}  // namespace dcdl::topo

@@ -1,0 +1,119 @@
+// Flow specifications and pacing models.
+//
+// The paper's case studies use "UDP flows with infinite traffic demand"
+// (greedy: the NIC sends back-to-back whenever its egress is free and
+// unpaused) and rate-limited variants. Pacers are also the attachment point
+// for the DCQCN-like congestion controller (mitigation/dcqcn).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dcdl/common/rng.hpp"
+#include "dcdl/common/units.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl {
+
+struct FlowSpec {
+  FlowId id = 0;
+  NodeId src_host = kInvalidNode;
+  NodeId dst_host = kInvalidNode;
+  ClassId prio = 0;
+  std::uint32_t packet_bytes = 1000;
+  std::uint8_t ttl = 64;
+  bool ecn_capable = false;
+  Time start = Time::zero();
+  Time stop = Time::max();  ///< no packets are injected at or after this time
+};
+
+/// Decides when a flow's next packet may leave the NIC. Implementations are
+/// consulted by the host scheduler; `ready_at` must be monotone in `now`.
+class Pacer {
+ public:
+  virtual ~Pacer() = default;
+
+  /// Earliest time >= now at which the next packet of `bytes` may start.
+  virtual Time ready_at(Time now, std::uint32_t bytes) = 0;
+
+  /// Called when a packet of `bytes` starts serialization at `now`.
+  virtual void on_sent(Time now, std::uint32_t bytes) = 0;
+
+  /// Congestion feedback (CNP) arrived for this flow. Default: ignore.
+  virtual void on_cnp(Time /*now*/) {}
+
+  /// An end-to-end RTT sample arrived for this flow (TIMELY-style
+  /// feedback). Default: ignore.
+  virtual void on_rtt(Time /*now*/, Time /*rtt*/) {}
+
+  /// Current sending rate if the pacer is rate-based (for reporting).
+  virtual std::optional<Rate> current_rate() const { return std::nullopt; }
+};
+
+/// Infinite demand: always ready.
+class GreedyPacer final : public Pacer {
+ public:
+  Time ready_at(Time now, std::uint32_t) override { return now; }
+  void on_sent(Time, std::uint32_t) override {}
+};
+
+/// Constant bit rate via a token bucket with a configurable burst (default
+/// one packet: smooth pacing).
+class TokenBucketPacer : public Pacer {
+ public:
+  TokenBucketPacer(Rate rate, std::int64_t burst_bytes);
+
+  Time ready_at(Time now, std::uint32_t bytes) override;
+  void on_sent(Time now, std::uint32_t bytes) override;
+  std::optional<Rate> current_rate() const override { return rate_; }
+
+  void set_rate(Time now, Rate rate);
+  Rate rate() const { return rate_; }
+
+ private:
+  void refill(Time now);
+
+  Rate rate_;
+  std::int64_t burst_bytes_;
+  double tokens_bytes_ = 0;  // fractional tokens keep long-run rate exact
+  Time last_ = Time::zero();
+};
+
+/// Poisson packet arrivals with a given average rate.
+class PoissonPacer final : public Pacer {
+ public:
+  PoissonPacer(Rate avg_rate, std::uint32_t packet_bytes, std::uint64_t seed);
+
+  Time ready_at(Time now, std::uint32_t bytes) override;
+  void on_sent(Time now, std::uint32_t bytes) override;
+  std::optional<Rate> current_rate() const override { return avg_rate_; }
+
+ private:
+  Rate avg_rate_;
+  double mean_gap_ps_;
+  Rng rng_;
+  Time next_ = Time::zero();
+};
+
+/// On/off source: greedy during on-periods, silent during off-periods.
+class OnOffPacer final : public Pacer {
+ public:
+  OnOffPacer(Time on_duration, Time off_duration, std::uint64_t seed,
+             bool randomized = false);
+
+  Time ready_at(Time now, std::uint32_t bytes) override;
+  void on_sent(Time now, std::uint32_t bytes) override;
+
+ private:
+  void advance_to(Time now);
+
+  Time on_, off_;
+  bool randomized_;
+  Rng rng_;
+  Time phase_start_ = Time::zero();
+  bool in_on_ = true;
+  Time cur_on_, cur_off_;
+};
+
+}  // namespace dcdl

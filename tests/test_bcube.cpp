@@ -1,0 +1,125 @@
+// BCube with relaying servers: structure, routability through server NICs,
+// and the paper's claim that such server-centric topologies carry no
+// deadlock-free guarantee under their native (shortest-path) routing.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::topo {
+namespace {
+
+using namespace dcdl::literals;
+
+TEST(BCubeRelay, StructureCounts) {
+  const BCubeRelayTopo bc = make_bcube_relay(4, 1);
+  EXPECT_EQ(bc.servers.size(), 16u);
+  EXPECT_EQ(bc.hosts.size(), 16u);
+  EXPECT_EQ(bc.level_switches.size(), 2u);
+  EXPECT_EQ(bc.level_switches[0].size(), 4u);
+  // Each server NIC: k+1 fabric ports + 1 host port.
+  for (const NodeId nic : bc.servers) {
+    EXPECT_EQ(bc.topo.degree(nic), 3u);
+  }
+  for (const auto& level : bc.level_switches) {
+    for (const NodeId sw : level) EXPECT_EQ(bc.topo.degree(sw), 4u);
+  }
+}
+
+TEST(BCubeRelay, AllPairsRouteThroughServerRelays) {
+  Simulator sim;
+  const BCubeRelayTopo bc = make_bcube_relay(3, 1);
+  Topology topo = bc.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  int max_hops = 0;
+  for (const NodeId src : topo.hosts()) {
+    for (const NodeId dst : topo.hosts()) {
+      if (src == dst) continue;
+      const auto path = routing::shortest_path(topo, src, dst);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back(), dst);
+      max_hops = std::max(max_hops, static_cast<int>(path.size()));
+    }
+  }
+  // Correcting two digits: host-nic-sw-nic-sw-nic-host = 7 nodes.
+  EXPECT_EQ(max_hops, 7);
+}
+
+TEST(BCubeRelay, TrafficActuallyRelaysThroughServers) {
+  Simulator sim;
+  const BCubeRelayTopo bc = make_bcube_relay(3, 1);
+  Topology topo = bc.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  // Pick a two-digit-differing pair: servers 0 (digits 00) and 4 (digits
+  // 11, base 3): the path must pass an intermediate server NIC.
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = bc.hosts[0];
+  f.dst_host = bc.hosts[4];
+  f.packet_bytes = 1000;
+  net.host_at(f.src_host).add_flow(
+      f, std::make_unique<TokenBucketPacer>(Rate::gbps(5), 1000));
+  bool relayed = false;
+  net.trace().tx_start = [&](Time, const Packet& pkt, NodeId node, PortId) {
+    for (const NodeId nic : bc.servers) {
+      if (node == nic && node != bc.servers[0] && node != bc.servers[4] &&
+          pkt.flow == 1) {
+        relayed = true;
+      }
+    }
+  };
+  sim.run_until(200_us);
+  EXPECT_TRUE(relayed);
+  EXPECT_GT(net.host_at(f.dst_host).delivered_packets(1), 0u);
+}
+
+TEST(BCubeRelay, ShortestPathsCarryCyclicDependencies) {
+  // The paper (§2): BCube "do[es] not have deadlock-free guarantee".
+  Simulator sim;
+  const BCubeRelayTopo bc = make_bcube_relay(3, 1);
+  Topology topo = bc.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  std::vector<FlowSpec> flows;
+  FlowId id = 1;
+  for (const NodeId src : topo.hosts()) {
+    for (const NodeId dst : topo.hosts()) {
+      if (src == dst) continue;
+      FlowSpec f;
+      f.id = id++;
+      f.src_host = src;
+      f.dst_host = dst;
+      flows.push_back(f);
+    }
+  }
+  EXPECT_FALSE(analysis::routing_deadlock_free(net, flows));
+}
+
+TEST(BCubeRelay, UpDownRestrictionRestoresTheGuarantee) {
+  Simulator sim;
+  const BCubeRelayTopo bc = make_bcube_relay(3, 1);
+  Topology topo = bc.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_up_down(net);
+  std::vector<FlowSpec> flows;
+  FlowId id = 1;
+  for (const NodeId src : topo.hosts()) {
+    for (const NodeId dst : topo.hosts()) {
+      if (src == dst) continue;
+      FlowSpec f;
+      f.id = id++;
+      f.src_host = src;
+      f.dst_host = dst;
+      flows.push_back(f);
+    }
+  }
+  EXPECT_TRUE(analysis::routing_deadlock_free(net, flows));
+}
+
+}  // namespace
+}  // namespace dcdl::topo

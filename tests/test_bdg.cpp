@@ -1,0 +1,162 @@
+// Buffer dependency graph analysis — the paper's necessary condition.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/mitigation/class_policy.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::analysis {
+namespace {
+
+using namespace dcdl::topo;
+using namespace dcdl::scenarios;
+
+TEST(Bdg, FourSwitchTwoFlowsHasCycle) {
+  // The paper's central observation: Figure 3 has a cyclic buffer
+  // dependency even though it never deadlocks.
+  Scenario s = make_four_switch(FourSwitchParams{});
+  const auto bdg = BufferDependencyGraph::build(*s.net, s.flows);
+  EXPECT_TRUE(bdg.has_cycle());
+  const auto cycles = bdg.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 4u);  // RX1 of A -> B -> C -> D
+  EXPECT_TRUE(bdg.looping_flows().empty());
+}
+
+TEST(Bdg, FourSwitchFlow3DoesNotChangeTheCycle) {
+  // "One additional dependency ... is added, but it is outside the cyclic
+  // buffer dependency. The cyclic buffer dependency itself remains
+  // unchanged." (§3.2)
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  Scenario s = make_four_switch(p);
+  const auto bdg = BufferDependencyGraph::build(*s.net, s.flows);
+  EXPECT_TRUE(bdg.has_cycle());
+  EXPECT_EQ(bdg.cycles().size(), 1u);
+  EXPECT_EQ(bdg.cycles()[0].size(), 4u);
+}
+
+TEST(Bdg, RoutingLoopFlowIsFlaggedAsLooping) {
+  Scenario s = make_routing_loop(RoutingLoopParams{});
+  const auto bdg = BufferDependencyGraph::build(*s.net, s.flows);
+  EXPECT_TRUE(bdg.has_cycle());
+  ASSERT_EQ(bdg.looping_flows().size(), 1u);
+  EXPECT_EQ(bdg.looping_flows()[0], FlowId{1});
+}
+
+TEST(Bdg, SingleSwitchTrafficHasNoCycle) {
+  Simulator sim;
+  Topology topo;
+  const NodeId s = topo.add_switch();
+  const NodeId a = topo.add_host();
+  const NodeId b = topo.add_host();
+  topo.add_link(s, a);
+  topo.add_link(s, b);
+  Network net(sim, topo, NetConfig{});
+  dcdl::routing::install_shortest_paths(net);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = a;
+  f.dst_host = b;
+  EXPECT_TRUE(routing_deadlock_free(net, {f}));
+}
+
+TEST(Bdg, FatTreeShortestPathsAreDeadlockFree) {
+  Simulator sim;
+  const FatTreeTopo ft = make_fat_tree(4);
+  Topology topo = ft.topo;
+  Network net(sim, topo, NetConfig{});
+  dcdl::routing::install_shortest_paths(net);
+  std::vector<FlowSpec> flows;
+  const int n = static_cast<int>(ft.all_hosts.size());
+  for (int i = 0; i < n; ++i) {
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src_host = ft.all_hosts[static_cast<std::size_t>(i)];
+    f.dst_host = ft.all_hosts[static_cast<std::size_t>((i + 5) % n)];
+    flows.push_back(f);
+  }
+  EXPECT_TRUE(routing_deadlock_free(net, flows));
+}
+
+std::vector<FlowSpec> all_pairs(const std::vector<NodeId>& hosts) {
+  std::vector<FlowSpec> flows;
+  FlowId id = 1;
+  for (const NodeId src : hosts) {
+    for (const NodeId dst : hosts) {
+      if (src == dst) continue;
+      FlowSpec f;
+      f.id = id++;
+      f.src_host = src;
+      f.dst_host = dst;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+TEST(Bdg, JellyfishShortestPathsHaveCyclesButUpDownDoesNot) {
+  // The paper's baseline cost argument: unrestricted shortest paths on a
+  // non-tree topology carry cyclic buffer dependencies; up*/down* removes
+  // them by restricting paths.
+  const JellyfishTopo j = make_jellyfish(12, 4, 1, /*seed=*/4);
+  {
+    Simulator sim;
+    Topology topo = j.topo;
+    Network net(sim, topo, NetConfig{});
+    dcdl::routing::install_shortest_paths(net);
+    EXPECT_FALSE(routing_deadlock_free(net, all_pairs(topo.hosts())));
+  }
+  {
+    Simulator sim;
+    Topology topo = j.topo;
+    Network net(sim, topo, NetConfig{});
+    dcdl::routing::install_up_down(net);
+    EXPECT_TRUE(routing_deadlock_free(net, all_pairs(topo.hosts())));
+  }
+}
+
+TEST(Bdg, HopClassesBreakTheRingCycle) {
+  // Structured buffer pool: with classes > path hop count, the dependency
+  // graph is acyclic even on the deadlocking ring.
+  RingDeadlockParams p;
+  p.num_classes = 4;  // paths use 3 switches -> 2 inter-switch hops
+  p.hop_classes = true;
+  Scenario s = make_ring_deadlock(p);
+  const auto bdg = BufferDependencyGraph::build(*s.net, s.flows);
+  EXPECT_FALSE(bdg.has_cycle());
+}
+
+TEST(Bdg, TooFewHopClassesLeaveACycle) {
+  RingDeadlockParams p;
+  p.num_classes = 1;
+  p.hop_classes = true;  // everything clamps to class 0
+  Scenario s = make_ring_deadlock(p);
+  EXPECT_TRUE(BufferDependencyGraph::build(*s.net, s.flows).has_cycle());
+}
+
+TEST(Bdg, TtlClassesBreakLoopCycleWhenBandIsOne) {
+  // With band 1 and enough classes, every hop of the looping walk lives in
+  // its own class, so the per-class dependency cannot close a cycle until
+  // classes clamp.
+  RoutingLoopParams p;
+  p.ttl = 6;
+  p.num_classes = 8;
+  p.ttl_class_band = 1;
+  Scenario s = make_routing_loop(p);
+  const auto bdg = BufferDependencyGraph::build(*s.net, s.flows);
+  EXPECT_FALSE(bdg.has_cycle());
+}
+
+TEST(Bdg, DescribeMentionsCycleCount) {
+  Scenario s = make_four_switch(FourSwitchParams{});
+  const auto bdg = BufferDependencyGraph::build(*s.net, s.flows);
+  const std::string desc = bdg.describe(*s.net);
+  EXPECT_NE(desc.find("cycles: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcdl::analysis

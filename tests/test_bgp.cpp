@@ -1,0 +1,223 @@
+// BGP-like path-vector substrate: convergence, failure re-routing, and
+// transient behaviour — the paper's §1 deadlock trigger.
+#include <gtest/gtest.h>
+
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/bgp.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::routing {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+// Walks the dst-based tables from src host; returns true if dst reached.
+bool reaches(const Network& net, NodeId src, NodeId dst) {
+  NodeId cur = net.topo().peer(src, 0).peer_node;
+  for (int i = 0; i < 64; ++i) {
+    if (cur == dst) return true;
+    if (!net.topo().is_switch(cur)) return false;
+    const auto eg = net.switch_at(cur).routes().lookup(0, dst);
+    if (!eg) return false;
+    cur = net.topo().peer(cur, *eg).peer_node;
+  }
+  return false;
+}
+
+TEST(Bgp, ConvergesOnLine) {
+  Simulator sim;
+  const RingTopo line = make_line(4, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(100_ms);
+  EXPECT_TRUE(bgp.converged());
+  EXPECT_GT(bgp.messages_sent(), 0u);
+  for (const NodeId src : topo.hosts()) {
+    for (const NodeId dst : topo.hosts()) {
+      if (src != dst) EXPECT_TRUE(reaches(net, src, dst));
+    }
+  }
+}
+
+TEST(Bgp, ConvergesOnFatTree) {
+  Simulator sim;
+  const FatTreeTopo ft = make_fat_tree(4);
+  Topology topo = ft.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(500_ms);
+  ASSERT_TRUE(bgp.converged());
+  for (const NodeId src : topo.hosts()) {
+    for (const NodeId dst : topo.hosts()) {
+      if (src != dst) {
+        EXPECT_TRUE(reaches(net, src, dst))
+            << topo.node(src).name << "->" << topo.node(dst).name;
+      }
+    }
+  }
+}
+
+TEST(Bgp, ConvergedRoutesAreLoopFree) {
+  Simulator sim;
+  const FatTreeTopo ft = make_fat_tree(4);
+  Topology topo = ft.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(500_ms);
+  for (const NodeId dst : topo.hosts()) {
+    EXPECT_FALSE(find_forwarding_loop(net, dst).has_value());
+  }
+}
+
+TEST(Bgp, ReRoutesAroundLinkFailure) {
+  Simulator sim;
+  const RingTopo ring = make_ring(4, 1);
+  Topology topo = ring.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(100_ms);
+  ASSERT_TRUE(reaches(net, ring.hosts[0][0], ring.hosts[1][0]));
+  // Fail the direct S0-S1 link; traffic must re-route the long way.
+  const auto port = topo.port_towards(ring.switches[0], ring.switches[1]);
+  ASSERT_TRUE(port.has_value());
+  const std::uint32_t link = topo.peer(ring.switches[0], *port).link;
+  sim.schedule_at(sim.now(), [&] { bgp.fail_link(link); });
+  sim.run_until(sim.now() + 200_ms);
+  ASSERT_TRUE(bgp.converged());
+  EXPECT_TRUE(reaches(net, ring.hosts[0][0], ring.hosts[1][0]));
+  // The new path cannot use the failed link: S0's next hop for h1 must be
+  // S3 (port toward switches[3]).
+  const auto eg =
+      net.switch_at(ring.switches[0]).routes().lookup(0, ring.hosts[1][0]);
+  ASSERT_TRUE(eg.has_value());
+  EXPECT_EQ(topo.peer(ring.switches[0], *eg).peer_node, ring.switches[3]);
+}
+
+TEST(Bgp, RestoreLinkRecoversShortPaths) {
+  Simulator sim;
+  const RingTopo ring = make_ring(4, 1);
+  Topology topo = ring.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(100_ms);
+  const auto port = topo.port_towards(ring.switches[0], ring.switches[1]);
+  const std::uint32_t link = topo.peer(ring.switches[0], *port).link;
+  bgp.fail_link(link);
+  sim.run_until(sim.now() + 200_ms);
+  bgp.restore_link(link);
+  sim.run_until(sim.now() + 200_ms);
+  ASSERT_TRUE(bgp.converged());
+  const auto eg =
+      net.switch_at(ring.switches[0]).routes().lookup(0, ring.hosts[1][0]);
+  ASSERT_TRUE(eg.has_value());
+  EXPECT_EQ(topo.peer(ring.switches[0], *eg).peer_node, ring.switches[1]);
+}
+
+TEST(Bgp, UnreachableAfterPartition) {
+  Simulator sim;
+  const RingTopo line = make_line(2, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(100_ms);
+  ASSERT_TRUE(reaches(net, line.hosts[0][0], line.hosts[1][0]));
+  const auto port = topo.port_towards(line.switches[0], line.switches[1]);
+  const std::uint32_t link = topo.peer(line.switches[0], *port).link;
+  bgp.fail_link(link);
+  sim.run_until(sim.now() + 200_ms);
+  EXPECT_FALSE(reaches(net, line.hosts[0][0], line.hosts[1][0]));
+}
+
+TEST(Bgp, SurvivesSequentialFailuresOnFatTree) {
+  // Fail three fabric links one after another; after each convergence the
+  // surviving topology must stay fully reachable and loop-free.
+  Simulator sim;
+  const FatTreeTopo ft = make_fat_tree(4);
+  Topology topo = ft.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(500_ms);
+  ASSERT_TRUE(bgp.converged());
+
+  // Fail: one core-agg link, one agg-edge link, one more core-agg link —
+  // chosen so no host loses its only path in a k=4 fat tree.
+  std::vector<std::uint32_t> victims;
+  victims.push_back(topo.peer(ft.core[0], 0).link);
+  victims.push_back(
+      topo.peer(ft.agg[0][0], *topo.port_towards(ft.agg[0][0], ft.edge[0][0]))
+          .link);
+  victims.push_back(topo.peer(ft.core[3], 1).link);
+  for (const std::uint32_t link : victims) {
+    bgp.fail_link(link);
+    sim.run_until(sim.now() + 500_ms);
+    ASSERT_TRUE(bgp.converged());
+    for (const NodeId src : topo.hosts()) {
+      for (const NodeId dst : topo.hosts()) {
+        if (src != dst) {
+          EXPECT_TRUE(reaches(net, src, dst))
+              << topo.node(src).name << "->" << topo.node(dst).name;
+        }
+      }
+    }
+    for (const NodeId dst : topo.hosts()) {
+      EXPECT_FALSE(find_forwarding_loop(net, dst).has_value());
+    }
+  }
+}
+
+TEST(Bgp, RestoreAfterMultipleFailuresHealsFully) {
+  Simulator sim;
+  const FatTreeTopo ft = make_fat_tree(4);
+  Topology topo = ft.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(500_ms);
+  const std::uint32_t l1 = topo.peer(ft.core[0], 0).link;
+  const std::uint32_t l2 = topo.peer(ft.core[1], 2).link;
+  bgp.fail_link(l1);
+  bgp.fail_link(l2);
+  sim.run_until(sim.now() + 500_ms);
+  bgp.restore_link(l1);
+  bgp.restore_link(l2);
+  sim.run_until(sim.now() + 500_ms);
+  ASSERT_TRUE(bgp.converged());
+  for (const NodeId src : topo.hosts()) {
+    for (const NodeId dst : topo.hosts()) {
+      if (src != dst) ASSERT_TRUE(reaches(net, src, dst));
+    }
+  }
+}
+
+TEST(Bgp, WithdrawalsPropagate) {
+  // Fail a host's access link: every switch must eventually drop the dst.
+  Simulator sim;
+  const RingTopo line = make_line(3, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  BgpFabric bgp(net, BgpFabric::Params{});
+  bgp.start();
+  sim.run_until(100_ms);
+  const NodeId victim = line.hosts[2][0];
+  const std::uint32_t link = topo.peer(victim, 0).link;
+  bgp.fail_link(link);
+  sim.run_until(sim.now() + 300_ms);
+  ASSERT_TRUE(bgp.converged());
+  for (const NodeId sw : topo.switches()) {
+    EXPECT_FALSE(net.switch_at(sw).routes().lookup(0, victim).has_value())
+        << topo.node(sw).name;
+  }
+}
+
+}  // namespace
+}  // namespace dcdl::routing

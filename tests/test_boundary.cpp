@@ -1,0 +1,72 @@
+// Boundary-state model (paper §3.1, Table 1, Equations 1-3).
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/boundary.hpp"
+
+namespace dcdl::analysis {
+namespace {
+
+TEST(Boundary, PaperTestbedNumbers) {
+  // B = 40 Gbps, n = 2, TTL = 16 -> threshold 5 Gbps (§3.1).
+  const Rate thr = BoundaryModel::deadlock_threshold(2, Rate::gbps(40), 16);
+  EXPECT_EQ(thr.bps(), 5'000'000'000);
+}
+
+TEST(Boundary, ThresholdScalesWithLoopLength) {
+  EXPECT_EQ(BoundaryModel::deadlock_threshold(4, Rate::gbps(40), 16).bps(),
+            10'000'000'000);
+}
+
+TEST(Boundary, ThresholdScalesInverselyWithTtl) {
+  EXPECT_EQ(BoundaryModel::deadlock_threshold(2, Rate::gbps(40), 32).bps(),
+            2'500'000'000);
+}
+
+TEST(Boundary, PredictsDeadlockStrictlyAboveThreshold) {
+  const Rate b = Rate::gbps(40);
+  EXPECT_FALSE(BoundaryModel::predicts_deadlock(2, b, 16, Rate::gbps(5)));
+  EXPECT_TRUE(BoundaryModel::predicts_deadlock(2, b, 16,
+                                               Rate{5'000'000'001}));
+  EXPECT_FALSE(BoundaryModel::predicts_deadlock(2, b, 16, Rate::gbps(4)));
+}
+
+TEST(Boundary, TtlAtMostLoopLengthIsUnconditionallySafe) {
+  // §4: "in an N-hop routing loop, if the initial TTL is not larger than
+  // N, no deadlock will form because the deadlock threshold for r is B".
+  EXPECT_TRUE(BoundaryModel::ttl_unconditionally_safe(4, 4));
+  EXPECT_TRUE(BoundaryModel::ttl_unconditionally_safe(4, 3));
+  EXPECT_FALSE(BoundaryModel::ttl_unconditionally_safe(4, 5));
+  // And consistently, the threshold equals/exceeds B there.
+  EXPECT_GE(BoundaryModel::deadlock_threshold(4, Rate::gbps(40), 4).bps(),
+            Rate::gbps(40).bps());
+}
+
+TEST(Boundary, MaxSafeTtlIsInverseOfThreshold) {
+  // r = 5 Gbps, n = 2, B = 40 -> TTL <= 16 keeps r <= nB/TTL.
+  EXPECT_EQ(BoundaryModel::max_safe_ttl(2, Rate::gbps(40), Rate::gbps(5)), 16);
+  EXPECT_EQ(BoundaryModel::max_safe_ttl(2, Rate::gbps(40), Rate::gbps(10)), 8);
+  // Tiny rates saturate at the TTL field maximum.
+  EXPECT_EQ(BoundaryModel::max_safe_ttl(2, Rate::gbps(40), Rate::mbps(1)),
+            255);
+  EXPECT_EQ(BoundaryModel::max_safe_ttl(2, Rate::gbps(40), Rate::zero()),
+            255);
+}
+
+TEST(Boundary, SafeTtlIsConsistentWithPrediction) {
+  for (const int n : {2, 3, 4, 8}) {
+    for (const double r_gbps : {1.0, 2.5, 5.0, 20.0}) {
+      const Rate r = Rate::gbps(r_gbps);
+      const int ttl = BoundaryModel::max_safe_ttl(n, Rate::gbps(40), r);
+      EXPECT_FALSE(BoundaryModel::predicts_deadlock(n, Rate::gbps(40), ttl, r))
+          << "n=" << n << " r=" << r_gbps;
+      if (ttl < 255) {
+        EXPECT_TRUE(
+            BoundaryModel::predicts_deadlock(n, Rate::gbps(40), ttl + 1, r))
+            << "n=" << n << " r=" << r_gbps;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcdl::analysis

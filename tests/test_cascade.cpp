@@ -1,0 +1,92 @@
+// Pause-cascade attribution: origins vs propagated pauses, and the §4
+// claim that threshold policies shrink cascade depth.
+#include <gtest/gtest.h>
+
+#include "dcdl/mitigation/thresholds.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/cascade.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::stats {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+using namespace dcdl::topo;
+
+TEST(Cascade, SingleBottleneckPausesAreAllOrigins) {
+  // One congested switch pausing its hosts: no switch-to-switch
+  // propagation, every pause is depth 0.
+  Scenario s = make_incast(IncastParams{});
+  PauseEventLog log(*s.net);
+  s.sim->run_until(5_ms);
+  const CascadeStats stats = analyze_pause_cascade(*s.net, log);
+  ASSERT_GT(stats.total_pauses, 0u);
+  // The receiving leaf pauses the spines, which pause the sending leaves,
+  // which pause the hosts: depth reaches 2 in a 2-tier fabric but no more.
+  EXPECT_LE(stats.max_depth, 2);
+}
+
+TEST(Cascade, DeadlockCycleShowsDeepPropagation) {
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  Scenario s = make_four_switch(p);
+  PauseEventLog log(*s.net);
+  s.sim->run_until(20_ms);
+  const CascadeStats stats = analyze_pause_cascade(*s.net, log);
+  EXPECT_GE(stats.max_depth, 2)
+      << "the pause chain must propagate around the ring";
+  EXPECT_GT(stats.mean_depth, 0.0);
+}
+
+TEST(Cascade, CountsSumToTotal) {
+  Scenario s = make_four_switch(FourSwitchParams{});
+  PauseEventLog log(*s.net);
+  s.sim->run_until(10_ms);
+  const CascadeStats stats = analyze_pause_cascade(*s.net, log);
+  std::uint64_t sum = 0;
+  for (const auto c : stats.count_by_depth) sum += c;
+  EXPECT_EQ(sum, stats.total_pauses);
+}
+
+TEST(Cascade, BurstAbsorbingThresholdsShrinkTheCascade) {
+  // §4: larger upstream thresholds absorb bursts instead of propagating
+  // pauses. Mean cascade depth must drop under the tiered policy.
+  double depth_uniform = 0, depth_tiered = 0;
+  for (const bool tiered : {false, true}) {
+    Simulator sim;
+    const LeafSpineTopo ls = make_leaf_spine(3, 2, 4);
+    Topology topo = ls.topo;
+    Network net(sim, topo, NetConfig{});
+    routing::install_shortest_paths(net);
+    if (tiered) {
+      mitigation::apply_tier_thresholds(
+          net, {8 * 1024, 8 * 1024, 160 * 1024}, 2000);
+    } else {
+      mitigation::apply_tier_thresholds(
+          net, {8 * 1024, 8 * 1024, 8 * 1024}, 2000);
+    }
+    int made = 0;
+    for (int leaf = 1; leaf < 3; ++leaf) {
+      for (int h = 0; h < 3; ++h) {
+        FlowSpec f;
+        f.id = static_cast<FlowId>(++made);
+        f.src_host = ls.hosts[static_cast<std::size_t>(leaf)]
+                             [static_cast<std::size_t>(h)];
+        f.dst_host = ls.hosts[0][0];
+        f.packet_bytes = 1000;
+        net.host_at(f.src_host).add_flow(
+            f, std::make_unique<OnOffPacer>(10_us, 50_us, 31 * made, true));
+      }
+    }
+    PauseEventLog log(net);
+    sim.run_until(10_ms);
+    const CascadeStats stats = analyze_pause_cascade(net, log);
+    (tiered ? depth_tiered : depth_uniform) = stats.mean_depth;
+  }
+  EXPECT_LT(depth_tiered, depth_uniform);
+}
+
+}  // namespace
+}  // namespace dcdl::stats

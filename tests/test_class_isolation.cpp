@@ -1,0 +1,112 @@
+// PFC priority-class isolation: pause and deadlock are per-class, so a
+// deadlocked lossless class must not stall traffic of another class on
+// the same wires — the property all the paper's class-based mitigations
+// (TTL bands, buffer pools, per-class thresholds) build on.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+
+struct TwoClassFig4 {
+  Simulator sim;
+  Topology topo;
+  std::unique_ptr<Network> net;
+  NodeId hA, hB, hC, hD, hB3, hC3;
+
+  TwoClassFig4() {
+    const NodeId A = topo.add_switch("A"), B = topo.add_switch("B");
+    const NodeId C = topo.add_switch("C"), D = topo.add_switch("D");
+    for (const auto [x, y] : {std::pair{A, B}, {B, C}, {C, D}, {D, A}}) {
+      topo.add_link(x, y, Rate::gbps(40), 2_us);
+    }
+    hA = topo.add_host("hA");
+    hB = topo.add_host("hB");
+    hC = topo.add_host("hC");
+    hD = topo.add_host("hD");
+    hB3 = topo.add_host("hB3");
+    hC3 = topo.add_host("hC3");
+    const NodeId A2 = A, B2 = B, C2 = C, D2 = D;
+    for (const auto [sw, h] : {std::pair{A2, hA}, {B2, hB}, {C2, hC},
+                               {D2, hD}, {B2, hB3}, {C2, hC3}}) {
+      topo.add_link(sw, h, Rate::gbps(40), 2_us);
+    }
+    NetConfig cfg;
+    cfg.num_classes = 2;
+    cfg.tx_jitter = Time{10'000};
+    net = std::make_unique<Network>(sim, topo, cfg);
+    // The Figure-4 deadlock set in class 0.
+    routing::install_flow_path(*net, 1, {hA, A, B, C, D, hD});
+    routing::install_flow_path(*net, 2, {hC, C, D, A, B, hB});
+    routing::install_flow_path(*net, 3, {hB3, B, C, hC3});
+    int i = 0;
+    for (const auto [src, dst] :
+         {std::pair{hA, hD}, {hC, hB}, {hB3, hC3}}) {
+      FlowSpec f;
+      f.id = static_cast<FlowId>(++i);
+      f.src_host = src;
+      f.dst_host = dst;
+      f.packet_bytes = 1000;
+      f.ttl = 64;
+      f.prio = 0;
+      net->host_at(src).add_flow(f);
+    }
+    // An innocent class-1 flow crossing the deadlocked ring A->B->C->D.
+    FlowSpec g;
+    g.id = 9;
+    g.src_host = hA;
+    g.dst_host = hD;
+    g.packet_bytes = 1000;
+    g.ttl = 64;
+    g.prio = 1;
+    routing::install_flow_path(*net, 9, {hA, A, B, C, D, hD});
+    net->host_at(hA).add_flow(
+        g, std::make_unique<TokenBucketPacer>(Rate::gbps(5), 1000));
+  }
+};
+
+TEST(ClassIsolation, Class1SurvivesAClass0Deadlock) {
+  TwoClassFig4 fx;
+  fx.sim.run_until(20_ms);
+  // Class 0 is deadlocked...
+  const auto snap = analysis::snapshot_wait_for(*fx.net);
+  ASSERT_TRUE(snap.has_cycle);
+  for (const auto& q : snap.cycle) EXPECT_EQ(q.cls, 0);
+  // ...while the class-1 flow keeps its full paced rate across the very
+  // same wires.
+  const double gbps =
+      static_cast<double>(fx.net->host_at(fx.hD).delivered_bytes(9)) * 8 /
+      20e-3 / 1e9;
+  EXPECT_NEAR(gbps, 5.0, 0.3);
+}
+
+TEST(ClassIsolation, Class1DeliveryContinuesAfterClass0Froze) {
+  TwoClassFig4 fx;
+  fx.sim.run_until(10_ms);
+  const auto at10_c0 = fx.net->host_at(fx.hD).delivered_bytes(1);
+  const auto at10_c1 = fx.net->host_at(fx.hD).delivered_bytes(9);
+  fx.sim.run_until(20_ms);
+  EXPECT_EQ(fx.net->host_at(fx.hD).delivered_bytes(1), at10_c0)
+      << "class 0 is frozen";
+  EXPECT_GT(fx.net->host_at(fx.hD).delivered_bytes(9), at10_c1 + 5'000'000)
+      << "class 1 keeps flowing";
+}
+
+TEST(ClassIsolation, PausesAreConfinedToClass0) {
+  TwoClassFig4 fx;
+  bool class1_paused = false;
+  fx.net->trace().pfc_state = [&](Time, NodeId, PortId, ClassId cls, bool) {
+    if (cls == 1) class1_paused = true;
+  };
+  fx.sim.run_until(20_ms);
+  EXPECT_FALSE(class1_paused) << "a 5 Gbps paced flow never crosses Xoff";
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,114 @@
+// §4 "Preventing PFC from being generated": end-to-end congestion control
+// as a *deadlock* mitigation. With DCQCN + ECN on the Figure-4 topology,
+// senders back off before ingress counters reach Xoff, the pause cycle
+// never closes, and the deadlock does not form — at the cost of the
+// feedback-latency window the paper warns about.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/mitigation/dcqcn.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+
+// The Figure-4 setup with configurable congestion control.
+struct Fig4 {
+  Simulator sim;
+  Topology topo;
+  std::unique_ptr<Network> net;
+  NodeId hA, hB, hC, hD, hB3, hC3;
+
+  explicit Fig4(bool dcqcn) {
+    const NodeId A = topo.add_switch("A"), B = topo.add_switch("B");
+    const NodeId C = topo.add_switch("C"), D = topo.add_switch("D");
+    for (const auto [x, y] : {std::pair{A, B}, {B, C}, {C, D}, {D, A}}) {
+      topo.add_link(x, y, Rate::gbps(40), 2_us);
+    }
+    hA = topo.add_host("hA");
+    hB = topo.add_host("hB");
+    hC = topo.add_host("hC");
+    hD = topo.add_host("hD");
+    hB3 = topo.add_host("hB3");
+    hC3 = topo.add_host("hC3");
+    for (const auto [sw, h] : {std::pair{A, hA}, {B, hB}, {C, hC}, {D, hD},
+                               {B, hB3}, {C, hC3}}) {
+      topo.add_link(sw, h, Rate::gbps(40), 2_us);
+    }
+    NetConfig cfg;
+    cfg.tx_jitter = Time{10'000};
+    cfg.ecn.enabled = dcqcn;
+    cfg.ecn.mark_threshold_bytes = 20 * 1024;  // below the 40 KB Xoff
+    net = std::make_unique<Network>(sim, topo, cfg);
+    routing::install_flow_path(*net, 1, {hA, A, B, C, D, hD});
+    routing::install_flow_path(*net, 2, {hC, C, D, A, B, hB});
+    routing::install_flow_path(*net, 3, {hB3, B, C, hC3});
+    int i = 0;
+    for (const auto [src, dst] :
+         {std::pair{hA, hD}, {hC, hB}, {hB3, hC3}}) {
+      FlowSpec f;
+      f.id = static_cast<FlowId>(++i);
+      f.src_host = src;
+      f.dst_host = dst;
+      f.packet_bytes = 1000;
+      f.ttl = 64;
+      f.ecn_capable = dcqcn;
+      std::unique_ptr<Pacer> pacer;
+      if (dcqcn) {
+        pacer = std::make_unique<mitigation::DcqcnPacer>(
+            mitigation::DcqcnParams{});
+      }
+      net->host_at(src).add_flow(f, std::move(pacer));
+    }
+  }
+};
+
+TEST(DcqcnDeadlock, GreedyControlDeadlocks) {
+  Fig4 fx(/*dcqcn=*/false);
+  fx.sim.run_until(20_ms);
+  EXPECT_TRUE(analysis::stop_and_drain(*fx.net, 20_ms).deadlocked);
+}
+
+TEST(DcqcnDeadlock, DcqcnPreventsTheDeadlock) {
+  Fig4 fx(/*dcqcn=*/true);
+  stats::PauseEventLog log(*fx.net);
+  fx.sim.run_until(40_ms);
+  EXPECT_FALSE(analysis::stop_and_drain(*fx.net, 30_ms).deadlocked);
+  // And PFC generation collapses versus the greedy run (where the cycle
+  // pauses permanently).
+  std::uint64_t pauses = 0;
+  for (const auto& e : log.events()) pauses += e.paused ? 1 : 0;
+  EXPECT_LT(pauses, 200u);
+}
+
+TEST(DcqcnDeadlock, FlowsStillGetUsefulThroughput) {
+  Fig4 fx(/*dcqcn=*/true);
+  fx.sim.run_until(40_ms);
+  for (const auto [flow, dst] : {std::pair{1u, fx.hD}, {2u, fx.hB},
+                                 {3u, fx.hC3}}) {
+    const double gbps =
+        static_cast<double>(fx.net->host_at(dst).delivered_bytes(flow)) * 8 /
+        40e-3 / 1e9;
+    EXPECT_GT(gbps, 5.0) << "flow " << flow;
+  }
+}
+
+TEST(DcqcnDeadlock, FeedbackLatencyWindowStillPauses) {
+  // The paper's caveat: "due to the feedback latency ... they cannot
+  // completely prevent PFC from being generated." The very first pauses
+  // land before any CNP can act.
+  Fig4 fx(/*dcqcn=*/true);
+  stats::PauseEventLog log(*fx.net);
+  fx.sim.run_until(2_ms);
+  std::uint64_t early_pauses = 0;
+  for (const auto& e : log.events()) early_pauses += e.paused ? 1 : 0;
+  EXPECT_GT(early_pauses, 0u);
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,94 @@
+// Runtime deadlock detection: the wait-for/frozen-set snapshot and the
+// confirming monitor, validated against the stop-and-drain ground truth.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+
+namespace dcdl::analysis {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+TEST(Detector, SnapshotEmptyOnIdleNetwork) {
+  Scenario s = make_four_switch(FourSwitchParams{});
+  const auto snap = snapshot_wait_for(*s.net);
+  EXPECT_FALSE(snap.has_cycle);
+  EXPECT_TRUE(snap.cycle.empty());
+}
+
+TEST(Detector, MonitorConfirmsFourSwitchDeadlock) {
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  Scenario s = make_four_switch(p);
+  DeadlockMonitor monitor(*s.net, 50_us, 1_ms);
+  monitor.start(Time::zero(), 30_ms);
+  s.sim->run_until(30_ms);
+  ASSERT_TRUE(monitor.deadlocked());
+  ASSERT_TRUE(monitor.detected_at().has_value());
+  // The frozen set covers the four ring ingress counters.
+  EXPECT_GE(monitor.cycle().size(), 4u);
+  // Ground truth agrees.
+  EXPECT_TRUE(stop_and_drain(*s.net, 10_ms).deadlocked);
+}
+
+TEST(Detector, NoFalsePositiveOnHeavyCongestion) {
+  // Figure 3: constant pausing, cyclic dependency present, yet no deadlock.
+  Scenario s = make_four_switch(FourSwitchParams{});
+  DeadlockMonitor monitor(*s.net, 50_us, 1_ms);
+  monitor.start(Time::zero(), 20_ms);
+  s.sim->run_until(20_ms);
+  EXPECT_FALSE(monitor.deadlocked());
+  EXPECT_FALSE(stop_and_drain(*s.net, 10_ms).deadlocked);
+}
+
+TEST(Detector, MonitorAndDrainAgreeOnRoutingLoops) {
+  for (const double gbps : {2.0, 4.0, 6.0, 9.0}) {
+    RoutingLoopParams p;
+    p.inject = Rate::gbps(gbps);
+    Scenario s = make_routing_loop(p);
+    DeadlockMonitor monitor(*s.net, 50_us, 1_ms);
+    monitor.start(Time::zero(), 20_ms);
+    s.sim->run_until(8_ms);
+    const auto drain = stop_and_drain(*s.net, 12_ms);
+    EXPECT_EQ(monitor.deadlocked(), drain.deadlocked) << gbps << " Gbps";
+  }
+}
+
+TEST(Detector, DetectionTimeIsAfterDwell) {
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  Scenario s = make_four_switch(p);
+  DeadlockMonitor monitor(*s.net, 50_us, 2_ms);
+  monitor.start(Time::zero(), 40_ms);
+  s.sim->run_until(40_ms);
+  ASSERT_TRUE(monitor.deadlocked());
+  EXPECT_GE(monitor.detected_at()->ps(), (2_ms).ps());
+}
+
+TEST(Detector, StopAndDrainReportsTrappedBytes) {
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(9);
+  Scenario s = make_routing_loop(p);
+  s.sim->run_until(8_ms);
+  const auto drain = stop_and_drain(*s.net, 12_ms);
+  ASSERT_TRUE(drain.deadlocked);
+  EXPECT_GT(drain.trapped_bytes, 2 * 38 * 1024)
+      << "both loop counters must be pinned above Xon";
+  EXPECT_EQ(drain.trapped_bytes, s.net->total_queued_bytes());
+}
+
+TEST(Detector, DrainReleasesEverythingWithoutDeadlock) {
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(3);
+  Scenario s = make_routing_loop(p);
+  s.sim->run_until(8_ms);
+  const auto drain = stop_and_drain(*s.net, 12_ms);
+  EXPECT_FALSE(drain.deadlocked);
+  EXPECT_EQ(s.net->total_queued_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace dcdl::analysis

@@ -1,0 +1,141 @@
+// ECN marking at the switch (real backlog and phantom queue) and the
+// receiver-side CNP generation that closes the DCQCN loop.
+#include <gtest/gtest.h>
+
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+
+// Two senders into a 10G bottleneck: the egress backlog builds, so
+// real-queue marking fires once past the threshold.
+struct EcnFixture {
+  Simulator sim;
+  Topology topo;
+  NodeId s, a, b, dst;
+  std::unique_ptr<Network> net;
+
+  explicit EcnFixture(EcnConfig ecn, Time cnp_delay = 5_us) {
+    s = topo.add_switch("S");
+    a = topo.add_host("a");
+    b = topo.add_host("b");
+    dst = topo.add_host("dst");
+    topo.add_link(s, a, Rate::gbps(40), 1_us);
+    topo.add_link(s, b, Rate::gbps(40), 1_us);
+    topo.add_link(s, dst, Rate::gbps(10), 1_us);
+    NetConfig cfg;
+    cfg.ecn = ecn;
+    cfg.cnp_feedback_delay = cnp_delay;
+    net = std::make_unique<Network>(sim, topo, cfg);
+    routing::install_shortest_paths(*net);
+  }
+
+  void add_flow(FlowId id, NodeId src, bool ecn_capable) {
+    FlowSpec f;
+    f.id = id;
+    f.src_host = src;
+    f.dst_host = dst;
+    f.packet_bytes = 1000;
+    f.ecn_capable = ecn_capable;
+    net->host_at(src).add_flow(f);
+  }
+};
+
+TEST(Ecn, RealBacklogMarkingFiresUnderCongestion) {
+  EcnConfig ecn;
+  ecn.enabled = true;
+  ecn.mark_threshold_bytes = 30 * 1024;
+  EcnFixture fx(ecn);
+  fx.add_flow(1, fx.a, /*ecn_capable=*/true);
+  fx.add_flow(2, fx.b, /*ecn_capable=*/true);
+  int marked = 0, unmarked = 0;
+  fx.net->trace().delivered = [&](Time, const Packet& pkt) {
+    (pkt.ecn_marked ? marked : unmarked)++;
+  };
+  fx.sim.run_until(2_ms);
+  EXPECT_GT(marked, 100);
+  EXPECT_GT(unmarked, 0) << "early packets pass before the backlog builds";
+}
+
+TEST(Ecn, DisabledMeansNoMarks) {
+  EcnFixture fx(EcnConfig{});  // enabled = false
+  fx.add_flow(1, fx.a, true);
+  fx.add_flow(2, fx.b, true);
+  int marked = 0;
+  fx.net->trace().delivered = [&](Time, const Packet& pkt) {
+    marked += pkt.ecn_marked ? 1 : 0;
+  };
+  fx.sim.run_until(1_ms);
+  EXPECT_EQ(marked, 0);
+}
+
+TEST(Ecn, NonCapablePacketsAreNeverMarked) {
+  EcnConfig ecn;
+  ecn.enabled = true;
+  ecn.mark_threshold_bytes = 10 * 1024;
+  EcnFixture fx(ecn);
+  fx.add_flow(1, fx.a, /*ecn_capable=*/false);
+  fx.add_flow(2, fx.b, /*ecn_capable=*/true);
+  int marked_f1 = 0, marked_f2 = 0;
+  fx.net->trace().delivered = [&](Time, const Packet& pkt) {
+    if (!pkt.ecn_marked) return;
+    (pkt.flow == 1 ? marked_f1 : marked_f2)++;
+  };
+  fx.sim.run_until(2_ms);
+  EXPECT_EQ(marked_f1, 0);
+  EXPECT_GT(marked_f2, 0);
+}
+
+TEST(Ecn, PhantomQueueMarksBeforeRealBacklog) {
+  // Phantom at 60% of line speed: even a single uncongested 40G flow marks
+  // (its rate exceeds the phantom drain), while real-backlog marking would
+  // never fire.
+  EcnConfig phantom;
+  phantom.enabled = true;
+  phantom.mark_threshold_bytes = 30 * 1024;
+  phantom.phantom_speed_fraction = 0.6;
+  Simulator sim;
+  Topology topo;
+  const NodeId s = topo.add_switch("S");
+  const NodeId a = topo.add_host("a");
+  const NodeId d = topo.add_host("d");
+  topo.add_link(s, a, Rate::gbps(40), 1_us);
+  topo.add_link(s, d, Rate::gbps(40), 1_us);
+  NetConfig cfg;
+  cfg.ecn = phantom;
+  Network net(sim, topo, cfg);
+  routing::install_shortest_paths(net);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = a;
+  f.dst_host = d;
+  f.ecn_capable = true;
+  f.packet_bytes = 1000;
+  net.host_at(a).add_flow(f);
+  int marked = 0;
+  net.trace().delivered = [&](Time, const Packet& pkt) {
+    marked += pkt.ecn_marked ? 1 : 0;
+  };
+  sim.run_until(1_ms);
+  EXPECT_GT(marked, 100) << "phantom queue must signal sub-line-rate";
+}
+
+TEST(Ecn, ReceiverGeneratesCnpsForMarkedPackets) {
+  EcnConfig ecn;
+  ecn.enabled = true;
+  ecn.mark_threshold_bytes = 20 * 1024;
+  EcnFixture fx(ecn, /*cnp_delay=*/3_us);
+  fx.add_flow(1, fx.a, true);
+  fx.add_flow(2, fx.b, true);
+  int cnps = 0;
+  fx.net->trace().cnp = [&](Time, FlowId) { ++cnps; };
+  fx.sim.run_until(2_ms);
+  EXPECT_GT(cnps, 100);
+}
+
+}  // namespace
+}  // namespace dcdl

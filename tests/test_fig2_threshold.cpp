@@ -1,0 +1,95 @@
+// Property test of the paper's headline analytic result (§3.1, Eq. 3):
+// in an n-switch routing loop at bandwidth B with initial TTL T, packet-
+// level simulation deadlocks iff the injection rate exceeds n·B/TTL.
+// Parameterized across loop lengths, TTLs, and bandwidths; each case is
+// probed 30% below and 30% above its analytic threshold.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/boundary.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+
+namespace dcdl::scenarios {
+namespace {
+
+using namespace dcdl::literals;
+using analysis::BoundaryModel;
+
+struct LoopCase {
+  int loop_len;
+  int ttl;
+  double bandwidth_gbps;
+};
+
+void PrintTo(const LoopCase& c, std::ostream* os) {
+  *os << "n" << c.loop_len << "_ttl" << c.ttl << "_B"
+      << static_cast<int>(c.bandwidth_gbps);
+}
+
+class Fig2Threshold : public testing::TestWithParam<LoopCase> {
+ protected:
+  bool simulate(Rate inject) {
+    const LoopCase& c = GetParam();
+    RoutingLoopParams p;
+    p.loop_len = c.loop_len;
+    p.ttl = c.ttl;
+    p.bandwidth = Rate::gbps(c.bandwidth_gbps);
+    p.inject = inject;
+    Scenario s = make_routing_loop(p);
+    const RunSummary r = run_and_check(s, 6_ms, 15_ms);
+    return r.deadlocked;
+  }
+};
+
+TEST_P(Fig2Threshold, BelowThresholdNoDeadlock) {
+  const LoopCase& c = GetParam();
+  const Rate thr = BoundaryModel::deadlock_threshold(
+      c.loop_len, Rate::gbps(c.bandwidth_gbps), c.ttl);
+  EXPECT_FALSE(simulate(Rate{static_cast<std::int64_t>(thr.bps() * 0.7)}));
+}
+
+TEST_P(Fig2Threshold, AboveThresholdDeadlocks) {
+  const LoopCase& c = GetParam();
+  const Rate thr = BoundaryModel::deadlock_threshold(
+      c.loop_len, Rate::gbps(c.bandwidth_gbps), c.ttl);
+  EXPECT_TRUE(simulate(Rate{static_cast<std::int64_t>(thr.bps() * 1.3)}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoopGrid, Fig2Threshold,
+    testing::Values(
+        // The paper's testbed configuration and variations of each knob.
+        LoopCase{2, 16, 40},   // threshold 5 Gbps (§3.1)
+        LoopCase{2, 8, 40},    // threshold 10 Gbps
+        LoopCase{2, 32, 40},   // threshold 2.5 Gbps
+        LoopCase{3, 16, 40},   // threshold 7.5 Gbps
+        LoopCase{4, 16, 40},   // threshold 10 Gbps
+        LoopCase{4, 32, 40},   // threshold 5 Gbps
+        LoopCase{2, 16, 10},   // threshold 1.25 Gbps
+        LoopCase{2, 16, 100},  // threshold 12.5 Gbps
+        LoopCase{6, 24, 40}),  // threshold 10 Gbps
+    testing::PrintToStringParamName());
+
+TEST(Fig2TtlMitigation, TtlEqualToLoopNeverDeadlocks) {
+  // §4: initial TTL <= loop length makes the threshold B, unreachable even
+  // by a greedy source.
+  RoutingLoopParams p;
+  p.loop_len = 4;
+  p.ttl = 4;
+  p.inject = Rate::zero();  // greedy: as fast as the NIC can go
+  Scenario s = make_routing_loop(p);
+  const RunSummary r = run_and_check(s, 6_ms, 15_ms);
+  EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(Fig2TtlMitigation, GreedyWithLargeTtlDeadlocks) {
+  RoutingLoopParams p;
+  p.loop_len = 4;
+  p.ttl = 32;
+  p.inject = Rate::zero();
+  Scenario s = make_routing_loop(p);
+  const RunSummary r = run_and_check(s, 6_ms, 15_ms);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+}  // namespace
+}  // namespace dcdl::scenarios

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dcdl/common/flags.hpp"
+
+namespace dcdl {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make({"--rate=5.5", "--n=3", "--name=loop"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 5.5);
+  EXPECT_EQ(f.get_int("n", 0), 3);
+  EXPECT_EQ(f.get_string("name", ""), "loop");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make({"--rate", "7", "--name", "x"});
+  EXPECT_EQ(f.get_int("rate", 0), 7);
+  EXPECT_EQ(f.get_string("name", ""), "x");
+}
+
+TEST(Flags, BareBooleans) {
+  Flags f = make({"--verbose", "--fast=false", "--slow=0"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("fast", true));
+  EXPECT_FALSE(f.get_bool("slow", true));
+  EXPECT_TRUE(f.get_bool("absent", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f = make({});
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("s", "dft"), "dft");
+}
+
+TEST(Flags, Positional) {
+  Flags f = make({"alpha", "--n=1", "beta"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "alpha");
+  EXPECT_EQ(f.positional()[1], "beta");
+}
+
+TEST(Flags, CheckUnusedPassesWhenAllQueried) {
+  Flags f = make({"--n=1"});
+  f.get_int("n", 0);
+  f.check_unused();  // must not exit
+}
+
+TEST(FlagsDeath, CheckUnusedCatchesTypos) {
+  Flags f = make({"--rtae=5"});
+  f.get_int("rate", 0);
+  EXPECT_EXIT(f.check_unused(), testing::ExitedWithCode(2), "unknown flag");
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,96 @@
+// Latency meter: correctness of the statistics and sanity of the measured
+// pipeline latencies.
+#include <gtest/gtest.h>
+
+#include "dcdl/device/host.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/stats/latency.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::stats {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+struct Fx {
+  Simulator sim;
+  RingTopo line = make_line(2, 1, LinkParams{Rate::gbps(40), 1_us});
+  Topology topo = line.topo;
+  std::unique_ptr<Network> net;
+
+  Fx() {
+    net = std::make_unique<Network>(sim, topo, NetConfig{});
+    routing::install_shortest_paths(*net);
+  }
+};
+
+TEST(Latency, UncontestedFlowLatencyIsPipelineDepth) {
+  Fx fx;
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = fx.line.hosts[0][0];
+  f.dst_host = fx.line.hosts[1][0];
+  f.packet_bytes = 1000;
+  fx.net->host_at(f.src_host).add_flow(
+      f, std::make_unique<TokenBucketPacer>(Rate::gbps(1), 1000));
+  LatencyMeter meter(*fx.net);
+  fx.sim.run_until(1_ms);
+  ASSERT_GT(meter.samples(1), 50u);
+  // 3 hops of 200 ns serialization + 1 us propagation each = 3.6 us.
+  EXPECT_EQ(meter.percentile(1, 0.5), Time{3 * 1'200'000});
+  EXPECT_EQ(meter.mean(1), meter.max(1));  // no queueing at 1 Gbps
+}
+
+TEST(Latency, CongestionRaisesTheTail) {
+  // Two greedy sources on different hosts squeeze through one inter-switch
+  // link: packets queue at the switch behind the PFC-governed backlog.
+  Simulator sim;
+  const RingTopo line = make_line(2, 2, LinkParams{Rate::gbps(40), 1_us});
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  for (const FlowId id : {1u, 2u}) {
+    FlowSpec f;
+    f.id = id;
+    f.src_host = line.hosts[0][id - 1];
+    f.dst_host = line.hosts[1][id - 1];
+    f.packet_bytes = 1000;
+    net.host_at(f.src_host).add_flow(f);
+  }
+  LatencyMeter meter(net);
+  sim.run_until(2_ms);
+  // Queueing behind PFC-paced buffers: p99 well above the 3.6 us pipe.
+  EXPECT_GT(meter.percentile(1, 0.99), Time{10'000'000});
+  EXPECT_GE(meter.percentile(1, 0.99), meter.percentile(1, 0.5));
+  EXPECT_GE(meter.max(1), meter.percentile(1, 0.99));
+}
+
+TEST(Latency, PooledPercentileCoversAllFlows) {
+  Fx fx;
+  for (const FlowId id : {1u, 2u}) {
+    FlowSpec f;
+    f.id = id;
+    f.src_host = fx.line.hosts[0][0];
+    f.dst_host = fx.line.hosts[1][0];
+    f.packet_bytes = 1000;
+    fx.net->host_at(f.src_host).add_flow(
+        f, std::make_unique<TokenBucketPacer>(Rate::gbps(2), 1000));
+  }
+  LatencyMeter meter(*fx.net);
+  fx.sim.run_until(1_ms);
+  const Time pooled = meter.percentile_of({1u, 2u}, 0.5);
+  EXPECT_GE(pooled, std::min(meter.percentile(1, 0.5), meter.percentile(2, 0.5)));
+  EXPECT_LE(pooled, std::max(meter.percentile(1, 0.99), meter.percentile(2, 0.99)));
+}
+
+TEST(Latency, UnknownFlowIsZero) {
+  Fx fx;
+  LatencyMeter meter(*fx.net);
+  EXPECT_EQ(meter.samples(9), 0u);
+  EXPECT_EQ(meter.mean(9), Time::zero());
+  EXPECT_EQ(meter.percentile(9, 0.99), Time::zero());
+}
+
+}  // namespace
+}  // namespace dcdl::stats

@@ -1,0 +1,155 @@
+// Lossless-network invariants, checked across every canonical scenario
+// (parameterized): PFC must prevent buffer-overflow drops, and packets
+// must be conserved — everything sent is delivered, TTL-dropped, or (in a
+// deadlock) trapped in switch buffers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dcdl/device/host.hpp"
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+
+namespace dcdl::scenarios {
+namespace {
+
+using namespace dcdl::literals;
+
+enum class Which {
+  kFourSwitch2,
+  kFourSwitch3,
+  kFourSwitchLimited,
+  kRing,
+  kLoopSub,
+  kLoopSuper,
+  kIncast,
+  kTransient,
+};
+
+const char* name_of(Which w) {
+  switch (w) {
+    case Which::kFourSwitch2: return "FourSwitchTwoFlows";
+    case Which::kFourSwitch3: return "FourSwitchThreeFlows";
+    case Which::kFourSwitchLimited: return "FourSwitchRateLimited";
+    case Which::kRing: return "RingDeadlock";
+    case Which::kLoopSub: return "LoopSubcritical";
+    case Which::kLoopSuper: return "LoopSupercritical";
+    case Which::kIncast: return "Incast";
+    case Which::kTransient: return "TransientLoop";
+  }
+  return "?";
+}
+
+Scenario build(Which w) {
+  switch (w) {
+    case Which::kFourSwitch2:
+      return make_four_switch(FourSwitchParams{});
+    case Which::kFourSwitch3: {
+      FourSwitchParams p;
+      p.with_flow3 = true;
+      return make_four_switch(p);
+    }
+    case Which::kFourSwitchLimited: {
+      FourSwitchParams p;
+      p.with_flow3 = true;
+      p.flow3_limit = Rate::gbps(2);
+      return make_four_switch(p);
+    }
+    case Which::kRing:
+      return make_ring_deadlock(RingDeadlockParams{});
+    case Which::kLoopSub: {
+      RoutingLoopParams p;
+      p.inject = Rate::gbps(4);
+      return make_routing_loop(p);
+    }
+    case Which::kLoopSuper: {
+      RoutingLoopParams p;
+      p.inject = Rate::gbps(9);
+      return make_routing_loop(p);
+    }
+    case Which::kIncast: {
+      IncastParams p;
+      p.num_senders = 6;
+      return make_incast(p);
+    }
+    case Which::kTransient: {
+      TransientLoopParams p;
+      p.inject = Rate::gbps(10);
+      return make_transient_loop(p);
+    }
+  }
+  return make_four_switch(FourSwitchParams{});
+}
+
+class LosslessInvariants : public testing::TestWithParam<Which> {};
+
+TEST_P(LosslessInvariants, NoOverflowAndPacketsConserved) {
+  Scenario s = build(GetParam());
+  std::uint64_t ttl_drops = 0;
+  std::uint64_t noroute_drops = 0;
+  s.net->trace().dropped = [&](Time, const Packet&, NodeId, DropReason r) {
+    if (r == DropReason::kTtlExpired) ++ttl_drops;
+    if (r == DropReason::kNoRoute) ++noroute_drops;
+  };
+  s.sim->run_until(8_ms);
+  const auto drain = analysis::stop_and_drain(*s.net, 20_ms);
+
+  // Invariant 1: PFC means zero buffer-overflow drops, ever.
+  EXPECT_EQ(s.net->drops(DropReason::kBufferOverflow), 0u);
+
+  // Invariant 2: packet conservation. After the drain, nothing is in
+  // flight, so sent == delivered + dropped + trapped.
+  std::uint64_t sent = 0, delivered = 0;
+  std::uint32_t pkt_bytes = 0;
+  for (const FlowSpec& f : s.flows) {
+    sent += s.net->host_at(f.src_host).sent_packets(f.id);
+    delivered += s.net->host_at(f.dst_host).delivered_packets(f.id);
+    pkt_bytes = f.packet_bytes;
+  }
+  const std::uint64_t trapped_packets =
+      static_cast<std::uint64_t>(drain.trapped_bytes) / pkt_bytes;
+  EXPECT_EQ(sent, delivered + ttl_drops + noroute_drops + trapped_packets)
+      << name_of(GetParam());
+
+  // Invariant 3: trapped bytes are whole packets.
+  EXPECT_EQ(static_cast<std::uint64_t>(drain.trapped_bytes) % pkt_bytes, 0u);
+
+  // Invariant 4: deadlock implies trapped bytes and vice versa.
+  EXPECT_EQ(drain.deadlocked, drain.trapped_bytes > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, LosslessInvariants,
+    testing::Values(Which::kFourSwitch2, Which::kFourSwitch3,
+                    Which::kFourSwitchLimited, Which::kRing, Which::kLoopSub,
+                    Which::kLoopSuper, Which::kIncast, Which::kTransient),
+    [](const testing::TestParamInfo<Which>& info) {
+      return name_of(info.param);
+    });
+
+// Deadlock implies cyclic buffer dependency (the necessary condition):
+// every scenario that deadlocks must have a CBD cycle in its analysis.
+class NecessaryCondition : public testing::TestWithParam<Which> {};
+
+TEST_P(NecessaryCondition, DeadlockImpliesCyclicBufferDependency) {
+  Scenario s = build(GetParam());
+  const auto bdg = analysis::BufferDependencyGraph::build(*s.net, s.flows);
+  const bool had_cycle_initially = bdg.has_cycle();
+  s.sim->run_until(8_ms);
+  const auto drain = analysis::stop_and_drain(*s.net, 20_ms);
+  if (drain.deadlocked) {
+    EXPECT_TRUE(had_cycle_initially) << name_of(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, NecessaryCondition,
+    testing::Values(Which::kFourSwitch2, Which::kFourSwitch3,
+                    Which::kFourSwitchLimited, Which::kRing, Which::kLoopSub,
+                    Which::kLoopSuper, Which::kIncast),
+    [](const testing::TestParamInfo<Which>& info) {
+      return name_of(info.param);
+    });
+
+}  // namespace
+}  // namespace dcdl::scenarios

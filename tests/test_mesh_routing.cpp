@@ -1,0 +1,172 @@
+// Turn-model routing on 2D meshes: dimension-order is deadlock-free by
+// construction; mixing XY and YX re-introduces the forbidden turns and
+// deadlocks under adversarial traffic.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/routing/mesh_routing.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::routing {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+std::vector<FlowSpec> all_pairs(const Topology& topo) {
+  std::vector<FlowSpec> flows;
+  FlowId id = 1;
+  for (const NodeId a : topo.hosts()) {
+    for (const NodeId b : topo.hosts()) {
+      if (a == b) continue;
+      FlowSpec f;
+      f.id = id++;
+      f.src_host = a;
+      f.dst_host = b;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+bool walk_reaches(const Network& net, NodeId src, NodeId dst) {
+  NodeId cur = net.topo().peer(src, 0).peer_node;
+  for (int i = 0; i < 64; ++i) {
+    if (cur == dst) return true;
+    if (!net.topo().is_switch(cur)) return false;
+    const auto eg = net.switch_at(cur).routes().lookup(0, dst);
+    if (!eg) return false;
+    cur = net.topo().peer(cur, *eg).peer_node;
+  }
+  return false;
+}
+
+TEST(MeshRouting, XyReachesAllPairsMinimally) {
+  Simulator sim;
+  const MeshTopo mesh = make_mesh(4, 4);
+  Topology topo = mesh.topo;
+  Network net(sim, topo, NetConfig{});
+  install_xy_routing(net, mesh);
+  for (const NodeId a : topo.hosts()) {
+    for (const NodeId b : topo.hosts()) {
+      if (a != b) EXPECT_TRUE(walk_reaches(net, a, b));
+    }
+  }
+}
+
+TEST(MeshRouting, XyAndYxAreDeadlockFree) {
+  for (const bool xy : {true, false}) {
+    Simulator sim;
+    const MeshTopo mesh = make_mesh(4, 4);
+    Topology topo = mesh.topo;
+    Network net(sim, topo, NetConfig{});
+    if (xy) {
+      install_xy_routing(net, mesh);
+    } else {
+      install_yx_routing(net, mesh);
+    }
+    EXPECT_TRUE(
+        analysis::routing_deadlock_free(net, all_pairs(topo)))
+        << (xy ? "XY" : "YX");
+  }
+}
+
+TEST(MeshRouting, MixedTurnSetsHaveCyclicDependencies) {
+  Simulator sim;
+  const MeshTopo mesh = make_mesh(4, 4);
+  Topology topo = mesh.topo;
+  Network net(sim, topo, NetConfig{});
+  install_mixed_xy_yx(net, mesh, /*seed=*/3);
+  EXPECT_FALSE(analysis::routing_deadlock_free(net, all_pairs(topo)));
+  // Still loop-free per destination (each dst is routed consistently).
+  for (const NodeId dst : topo.hosts()) {
+    EXPECT_FALSE(find_forwarding_loop(net, dst).has_value());
+  }
+}
+
+// Adversarial diagonal traffic: four greedy flows between opposite
+// corners. With the cyclic turn combination (diagonals XY, anti-diagonals
+// YX) the paths chain top->right->bottom->left edges into a dependency
+// ring; XY-only keeps the dependency graph acyclic.
+void add_diagonal_flows(Network& net, const MeshTopo& mesh) {
+  const std::size_t R = static_cast<std::size_t>(mesh.rows - 1);
+  const std::size_t C = static_cast<std::size_t>(mesh.cols - 1);
+  const NodeId tl = mesh.host[0][0], tr = mesh.host[0][C];
+  const NodeId br = mesh.host[R][C], bl = mesh.host[R][0];
+  const std::pair<NodeId, NodeId> pairs[4] = {
+      {tl, br}, {br, tl}, {tr, bl}, {bl, tr}};
+  for (int i = 0; i < 4; ++i) {
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src_host = pairs[i].first;
+    f.dst_host = pairs[i].second;
+    f.packet_bytes = 1000;
+    f.ttl = 64;
+    net.host_at(f.src_host).add_flow(f);
+  }
+}
+
+// The known-cyclic combination: corner destinations on the main diagonal
+// route row-first, the others column-first. Everything else XY.
+void install_cyclic_turn_combo(Network& net, const MeshTopo& mesh) {
+  install_xy_routing(net, mesh);
+  const int R = mesh.rows - 1, C = mesh.cols - 1;
+  install_mesh_route(net, mesh, R, C, /*xy=*/true);   // top -> right
+  install_mesh_route(net, mesh, 0, 0, /*xy=*/true);   // bottom -> left
+  install_mesh_route(net, mesh, R, 0, /*xy=*/false);  // right -> bottom
+  install_mesh_route(net, mesh, 0, C, /*xy=*/false);  // left -> top
+}
+
+TEST(MeshRouting, XySurvivesAdversarialDiagonalTraffic) {
+  Simulator sim;
+  const MeshTopo mesh = make_mesh(3, 3);
+  Topology topo = mesh.topo;
+  Network net(sim, topo, NetConfig{});
+  install_xy_routing(net, mesh);
+  add_diagonal_flows(net, mesh);
+  sim.run_until(10_ms);
+  EXPECT_FALSE(analysis::stop_and_drain(net, 10_ms).deadlocked);
+}
+
+TEST(MeshRouting, CyclicTurnComboIsCyclicInTheBdg) {
+  Simulator sim;
+  const MeshTopo mesh = make_mesh(3, 3);
+  Topology topo = mesh.topo;
+  Network net(sim, topo, NetConfig{});
+  install_cyclic_turn_combo(net, mesh);
+  std::vector<FlowSpec> flows;
+  const std::size_t R = static_cast<std::size_t>(mesh.rows - 1);
+  const std::size_t C = static_cast<std::size_t>(mesh.cols - 1);
+  const NodeId tl = mesh.host[0][0], tr = mesh.host[0][C];
+  const NodeId br = mesh.host[R][C], bl = mesh.host[R][0];
+  const std::pair<NodeId, NodeId> pairs[4] = {
+      {tl, br}, {br, tl}, {tr, bl}, {bl, tr}};
+  for (int i = 0; i < 4; ++i) {
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src_host = pairs[i].first;
+    f.dst_host = pairs[i].second;
+    flows.push_back(f);
+  }
+  EXPECT_FALSE(analysis::routing_deadlock_free(net, flows));
+}
+
+TEST(MeshRouting, CyclicTurnComboDeadlocksUnderDiagonalTraffic) {
+  Simulator sim;
+  const MeshTopo mesh = make_mesh(3, 3);
+  Topology topo = mesh.topo;
+  NetConfig cfg;
+  cfg.tx_jitter = Time{10'000};
+  Network net(sim, topo, cfg);
+  install_cyclic_turn_combo(net, mesh);
+  add_diagonal_flows(net, mesh);
+  sim.run_until(20_ms);
+  EXPECT_TRUE(analysis::stop_and_drain(net, 10_ms).deadlocked);
+}
+
+}  // namespace
+}  // namespace dcdl::routing

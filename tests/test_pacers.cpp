@@ -1,0 +1,189 @@
+// Pacing models: token bucket, Poisson, on/off, and the DCQCN-like
+// congestion-control state machine.
+#include <gtest/gtest.h>
+
+#include "dcdl/mitigation/dcqcn.hpp"
+#include "dcdl/traffic/flow.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+
+TEST(TokenBucket, AllowsBurstThenPaces) {
+  TokenBucketPacer p(Rate::gbps(8), 2000);
+  // Bucket starts full: two 1000-byte packets immediately.
+  EXPECT_EQ(p.ready_at(Time::zero(), 1000), Time::zero());
+  p.on_sent(Time::zero(), 1000);
+  EXPECT_EQ(p.ready_at(Time::zero(), 1000), Time::zero());
+  p.on_sent(Time::zero(), 1000);
+  // Third packet waits for 1000 bytes at 8 Gbps = 1 us.
+  const Time t = p.ready_at(Time::zero(), 1000);
+  EXPECT_NEAR(t.us(), 1.0, 0.001);
+}
+
+TEST(TokenBucket, LongRunRateIsExact) {
+  TokenBucketPacer p(Rate::gbps(8), 1000);
+  Time now = Time::zero();
+  std::int64_t sent = 0;
+  while (now < 1_ms) {
+    now = p.ready_at(now, 1000);
+    p.on_sent(now, 1000);
+    sent += 1000;
+  }
+  // 8 Gbps for 1 ms = 1 MB.
+  EXPECT_NEAR(static_cast<double>(sent), 1e6, 5e3);
+}
+
+TEST(TokenBucket, SetRateTakesEffect) {
+  TokenBucketPacer p(Rate::gbps(8), 1000);
+  p.on_sent(Time::zero(), 1000);
+  p.set_rate(Time::zero(), Rate::gbps(2));
+  const Time t = p.ready_at(Time::zero(), 1000);
+  EXPECT_NEAR(t.us(), 4.0, 0.01);  // 1000 B at 2 Gbps
+}
+
+TEST(Poisson, MeanRateIsRespected) {
+  PoissonPacer p(Rate::gbps(10), 1000, /*seed=*/1);
+  Time now = Time::zero();
+  std::int64_t sent = 0;
+  while (now < 10_ms) {
+    now = p.ready_at(now, 1000);
+    p.on_sent(now, 1000);
+    sent += 1000;
+  }
+  EXPECT_NEAR(static_cast<double>(sent) * 8 / 10e-3, 10e9, 0.5e9);
+}
+
+TEST(Poisson, GapsAreVariable) {
+  PoissonPacer p(Rate::gbps(10), 1000, 2);
+  Time now = Time::zero();
+  Time prev_gap = Time::zero();
+  bool vary = false;
+  Time prev = Time::zero();
+  for (int i = 0; i < 100; ++i) {
+    now = p.ready_at(now, 1000);
+    p.on_sent(now, 1000);
+    const Time gap = now - prev;
+    if (i > 1 && gap != prev_gap) vary = true;
+    prev_gap = gap;
+    prev = now;
+  }
+  EXPECT_TRUE(vary);
+}
+
+TEST(OnOff, DutyCycleBoundsThroughput) {
+  OnOffPacer p(100_us, 100_us, /*seed=*/1);
+  int ready_now = 0, deferred = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Time now = Time{static_cast<std::int64_t>(i) * 1'000'000};  // each us
+    if (p.ready_at(now, 1000) == now) {
+      ++ready_now;
+    } else {
+      ++deferred;
+    }
+  }
+  // 50% duty cycle.
+  EXPECT_NEAR(ready_now, 500, 30);
+  EXPECT_NEAR(deferred, 500, 30);
+}
+
+TEST(OnOff, DeferredReadyPointsToNextOnPeriod) {
+  OnOffPacer p(100_us, 50_us, 1);
+  // At t=120us (inside the off period) the next on period starts at 150us.
+  const Time t = p.ready_at(120_us, 1000);
+  EXPECT_EQ(t, 150_us);
+}
+
+TEST(Dcqcn, StartsAtLineRate) {
+  mitigation::DcqcnPacer p(mitigation::DcqcnParams{});
+  EXPECT_EQ(p.current_rate()->bps(), Rate::gbps(40).bps());
+}
+
+TEST(Dcqcn, CnpCutsRateMultiplicatively) {
+  mitigation::DcqcnPacer p(mitigation::DcqcnParams{});
+  p.on_cnp(1_us);
+  // alpha starts at 1: first CNP halves the rate.
+  EXPECT_NEAR(p.current_rate()->as_gbps(), 20.0, 0.1);
+  p.on_cnp(2_us);
+  EXPECT_LT(p.current_rate()->as_gbps(), 20.0);
+  EXPECT_GT(p.cnp_count(), 0u);
+}
+
+TEST(Dcqcn, RecoversTowardTargetAfterQuietPeriod) {
+  mitigation::DcqcnPacer p(mitigation::DcqcnParams{});
+  p.on_cnp(1_us);
+  const double cut = p.current_rate()->as_gbps();
+  // 10 increase periods (55 us each) with no CNPs: fast recovery halves the
+  // distance to the pre-cut rate each period.
+  p.ready_at(1_us + 10 * 55_us, 1000);
+  EXPECT_GT(p.current_rate()->as_gbps(), cut + 5.0);
+}
+
+TEST(Dcqcn, AlphaDecaysWithoutCongestion) {
+  mitigation::DcqcnPacer p(mitigation::DcqcnParams{});
+  p.on_cnp(1_us);
+  const double a0 = p.alpha();
+  p.ready_at(1_us + 20 * 55_us, 1000);
+  EXPECT_LT(p.alpha(), a0 * 0.95);
+}
+
+TEST(Dcqcn, NeverBelowMinRate) {
+  mitigation::DcqcnParams params;
+  params.min_rate = Rate::mbps(100);
+  mitigation::DcqcnPacer p(params);
+  for (int i = 1; i <= 100; ++i) {
+    p.on_cnp(Time{static_cast<std::int64_t>(i) * 1'000'000});
+  }
+  EXPECT_GE(p.current_rate()->bps(), Rate::mbps(100).bps());
+}
+
+TEST(Dcqcn, ByteCounterAcceleratesRecovery) {
+  // Two pacers cut by a CNP, then sending heavily: the one with a small
+  // byte counter racks up increase events per byte and recovers faster
+  // than timer-only recovery.
+  mitigation::DcqcnParams fast;
+  fast.byte_counter = 64 * 1024;
+  mitigation::DcqcnParams slow;  // default 10 MB: effectively timer-only
+  mitigation::DcqcnPacer pf(fast), ps(slow);
+  pf.on_cnp(1_us);
+  ps.on_cnp(1_us);
+  Time now = 1_us;
+  for (int i = 0; i < 60; ++i) {
+    now = now + Time{1'000'000};  // 60 us: about one timer period
+    pf.on_sent(now, 4000);
+    ps.on_sent(now, 4000);
+  }
+  // Slow: one timer event (20 -> 30 Gbps). Fast: + ~3 byte-counter events.
+  EXPECT_GT(pf.current_rate()->as_gbps(), ps.current_rate()->as_gbps() + 3.0);
+}
+
+TEST(Dcqcn, CnpResetsByteCounterProgress) {
+  mitigation::DcqcnParams p;
+  p.byte_counter = 10'000;
+  mitigation::DcqcnPacer pacer(p);
+  pacer.on_cnp(1_us);
+  const double after_cut = pacer.current_rate()->as_gbps();
+  // 9 KB sent: just under one byte-counter event...
+  pacer.on_sent(2_us, 9000);
+  EXPECT_NEAR(pacer.current_rate()->as_gbps(), after_cut, 0.01);
+  // ...a CNP resets the progress, so another 9 KB still triggers nothing.
+  pacer.on_cnp(3_us);
+  pacer.on_sent(4_us, 9000);
+  const double now_rate = pacer.current_rate()->as_gbps();
+  pacer.on_sent(5_us, 2000);  // crosses 10 KB since the last CNP
+  EXPECT_GT(pacer.current_rate()->as_gbps(), now_rate);
+}
+
+TEST(Dcqcn, PacesAtCurrentRate) {
+  mitigation::DcqcnPacer p(mitigation::DcqcnParams{});
+  p.on_cnp(1_us);  // 20 Gbps
+  Time now = 2_us;
+  p.on_sent(now, 1000);
+  const Time next = p.ready_at(now, 1000);
+  // 1000 B at ~20 Gbps = ~0.4 us.
+  EXPECT_NEAR((next - now).us(), 0.4, 0.05);
+}
+
+}  // namespace
+}  // namespace dcdl

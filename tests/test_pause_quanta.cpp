@@ -1,0 +1,144 @@
+// 802.1Qbb pause-quanta semantics: with refresh (the real-switch default)
+// a paused state — and therefore a deadlock — persists indefinitely; with
+// quanta but no refresh, pauses lapse, deadlocks self-heal, and the
+// lossless guarantee is lost (overflow drops appear under pressure).
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/pause_log.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+using namespace dcdl::topo;
+
+constexpr Time kQuanta = Time{838'000'000};  // 65535 x 512 bit @ 40G ~ 838 us
+
+TEST(PauseQuanta, RefreshKeepsDeadlockPermanent) {
+  // Build the fig-4 deadlock on a network with realistic quanta + refresh:
+  // the deadlock must persist well past many quanta lifetimes.
+  Simulator sim;
+  Topology topo;
+  const NodeId A = topo.add_switch("A"), B = topo.add_switch("B");
+  const NodeId C = topo.add_switch("C"), D = topo.add_switch("D");
+  for (const auto [x, y] : {std::pair{A, B}, {B, C}, {C, D}, {D, A}}) {
+    topo.add_link(x, y, Rate::gbps(40), 2_us);
+  }
+  const NodeId hA = topo.add_host("hA"), hB = topo.add_host("hB");
+  const NodeId hC = topo.add_host("hC"), hD = topo.add_host("hD");
+  const NodeId hB3 = topo.add_host("hB3"), hC3 = topo.add_host("hC3");
+  for (const auto [sw, h] : {std::pair{A, hA}, {B, hB}, {C, hC}, {D, hD},
+                             {B, hB3}, {C, hC3}}) {
+    topo.add_link(sw, h, Rate::gbps(40), 2_us);
+  }
+  NetConfig cfg;
+  cfg.pfc.pause_quanta = kQuanta;
+  cfg.pfc.pause_refresh = true;
+  cfg.tx_jitter = Time{10'000};
+  Network net(sim, topo, cfg);
+  FlowSpec f1{1, hA, hD, 0, 1000, 64};
+  FlowSpec f2{2, hC, hB, 0, 1000, 64};
+  FlowSpec f3{3, hB3, hC3, 0, 1000, 64};
+  routing::install_flow_path(net, 1, {hA, A, B, C, D, hD});
+  routing::install_flow_path(net, 2, {hC, C, D, A, B, hB});
+  routing::install_flow_path(net, 3, {hB3, B, C, hC3});
+  net.host_at(hA).add_flow(f1);
+  net.host_at(hC).add_flow(f2);
+  net.host_at(hB3).add_flow(f3);
+
+  sim.run_until(20_ms);  // ~24 quanta lifetimes
+  const auto drain = analysis::stop_and_drain(net, 20_ms);
+  EXPECT_TRUE(drain.deadlocked)
+      << "refreshed pauses must keep the deadlock alive";
+  EXPECT_EQ(net.drops(DropReason::kBufferOverflow), 0u);
+}
+
+TEST(PauseQuanta, HealthyCongestionNeverOutlivesTheQuanta) {
+  // Under ordinary oversubscription, pause episodes last only the
+  // hysteresis band plus the control RTT (~20 us here) — far below the
+  // quanta — so expiry never fires and behaviour is identical to
+  // persistent-pause mode: lossless, bottleneck-fair. This is why real
+  // fabrics run quanta + refresh safely; only *wedged* pauses (deadlocks)
+  // live long enough to lapse.
+  Simulator sim;
+  Topology topo;
+  const NodeId s = topo.add_switch("S");
+  const NodeId a = topo.add_host("a");
+  const NodeId b = topo.add_host("b");
+  const NodeId dst = topo.add_host("dst");
+  topo.add_link(s, a, Rate::gbps(40), 1_us);
+  topo.add_link(s, b, Rate::gbps(40), 1_us);
+  topo.add_link(s, dst, Rate::gbps(10), 1_us);  // bottleneck
+  NetConfig cfg;
+  cfg.pfc.pause_quanta = Time{100'000'000};  // 100 us
+  cfg.pfc.pause_refresh = false;
+  Network net(sim, topo, cfg);
+  routing::install_shortest_paths(net);
+  for (const NodeId src : {a, b}) {
+    FlowSpec f;
+    f.id = src;
+    f.src_host = src;
+    f.dst_host = dst;
+    f.packet_bytes = 1000;
+    net.host_at(src).add_flow(f);
+  }
+  stats::PauseEventLog log(net);
+  sim.run_until(10_ms);
+  EXPECT_EQ(net.drops(DropReason::kBufferOverflow), 0u);
+  // Every pause interval on the two sender-facing ports is far below the
+  // quanta.
+  for (const PortId port : {PortId{0}, PortId{1}}) {
+    for (const auto& [begin, end] :
+         log.intervals(stats::QueueKey{s, port, 0}, sim.now())) {
+      EXPECT_LT(end - begin, Time{50'000'000});
+    }
+  }
+  // Bottleneck-fair delivery at ~5 Gbps each.
+  EXPECT_NEAR(static_cast<double>(net.host_at(dst).delivered_bytes(a)) * 8 /
+                  10e-3 / 1e9,
+              5.0, 0.5);
+}
+
+TEST(PauseQuanta, NoRefreshSelfHealsTheLoopDeadlock) {
+  // The implicit reactive mechanism: without refresh, the routing-loop
+  // deadlock dissolves when the quanta lapse and TTL drains the loop.
+  Simulator sim;
+  const RingTopo ring = make_ring(2, 1, LinkParams{Rate::gbps(40), 1_us});
+  Topology topo = ring.topo;
+  NetConfig cfg;
+  cfg.pfc.pause_quanta = Time{100'000'000};
+  cfg.pfc.pause_refresh = false;
+  Network net(sim, topo, cfg);
+  routing::install_loop_route(net, ring.hosts[1][0], ring.switches);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = ring.hosts[0][0];
+  f.dst_host = ring.hosts[1][0];
+  f.packet_bytes = 1000;
+  f.ttl = 16;
+  net.host_at(f.src_host).add_flow(
+      f, std::make_unique<TokenBucketPacer>(Rate::gbps(9), 1000));
+  sim.run_until(10_ms);
+  const auto drain = analysis::stop_and_drain(net, 20_ms);
+  EXPECT_FALSE(drain.deadlocked)
+      << "without refresh the pause cycle cannot persist";
+}
+
+TEST(PauseQuanta, ZeroQuantaMeansPersistentPause) {
+  // Default behaviour is unchanged: the fig-4 deadlock persists.
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  Scenario s = make_four_switch(p);
+  const RunSummary r = run_and_check(s, 20_ms, 10_ms);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,178 @@
+// Randomized property soak: across randomly generated topologies, routing
+// schemes, and flow sets, the library's core guarantees must hold:
+//
+//   P1  losslessness: PFC never lets the shared buffer overflow;
+//   P2  Dally-Seitz: an acyclic buffer dependency graph means no deadlock,
+//       ever (the certified-deadlock-free direction);
+//   P3  detector soundness: if the online monitor confirms a deadlock, the
+//       stop-and-drain ground truth agrees — and vice versa;
+//   P4  packet conservation: sent = delivered + TTL drops + trapped.
+//
+// Each parameter seed generates one configuration deterministically.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/common/rng.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+struct SoakConfig {
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<Network> net;
+  std::vector<FlowSpec> flows;
+};
+
+SoakConfig generate(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  SoakConfig cfg;
+  cfg.sim = std::make_unique<Simulator>();
+
+  // Random topology.
+  switch (rng.uniform(5)) {
+    case 0: {
+      RingTopo r = make_ring(3 + static_cast<int>(rng.uniform(4)), 2);
+      cfg.topo = std::make_unique<Topology>(std::move(r.topo));
+      break;
+    }
+    case 1: {
+      MeshTopo m = make_mesh(2 + static_cast<int>(rng.uniform(2)),
+                             2 + static_cast<int>(rng.uniform(2)));
+      cfg.topo = std::make_unique<Topology>(std::move(m.topo));
+      break;
+    }
+    case 2: {
+      LeafSpineTopo ls =
+          make_leaf_spine(2 + static_cast<int>(rng.uniform(3)),
+                          1 + static_cast<int>(rng.uniform(2)), 2);
+      cfg.topo = std::make_unique<Topology>(std::move(ls.topo));
+      break;
+    }
+    case 3: {
+      JellyfishTopo j = make_jellyfish(8, 3, 1, seed);
+      cfg.topo = std::make_unique<Topology>(std::move(j.topo));
+      break;
+    }
+    default: {
+      BCubeRelayTopo bc = make_bcube_relay(2 + static_cast<int>(rng.uniform(2)), 1);
+      cfg.topo = std::make_unique<Topology>(std::move(bc.topo));
+      break;
+    }
+  }
+
+  NetConfig net_cfg;
+  net_cfg.tx_jitter = Time{static_cast<std::int64_t>(rng.uniform(20'000))};
+  net_cfg.jitter_seed = seed;
+  net_cfg.pfc.xoff_bytes =
+      20 * 1024 + static_cast<std::int64_t>(rng.uniform(40 * 1024));
+  net_cfg.pfc.xon_bytes = net_cfg.pfc.xoff_bytes - 2000;
+  cfg.net = std::make_unique<Network>(*cfg.sim, *cfg.topo, net_cfg);
+
+  // Random routing: shortest-path ECMP or up*/down*.
+  if (rng.uniform(2) == 0) {
+    routing::install_shortest_paths(*cfg.net);
+  } else {
+    routing::install_up_down(*cfg.net);
+  }
+
+  // Random flows between distinct hosts.
+  const auto hosts = cfg.topo->hosts();
+  const int num_flows = 4 + static_cast<int>(rng.uniform(8));
+  for (int i = 0; i < num_flows; ++i) {
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src_host = hosts[rng.uniform(hosts.size())];
+    do {
+      f.dst_host = hosts[rng.uniform(hosts.size())];
+    } while (f.dst_host == f.src_host);
+    f.packet_bytes = 500 + static_cast<std::uint32_t>(rng.uniform(3)) * 250;
+    f.ttl = static_cast<std::uint8_t>(8 + rng.uniform(56));
+    std::unique_ptr<Pacer> pacer;
+    if (rng.uniform(3) == 0) {
+      pacer = std::make_unique<TokenBucketPacer>(
+          Rate::gbps(1 + static_cast<double>(rng.uniform(30))),
+          f.packet_bytes);
+    }
+    cfg.net->host_at(f.src_host).add_flow(f, std::move(pacer));
+    cfg.flows.push_back(f);
+  }
+  return cfg;
+}
+
+class PropertySoak : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySoak, InvariantsHold) {
+  SoakConfig cfg = generate(GetParam());
+
+  // Packet sizes vary per flow; count packets via traces.
+  std::uint64_t ttl_drops = 0, noroute_drops = 0;
+  std::uint64_t trapped_packets_hint = 0;
+  cfg.net->trace().dropped = [&](Time, const Packet&, NodeId, DropReason r) {
+    if (r == DropReason::kTtlExpired) ++ttl_drops;
+    if (r == DropReason::kNoRoute) ++noroute_drops;
+  };
+
+  const bool bdg_acyclic =
+      !analysis::BufferDependencyGraph::build(*cfg.net, cfg.flows).has_cycle();
+
+  analysis::DeadlockMonitor monitor(*cfg.net, 50_us, 1_ms);
+  monitor.start(Time::zero(), 15_ms);
+  cfg.sim->run_until(5_ms);
+  const auto drain = analysis::stop_and_drain(*cfg.net, 10_ms);
+
+  // P1: losslessness.
+  EXPECT_EQ(cfg.net->drops(DropReason::kBufferOverflow), 0u)
+      << "seed " << GetParam();
+
+  // P2: certified-free never deadlocks.
+  if (bdg_acyclic) {
+    EXPECT_FALSE(drain.deadlocked) << "seed " << GetParam();
+  }
+
+  // P3: detector agreement (the monitor keeps polling through the drain).
+  EXPECT_EQ(monitor.deadlocked(), drain.deadlocked) << "seed " << GetParam();
+
+  // P4: packet conservation. Trapped bytes are whole packets of the flows
+  // involved; count trapped packets by re-walking per-queue flow bytes.
+  std::uint64_t sent = 0, delivered = 0;
+  std::uint64_t sent_bytes = 0, delivered_bytes = 0, dropped_bytes = 0;
+  cfg.net->trace().dropped = nullptr;
+  for (const FlowSpec& f : cfg.flows) {
+    sent += cfg.net->host_at(f.src_host).sent_packets(f.id);
+    delivered += cfg.net->host_at(f.dst_host).delivered_packets(f.id);
+    sent_bytes += static_cast<std::uint64_t>(
+        cfg.net->host_at(f.src_host).sent_bytes(f.id));
+    delivered_bytes += static_cast<std::uint64_t>(
+        cfg.net->host_at(f.dst_host).delivered_bytes(f.id));
+  }
+  (void)trapped_packets_hint;
+  (void)dropped_bytes;
+  // Byte-level conservation: sent = delivered + trapped + dropped bytes.
+  // We track dropped packets only by count; re-derive dropped bytes bound:
+  // every packet is 500-1000 bytes.
+  const std::uint64_t trapped_bytes =
+      static_cast<std::uint64_t>(drain.trapped_bytes);
+  const std::uint64_t explained_min =
+      delivered_bytes + trapped_bytes + 500 * (ttl_drops + noroute_drops);
+  const std::uint64_t explained_max =
+      delivered_bytes + trapped_bytes + 1000 * (ttl_drops + noroute_drops);
+  EXPECT_GE(sent_bytes, explained_min) << "seed " << GetParam();
+  EXPECT_LE(sent_bytes, explained_max) << "seed " << GetParam();
+  EXPECT_GE(sent, delivered) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, PropertySoak,
+                         testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,123 @@
+// Edge cases of the risk analyzer's path walking and rate allocation:
+// blackholes, unreachable destinations, empty flow sets, demand vectors.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/risk.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::analysis {
+namespace {
+
+using namespace dcdl::topo;
+
+TEST(RiskEdges, EmptyFlowSet) {
+  Simulator sim;
+  const RingTopo line = make_line(2, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  const RiskReport r = assess_deadlock_risk(net, {});
+  EXPECT_FALSE(r.cbd_present);
+  EXPECT_EQ(r.max_risk, 0.0);
+  EXPECT_TRUE(stable_flow_rates(net, {}).empty());
+}
+
+TEST(RiskEdges, BlackholedFlowGetsAPrefixOnly) {
+  Simulator sim;
+  const RingTopo line = make_line(3, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  // Remove the middle switch's route: the flow blackholes there.
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = line.hosts[0][0];
+  f.dst_host = line.hosts[2][0];
+  net.switch_at(line.switches[1]).routes().clear();
+  const auto channels = flow_channels(net, {f});
+  ASSERT_EQ(channels.size(), 1u);
+  // host->S0 and S0->S1; nothing beyond the blackhole.
+  EXPECT_EQ(channels[0].size(), 2u);
+  // Rates still computable (the truncated path is what loads links).
+  const auto rates = stable_flow_rates(net, {f});
+  EXPECT_EQ(rates.size(), 1u);
+}
+
+TEST(RiskEdges, UnreachableDestination) {
+  Simulator sim;
+  const RingTopo line = make_line(2, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  // No routes installed at all.
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = line.hosts[0][0];
+  f.dst_host = line.hosts[1][0];
+  const RiskReport r = assess_deadlock_risk(net, {f});
+  EXPECT_FALSE(r.cbd_present);
+}
+
+TEST(RiskEdges, DemandVectorShorterThanFlows) {
+  Simulator sim;
+  const RingTopo line = make_line(2, 2);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  std::vector<FlowSpec> flows;
+  for (FlowId id : {1u, 2u}) {
+    FlowSpec f;
+    f.id = id;
+    f.src_host = line.hosts[0][id - 1];
+    f.dst_host = line.hosts[1][id - 1];
+    flows.push_back(f);
+  }
+  // Only flow 1 capped; flow 2 takes what max-min leaves.
+  const auto rates = stable_flow_rates(net, flows, {Rate::gbps(4)});
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[0].as_gbps(), 4.0, 0.1);
+  EXPECT_NEAR(rates[1].as_gbps(), 36.0, 0.5);  // leftover of the S0->S1 link
+}
+
+TEST(RiskEdges, StableRatesRespectSharedBottleneck) {
+  // Three flows over one 40G link: 13.33 each.
+  Simulator sim;
+  const RingTopo line = make_line(2, 3);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  std::vector<FlowSpec> flows;
+  for (FlowId id : {1u, 2u, 3u}) {
+    FlowSpec f;
+    f.id = id;
+    f.src_host = line.hosts[0][id - 1];
+    f.dst_host = line.hosts[1][id - 1];
+    flows.push_back(f);
+  }
+  const auto rates = stable_flow_rates(net, flows);
+  for (const Rate r : rates) EXPECT_NEAR(r.as_gbps(), 40.0 / 3, 0.2);
+}
+
+TEST(RiskEdges, LoopChannelsAppearOnce) {
+  Simulator sim;
+  const RingTopo ring = make_ring(3, 1);
+  Topology topo = ring.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_loop_route(net, ring.hosts[1][0], ring.switches);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = ring.hosts[0][0];
+  f.dst_host = ring.hosts[1][0];
+  f.ttl = 30;
+  const auto channels = flow_channels(net, {f});
+  ASSERT_EQ(channels.size(), 1u);
+  // host->S0 plus the 3 distinct loop channels, each exactly once.
+  EXPECT_EQ(channels[0].size(), 4u);
+  std::set<std::pair<NodeId, PortId>> uniq(channels[0].begin(),
+                                           channels[0].end());
+  EXPECT_EQ(uniq.size(), channels[0].size());
+}
+
+}  // namespace
+}  // namespace dcdl::analysis

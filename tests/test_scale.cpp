@@ -1,0 +1,93 @@
+// Scale smoke tests: the simulator and analyses must stay correct (and
+// tractable) on fabric-sized topologies.
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/bdg.hpp"
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/common/rng.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+TEST(Scale, FatTreeK8Structure) {
+  const FatTreeTopo ft = make_fat_tree(8);
+  EXPECT_EQ(ft.core.size(), 16u);
+  EXPECT_EQ(ft.all_hosts.size(), 128u);
+  std::size_t switches = ft.core.size();
+  for (const auto& pod : ft.agg) switches += pod.size();
+  for (const auto& pod : ft.edge) switches += pod.size();
+  EXPECT_EQ(switches, 80u);
+  for (const NodeId sw : ft.topo.switches()) {
+    EXPECT_EQ(ft.topo.degree(sw), 8u);
+  }
+}
+
+TEST(Scale, FatTreeK8PermutationRunsLossless) {
+  Simulator sim;
+  const FatTreeTopo ft = make_fat_tree(8);
+  Topology topo = ft.topo;
+  NetConfig cfg;
+  cfg.tx_jitter = Time{10'000};
+  Network net(sim, topo, cfg);
+  routing::install_shortest_paths(net);
+
+  std::vector<NodeId> dsts = ft.all_hosts;
+  Rng rng(77);
+  rng.shuffle(dsts.begin(), dsts.end());
+  std::vector<FlowSpec> flows;
+  for (std::size_t i = 0; i < ft.all_hosts.size(); ++i) {
+    if (ft.all_hosts[i] == dsts[i]) continue;
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src_host = ft.all_hosts[i];
+    f.dst_host = dsts[i];
+    f.packet_bytes = 1000;
+    f.ttl = 64;
+    net.host_at(f.src_host).add_flow(f);
+    flows.push_back(f);
+  }
+  // Valley-free shortest paths on a fat tree: certified deadlock-free.
+  EXPECT_TRUE(analysis::routing_deadlock_free(net, flows));
+
+  sim.run_until(300_us);
+  EXPECT_EQ(net.drops(DropReason::kBufferOverflow), 0u);
+  std::int64_t delivered = 0;
+  for (const FlowSpec& f : flows) {
+    delivered += net.host_at(f.dst_host).delivered_bytes(f.id);
+  }
+  // 127 flows for 300 us minus ramp: aggregate well into the Tbps range.
+  EXPECT_GT(static_cast<double>(delivered) * 8 / 300e-6 / 1e12, 1.0);
+  EXPECT_FALSE(analysis::snapshot_wait_for(net).has_cycle);
+}
+
+TEST(Scale, JellyfishAllPairsAnalysisIsTractable) {
+  // 24 switches x 2 hosts: 2256 flows through the BDG builder + risk-free
+  // certification under up*/down*.
+  Simulator sim;
+  const JellyfishTopo j = make_jellyfish(24, 5, 2, 13);
+  Topology topo = j.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_up_down(net);
+  std::vector<FlowSpec> flows;
+  FlowId id = 1;
+  for (const NodeId a : topo.hosts()) {
+    for (const NodeId b : topo.hosts()) {
+      if (a == b) continue;
+      FlowSpec f;
+      f.id = id++;
+      f.src_host = a;
+      f.dst_host = b;
+      flows.push_back(f);
+    }
+  }
+  EXPECT_TRUE(analysis::routing_deadlock_free(net, flows));
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,60 @@
+// End-to-end smoke tests for the paper's three case studies. These are the
+// headline behaviours everything else supports:
+//   §3.1  routing loop deadlocks iff r > nB/TTL (5 Gbps at B=40G,n=2,TTL=16)
+//   §3.2  two flows with CBD -> no deadlock; adding flow 3 -> deadlock
+//   §3.3  rate-limiting flow 3 low enough avoids the deadlock
+#include <gtest/gtest.h>
+
+#include "dcdl/scenarios/scenario.hpp"
+
+namespace dcdl::scenarios {
+namespace {
+
+using dcdl::literals::operator""_ms;
+
+TEST(RoutingLoopSmoke, AboveThresholdDeadlocks) {
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(8);  // threshold is 5 Gbps
+  Scenario s = make_routing_loop(p);
+  const RunSummary r = run_and_check(s, 5_ms, 10_ms);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_GT(r.trapped_bytes, 0);
+}
+
+TEST(RoutingLoopSmoke, BelowThresholdDoesNotDeadlock) {
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(4);  // threshold is 5 Gbps
+  Scenario s = make_routing_loop(p);
+  const RunSummary r = run_and_check(s, 5_ms, 10_ms);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.trapped_bytes, 0);
+}
+
+TEST(FourSwitchSmoke, TwoFlowsNoDeadlock) {
+  FourSwitchParams p;
+  Scenario s = make_four_switch(p);
+  const RunSummary r = run_and_check(s, 10_ms, 10_ms);
+  EXPECT_FALSE(r.deadlocked);
+  // Both flows should have made progress (about B/2 each).
+  for (const auto& [flow, bytes] : r.delivered) {
+    EXPECT_GT(bytes, 0) << "flow " << flow;
+  }
+}
+
+TEST(FourSwitchSmoke, ThreeFlowsDeadlock) {
+  FourSwitchParams p;
+  p.with_flow3 = true;
+  Scenario s = make_four_switch(p);
+  const RunSummary r = run_and_check(s, 20_ms, 10_ms);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(RingDeadlockSmoke, ThreeSwitchRingDeadlocks) {
+  RingDeadlockParams p;
+  Scenario s = make_ring_deadlock(p);
+  const RunSummary r = run_and_check(s, 5_ms, 10_ms);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+}  // namespace
+}  // namespace dcdl::scenarios

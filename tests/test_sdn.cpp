@@ -1,0 +1,124 @@
+// SDN update model: naive scheduling can pass through loop states; the
+// ordered (downstream-first) schedule never does.
+#include <gtest/gtest.h>
+
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/routing/sdn.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::routing {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+// Line of 4 switches; dst at the right end. Initially everything points
+// right. The "update" moves S1 and S2 onto the path via the other side of
+// a ring (we use a ring so an alternative direction exists).
+struct Fixture {
+  Simulator sim;
+  RingTopo ring = make_ring(4, 1);
+  Topology topo = ring.topo;
+  std::unique_ptr<Network> net;
+  NodeId dst;
+
+  Fixture() {
+    net = std::make_unique<Network>(sim, topo, NetConfig{});
+    install_shortest_paths(*net, /*ecmp=*/false);
+    dst = ring.hosts[2][0];  // host on S2
+  }
+
+  PortId towards(NodeId from, NodeId to) {
+    return *topo.port_towards(from, to);
+  }
+
+  /// A plan that reverses S0 and S1's direction for dst: before, S0->S1->S2;
+  /// after, S0->S3->S2 and S1->S0->S3->S2. Applying S1's change before S0's
+  /// creates a transient S0<->S1 loop.
+  SdnUpdatePlan reversal_plan() {
+    SdnUpdatePlan plan(dst);
+    plan.add(ring.switches[1], towards(ring.switches[1], ring.switches[0]));
+    plan.add(ring.switches[0], towards(ring.switches[0], ring.switches[3]));
+    return plan;
+  }
+};
+
+TEST(Sdn, NaiveUpdateCanCreateTransientLoop) {
+  // Try seeds until the unlucky ordering (S1 first) occurs, then verify a
+  // loop exists in the window.
+  bool saw_loop = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !saw_loop; ++seed) {
+    Fixture fx;
+    SdnUpdatePlan plan = fx.reversal_plan();
+    plan.apply_naive(*fx.net, 1_ms, 1_ms, seed);
+    // Sample for loops every 50 us through the update window.
+    for (Time t = 1_ms; t <= 2_ms + 100_us; t += 50_us) {
+      fx.sim.run_until(t);
+      if (find_forwarding_loop(*fx.net, fx.dst).has_value()) {
+        saw_loop = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_loop);
+}
+
+TEST(Sdn, NaiveUpdateEventuallyConverges) {
+  Fixture fx;
+  SdnUpdatePlan plan = fx.reversal_plan();
+  const Time done = plan.apply_naive(*fx.net, 1_ms, 1_ms, 3);
+  fx.sim.run_until(done + 1_ms);
+  EXPECT_FALSE(find_forwarding_loop(*fx.net, fx.dst).has_value());
+  // Final state: S0 points at S3.
+  const auto eg =
+      fx.net->switch_at(fx.ring.switches[0]).routes().lookup(0, fx.dst);
+  ASSERT_TRUE(eg.has_value());
+  EXPECT_EQ(fx.topo.peer(fx.ring.switches[0], *eg).peer_node,
+            fx.ring.switches[3]);
+}
+
+TEST(Sdn, OrderedUpdateIsAlwaysLoopFree) {
+  Fixture fx;
+  SdnUpdatePlan plan = fx.reversal_plan();
+  plan.apply_ordered(*fx.net, 1_ms, 200_us);
+  // Check at a fine grain across the whole update window.
+  for (Time t = 900_us; t <= 2_ms; t += 10_us) {
+    fx.sim.run_until(t);
+    EXPECT_FALSE(find_forwarding_loop(*fx.net, fx.dst).has_value())
+        << "loop at " << t.to_string();
+  }
+}
+
+TEST(Sdn, OrderedUpdateReachesSameFinalState) {
+  Fixture naive_fx, ordered_fx;
+  {
+    SdnUpdatePlan plan = naive_fx.reversal_plan();
+    const Time done = plan.apply_naive(*naive_fx.net, 1_ms, 500_us, 7);
+    naive_fx.sim.run_until(done + 1_ms);
+  }
+  {
+    SdnUpdatePlan plan = ordered_fx.reversal_plan();
+    const Time done = plan.apply_ordered(*ordered_fx.net, 1_ms, 200_us);
+    ordered_fx.sim.run_until(done + 1_ms);
+  }
+  for (const NodeId sw : naive_fx.topo.switches()) {
+    EXPECT_EQ(naive_fx.net->switch_at(sw).routes().lookup(0, naive_fx.dst),
+              ordered_fx.net->switch_at(sw).routes().lookup(0, ordered_fx.dst));
+  }
+}
+
+TEST(Sdn, RemovalEntriesAreSupported) {
+  Fixture fx;
+  SdnUpdatePlan plan(fx.dst);
+  plan.add(fx.ring.switches[0], std::nullopt);
+  plan.apply_ordered(*fx.net, 1_ms, 0_us);
+  fx.sim.run_until(2_ms);
+  EXPECT_FALSE(fx.net->switch_at(fx.ring.switches[0])
+                   .routes()
+                   .lookup(0, fx.dst)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace dcdl::routing

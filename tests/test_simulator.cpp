@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dcdl/sim/simulator.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30_ns, [&] { order.push_back(3); });
+  sim.schedule_at(10_ns, [&] { order.push_back(1); });
+  sim.schedule_at(20_ns, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_ns);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5_ns, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired = Time::zero();
+  sim.schedule_at(100_ns, [&] {
+    sim.schedule_in(50_ns, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 150_ns);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(10_ns, [&] { ++fired; });
+  sim.schedule_at(5_ns, [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(1_ns, [&] { ++fired; });
+  sim.run();
+  sim.cancel(id);  // no crash, no effect
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10_ns, [&] { ++fired; });
+  sim.schedule_at(100_ns, [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(50_ns));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50_ns);
+  // The later event still fires on the next run.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilExecutesEventExactlyAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(50_ns, [&] { ++fired; });
+  sim.run_until(50_ns);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1_ns, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2_ns, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10_ns, [&] {
+    order.push_back(1);
+    sim.schedule_in(Time::zero(), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, PendingEventsAccountsForCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1_ns, [] {});
+  sim.schedule_at(2_ns, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorDeath, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(10_ns, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(5_ns, [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,270 @@
+// Unit tests of the switch data path: forwarding, ingress accounting,
+// PFC threshold behaviour, TTL semantics, re-classification, shapers.
+#include <gtest/gtest.h>
+
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/stats/pause_log.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+// One switch, two hosts: h0 -- S -- h1.
+struct SingleSwitch {
+  Simulator sim;
+  Topology topo;
+  NodeId s, h0, h1;
+  std::unique_ptr<Network> net;
+
+  explicit SingleSwitch(NetConfig cfg = {}) {
+    s = topo.add_switch("S");
+    h0 = topo.add_host("h0");
+    h1 = topo.add_host("h1");
+    topo.add_link(s, h0, Rate::gbps(40), 1_us);
+    topo.add_link(s, h1, Rate::gbps(40), 1_us);
+    net = std::make_unique<Network>(sim, topo, cfg);
+    routing::install_shortest_paths(*net);
+  }
+
+  FlowSpec flow(FlowId id, Rate rate = Rate::zero()) {
+    FlowSpec f;
+    f.id = id;
+    f.src_host = h0;
+    f.dst_host = h1;
+    f.packet_bytes = 1000;
+    std::unique_ptr<Pacer> pacer;
+    if (!rate.is_zero()) pacer = std::make_unique<TokenBucketPacer>(rate, 1000);
+    net->host_at(h0).add_flow(f, std::move(pacer));
+    return f;
+  }
+};
+
+TEST(Switch, ForwardsHostToHost) {
+  SingleSwitch fx;
+  fx.flow(1, Rate::gbps(10));
+  fx.sim.run_until(1_ms);
+  // 10 Gbps for 1 ms = 1.25 MB; minus the pipeline fill.
+  const auto delivered = fx.net->host_at(fx.h1).delivered_bytes(1);
+  EXPECT_GT(delivered, 1'200'000);
+  EXPECT_LE(delivered, 1'250'000);
+  EXPECT_EQ(fx.net->drops(DropReason::kBufferOverflow), 0u);
+}
+
+TEST(Switch, GreedyFlowSaturatesLine) {
+  SingleSwitch fx;
+  fx.flow(1);
+  fx.sim.run_until(1_ms);
+  // 40 Gbps for 1 ms = 5 MB, minus startup.
+  EXPECT_GT(fx.net->host_at(fx.h1).delivered_bytes(1), 4'900'000);
+}
+
+TEST(Switch, IngressAccountingReturnsToZero) {
+  SingleSwitch fx;
+  fx.flow(1, Rate::gbps(10));
+  fx.net->host_at(fx.h0).stop_all_flows();
+  fx.sim.run_until(1_ms);
+  const auto& sw = fx.net->switch_at(fx.s);
+  for (PortId p = 0; p < sw.num_ports(); ++p) {
+    EXPECT_EQ(sw.ingress_bytes(p, 0), 0);
+  }
+  EXPECT_EQ(sw.total_buffered(), 0);
+}
+
+TEST(Switch, NoRouteDropsAndFreesBuffer) {
+  SingleSwitch fx;
+  // A flow to an address nobody routes.
+  FlowSpec f;
+  f.id = 9;
+  f.src_host = fx.h0;
+  f.dst_host = fx.h0;  // self; switch has a route... use a bogus dst
+  f.dst_host = 12345;  // unknown node id: lookup fails at the switch
+  f.packet_bytes = 1000;
+  fx.net->host_at(fx.h0).add_flow(
+      f, std::make_unique<TokenBucketPacer>(Rate::gbps(1), 1000));
+  fx.sim.run_until(100_us);
+  EXPECT_GT(fx.net->drops(DropReason::kNoRoute), 0u);
+  EXPECT_EQ(fx.net->switch_at(fx.s).total_buffered(), 0);
+}
+
+TEST(Switch, PfcPausesSourceWhenEgressOversubscribed) {
+  // Two senders to one receiver: the receiver link is the bottleneck, so
+  // ingress counters grow and PFC pauses the hosts; nothing is dropped.
+  Simulator sim;
+  Topology topo;
+  const NodeId s = topo.add_switch("S");
+  const NodeId a = topo.add_host("a");
+  const NodeId b = topo.add_host("b");
+  const NodeId dst = topo.add_host("dst");
+  topo.add_link(s, a, Rate::gbps(40), 1_us);
+  topo.add_link(s, b, Rate::gbps(40), 1_us);
+  topo.add_link(s, dst, Rate::gbps(40), 1_us);
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  stats::PauseEventLog log(net);
+  for (const NodeId src : {a, b}) {
+    FlowSpec f;
+    f.id = src;
+    f.src_host = src;
+    f.dst_host = dst;
+    f.packet_bytes = 1000;
+    net.host_at(src).add_flow(f);
+  }
+  sim.run_until(5_ms);
+  EXPECT_GT(log.events().size(), 0u);
+  EXPECT_EQ(net.drops(DropReason::kBufferOverflow), 0u);
+  // Both hosts were paused at some point.
+  EXPECT_GT(log.pause_count(stats::QueueKey{s, 0, 0}), 0u);
+  EXPECT_GT(log.pause_count(stats::QueueKey{s, 1, 0}), 0u);
+  // Fair split: each flow ~20 Gbps of the 40 Gbps receiver link.
+  const auto da = net.host_at(dst).delivered_bytes(a);
+  const auto db = net.host_at(dst).delivered_bytes(b);
+  EXPECT_NEAR(static_cast<double>(da) / static_cast<double>(db), 1.0, 0.05);
+  EXPECT_GT(da + db, 11'000'000);  // close to 12.5 MB line-rate total
+}
+
+TEST(Switch, XoffRespectedWithinHeadroom) {
+  // Occupancy may exceed Xoff only by the in-flight data of the PFC
+  // reaction time: rate * (2 * delay + pause serialization + one packet).
+  SingleSwitch fx;
+  fx.flow(1);  // greedy into a 40G egress: no congestion, tiny queues
+  Simulator& sim = fx.sim;
+  sim.run_until(2_ms);
+  const auto& sw = fx.net->switch_at(fx.s);
+  const std::int64_t headroom =
+      bytes_in(Rate::gbps(40), 2 * 1_us) + 2000 + 64;
+  for (PortId p = 0; p < sw.num_ports(); ++p) {
+    EXPECT_LE(sw.ingress_bytes(p, 0),
+              fx.net->config().pfc.xoff_bytes + headroom);
+  }
+}
+
+TEST(Switch, TtlExpiredPacketsAreDropped) {
+  // Three switches in a line; TTL 1 survives one switch-to-switch hop but
+  // is dropped at the second forwarding decision.
+  Simulator sim;
+  const RingTopo line = make_line(3, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = line.hosts[0][0];
+  f.dst_host = line.hosts[2][0];
+  f.packet_bytes = 1000;
+  f.ttl = 1;  // needs 2 switch-to-switch hops: S0->S1, S1->S2
+  net.host_at(f.src_host).add_flow(
+      f, std::make_unique<TokenBucketPacer>(Rate::gbps(1), 1000));
+  sim.run_until(200_us);
+  EXPECT_EQ(net.host_at(f.dst_host).delivered_packets(1), 0u);
+  EXPECT_GT(net.drops(DropReason::kTtlExpired), 0u);
+}
+
+TEST(Switch, TtlSufficientForPathIsDelivered) {
+  Simulator sim;
+  const RingTopo line = make_line(3, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = line.hosts[0][0];
+  f.dst_host = line.hosts[2][0];
+  f.packet_bytes = 1000;
+  f.ttl = 2;  // exactly the number of switch-to-switch hops
+  net.host_at(f.src_host).add_flow(
+      f, std::make_unique<TokenBucketPacer>(Rate::gbps(1), 1000));
+  sim.run_until(200_us);
+  EXPECT_GT(net.host_at(f.dst_host).delivered_packets(1), 0u);
+  EXPECT_EQ(net.drops(DropReason::kTtlExpired), 0u);
+}
+
+TEST(Switch, ReclassHookSetsDepartureClass) {
+  // hop_class-style mapper: packets leave the first switch in class 1.
+  NetConfig cfg;
+  cfg.num_classes = 2;
+  cfg.reclass = [](const Packet&, NodeId) -> ClassId { return 1; };
+  Simulator sim;
+  const RingTopo line = make_line(2, 1);
+  Topology topo = line.topo;
+  Network net(sim, topo, cfg);
+  routing::install_shortest_paths(net);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = line.hosts[0][0];
+  f.dst_host = line.hosts[1][0];
+  f.packet_bytes = 1000;
+  f.prio = 0;
+  net.host_at(f.src_host).add_flow(
+      f, std::make_unique<TokenBucketPacer>(Rate::gbps(1), 1000));
+  // Track classes seen at the second switch's ingress from the first.
+  bool saw_class1_arrival = false;
+  net.trace().tx_start = [&](Time, const Packet& pkt, NodeId node, PortId) {
+    if (node == line.switches[0] && pkt.prio == 1) saw_class1_arrival = true;
+  };
+  sim.run_until(100_us);
+  EXPECT_TRUE(saw_class1_arrival);
+  // And the second switch accounted it in class 1.
+  EXPECT_GT(net.switch_at(line.switches[1]).departures(0, 1), 0u);
+}
+
+TEST(Switch, IngressShaperLimitsThroughput) {
+  SingleSwitch fx;
+  fx.flow(1);  // greedy
+  // Limit everything arriving from h0 to 5 Gbps.
+  const PortId from_h0 = *fx.topo.port_towards(fx.s, fx.h0);
+  fx.net->switch_at(fx.s).set_ingress_shaper(from_h0, Rate::gbps(5), 1000);
+  fx.sim.run_until(2_ms);
+  const auto delivered = fx.net->host_at(fx.h1).delivered_bytes(1);
+  // 5 Gbps for 2 ms = 1.25 MB.
+  EXPECT_NEAR(static_cast<double>(delivered), 1.25e6, 0.05e6);
+  EXPECT_EQ(fx.net->drops(DropReason::kBufferOverflow), 0u);
+}
+
+TEST(Switch, ShaperBackpressuresViaPfcNotDrops) {
+  SingleSwitch fx;
+  fx.flow(1);  // greedy 40G into a 5G shaper
+  const PortId from_h0 = *fx.topo.port_towards(fx.s, fx.h0);
+  fx.net->switch_at(fx.s).set_ingress_shaper(from_h0, Rate::gbps(5), 1000);
+  stats::PauseEventLog log(*fx.net);
+  fx.sim.run_until(1_ms);
+  EXPECT_GT(log.pause_count(stats::QueueKey{fx.s, from_h0, 0}), 0u);
+  EXPECT_EQ(fx.net->drops(DropReason::kBufferOverflow), 0u);
+  // Held + queued bytes stay near the Xoff threshold.
+  EXPECT_LE(fx.net->switch_at(fx.s).ingress_bytes(from_h0, 0),
+            fx.net->config().pfc.xoff_bytes + 15'000);
+}
+
+TEST(Switch, PfcDisabledAllowsOverflowDrops) {
+  NetConfig cfg;
+  cfg.pfc.enabled = false;
+  cfg.switch_buffer_bytes = 100 * 1000;  // tiny buffer
+  Simulator sim;
+  Topology topo;
+  const NodeId s = topo.add_switch("S");
+  const NodeId a = topo.add_host("a");
+  const NodeId b = topo.add_host("b");
+  const NodeId dst = topo.add_host("dst");
+  topo.add_link(s, a, Rate::gbps(40), 1_us);
+  topo.add_link(s, b, Rate::gbps(40), 1_us);
+  topo.add_link(s, dst, Rate::gbps(10), 1_us);  // bottleneck
+  Network net(sim, topo, cfg);
+  routing::install_shortest_paths(net);
+  for (const NodeId src : {a, b}) {
+    FlowSpec f;
+    f.id = src;
+    f.src_host = src;
+    f.dst_host = dst;
+    f.packet_bytes = 1000;
+    net.host_at(src).add_flow(f);
+  }
+  sim.run_until(1_ms);
+  EXPECT_GT(net.drops(DropReason::kBufferOverflow), 0u);
+}
+
+}  // namespace
+}  // namespace dcdl

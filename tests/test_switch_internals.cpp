@@ -1,0 +1,137 @@
+// White-box tests of switch internals: egress queue introspection,
+// watchdog flush accounting, per-flow attribution, threshold overrides.
+#include <gtest/gtest.h>
+
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+// h0 -> S0 -> S1 -> h1, with S1's egress toward h1 pausable by... hosts
+// never pause, so congestion is created by pausing S0<-S1 manually.
+struct Chain {
+  Simulator sim;
+  RingTopo line = make_line(2, 1, LinkParams{Rate::gbps(40), 1_us});
+  Topology topo = line.topo;
+  std::unique_ptr<Network> net;
+
+  Chain() {
+    net = std::make_unique<Network>(sim, topo, NetConfig{});
+    routing::install_shortest_paths(*net);
+  }
+
+  PortId port(NodeId from, NodeId to) { return *topo.port_towards(from, to); }
+};
+
+TEST(SwitchInternals, EgressQueueBytesTrackBacklog) {
+  Chain fx;
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = fx.line.hosts[0][0];
+  f.dst_host = fx.line.hosts[1][0];
+  f.packet_bytes = 1000;
+  fx.net->host_at(f.src_host).add_flow(f);
+  // Pause S0's egress toward S1 by hand: backlog accumulates in the
+  // egress queue, charged to the host-facing ingress counter.
+  const PortId s0_to_s1 = fx.port(fx.line.switches[0], fx.line.switches[1]);
+  const PortId s0_from_h0 = fx.port(fx.line.switches[0], fx.line.hosts[0][0]);
+  fx.sim.schedule_at(10_us, [&] {
+    fx.net->switch_at(fx.line.switches[0]).on_pfc(s0_to_s1, 0, true);
+  });
+  fx.sim.run_until(100_us);
+  auto& sw = fx.net->switch_at(fx.line.switches[0]);
+  EXPECT_TRUE(sw.egress_paused(s0_to_s1, 0));
+  EXPECT_GT(sw.egress_queue_bytes(s0_to_s1, 0), 30'000);
+  EXPECT_EQ(sw.egress_queue_bytes(s0_to_s1, 0),
+            sw.egress_bytes_from(s0_to_s1, 0, s0_from_h0, 0));
+  EXPECT_EQ(sw.ingress_bytes(s0_from_h0, 0),
+            sw.egress_queue_bytes(s0_to_s1, 0));
+  EXPECT_GE(sw.egress_paused_for(s0_to_s1, 0), 80_us);
+}
+
+TEST(SwitchInternals, FlushReleasesCountersAndResumes) {
+  Chain fx;
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = fx.line.hosts[0][0];
+  f.dst_host = fx.line.hosts[1][0];
+  f.packet_bytes = 1000;
+  fx.net->host_at(f.src_host).add_flow(f);
+  const PortId s0_to_s1 = fx.port(fx.line.switches[0], fx.line.switches[1]);
+  const PortId s0_from_h0 = fx.port(fx.line.switches[0], fx.line.hosts[0][0]);
+  fx.sim.schedule_at(10_us, [&] {
+    fx.net->switch_at(fx.line.switches[0]).on_pfc(s0_to_s1, 0, true);
+  });
+  fx.sim.run_until(100_us);
+  auto& sw = fx.net->switch_at(fx.line.switches[0]);
+  ASSERT_TRUE(sw.pause_asserted(s0_from_h0, 0));  // host is being paused
+  const std::int64_t backlog = sw.egress_queue_bytes(s0_to_s1, 0);
+  const std::uint64_t flushed = sw.flush_egress_queue(s0_to_s1, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(flushed) * 1000, backlog);
+  EXPECT_EQ(sw.egress_queue_bytes(s0_to_s1, 0), 0);
+  EXPECT_EQ(sw.ingress_bytes(s0_from_h0, 0), 0);
+  EXPECT_EQ(sw.total_buffered(), 0);
+  EXPECT_EQ(fx.net->drops(DropReason::kWatchdogReset), flushed);
+  // The flush emitted the RESUME toward the host.
+  fx.sim.run_until(110_us);
+  EXPECT_FALSE(fx.net->host_at(fx.line.hosts[0][0]).egress_paused(0));
+}
+
+TEST(SwitchInternals, IgnorePauseWindowTransmitsThroughXoff) {
+  Chain fx;
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = fx.line.hosts[0][0];
+  f.dst_host = fx.line.hosts[1][0];
+  f.packet_bytes = 1000;
+  fx.net->host_at(f.src_host).add_flow(f);
+  const PortId s0_to_s1 = fx.port(fx.line.switches[0], fx.line.switches[1]);
+  fx.sim.schedule_at(10_us, [&] {
+    fx.net->switch_at(fx.line.switches[0]).on_pfc(s0_to_s1, 0, true);
+  });
+  fx.sim.run_until(100_us);
+  const auto before = fx.net->host_at(fx.line.hosts[1][0]).delivered_bytes(1);
+  fx.net->switch_at(fx.line.switches[0])
+      .ignore_pause_until(s0_to_s1, 0, fx.sim.now() + 50_us);
+  fx.sim.run_until(160_us);
+  const auto during = fx.net->host_at(fx.line.hosts[1][0]).delivered_bytes(1);
+  EXPECT_GT(during, before + 30'000) << "the window drains the backlog";
+  // After the window the (still-asserted) pause bites again only if the
+  // peer re-asserts — our manual pause is still set:
+  fx.sim.run_until(300_us);
+  const auto after = fx.net->host_at(fx.line.hosts[1][0]).delivered_bytes(1);
+  // Backlog drained during the window; once empty and paused again, only
+  // the residual in-flight data arrives.
+  EXPECT_LT(after - during, 200'000);
+}
+
+TEST(SwitchInternals, ThresholdOverrideChangesPauseOnset) {
+  Chain fx;
+  const NodeId s0 = fx.line.switches[0];
+  const PortId s0_from_h0 = fx.port(s0, fx.line.hosts[0][0]);
+  const PortId s0_to_s1 = fx.port(s0, fx.line.switches[1]);
+  fx.net->switch_at(s0).set_thresholds(s0_from_h0, 0, 10'000, 8'000);
+  FlowSpec f;
+  f.id = 1;
+  f.src_host = fx.line.hosts[0][0];
+  f.dst_host = fx.line.hosts[1][0];
+  f.packet_bytes = 1000;
+  fx.net->host_at(f.src_host).add_flow(f);
+  fx.sim.schedule_at(10_us, [&] {
+    fx.net->switch_at(s0).on_pfc(s0_to_s1, 0, true);
+  });
+  fx.sim.run_until(100_us);
+  // Occupancy capped near the 10 KB threshold (plus the reaction window),
+  // far below the default 40 KB.
+  EXPECT_LT(fx.net->switch_at(s0).ingress_bytes(s0_from_h0, 0), 25'000);
+  EXPECT_TRUE(fx.net->switch_at(s0).pause_asserted(s0_from_h0, 0));
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,122 @@
+// TIMELY-like RTT-gradient pacer: unit behaviour plus end-to-end PFC
+// reduction on the incast (the paper's §4 second cited transport).
+#include <gtest/gtest.h>
+
+#include "dcdl/device/host.hpp"
+#include "dcdl/mitigation/timely.hpp"
+#include "dcdl/routing/compute.hpp"
+#include "dcdl/stats/pause_log.hpp"
+#include "dcdl/topo/generators.hpp"
+
+namespace dcdl::mitigation {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::topo;
+
+TEST(Timely, StartsAtLineRate) {
+  TimelyPacer p(TimelyParams{});
+  EXPECT_EQ(p.current_rate()->bps(), Rate::gbps(40).bps());
+}
+
+TEST(Timely, LowRttGrowsAdditively) {
+  TimelyParams params;
+  params.line_rate = Rate::gbps(40);
+  params.ewma_alpha = 1.0;  // no memory: isolates the branch under test
+  TimelyPacer p(params);
+  p.on_rtt(1_us, 6_us);  // seeds prev_rtt
+  // Force below line rate first with a high-RTT episode...
+  p.on_rtt(2_us, 80_us);
+  const double after_cut = p.current_rate()->as_gbps();
+  ASSERT_LT(after_cut, 40.0);
+  // ...then sub-T_low samples recover additively (constant low RTT keeps
+  // the streak at zero after the first negative-gradient jump).
+  p.on_rtt(3_us, 6_us);
+  const double base = p.current_rate()->as_gbps();
+  for (int i = 0; i < 10; ++i) {
+    p.on_rtt(Time{4'000'000 + i * 1'000'000}, 6_us);
+  }
+  EXPECT_NEAR(p.current_rate()->as_gbps(), base + 10 * 0.1, 0.2);
+}
+
+TEST(Timely, HighRttCutsMultiplicatively) {
+  TimelyPacer p(TimelyParams{});
+  p.on_rtt(1_us, 20_us);
+  p.on_rtt(2_us, 100_us);  // > T_high = 40 us
+  // cut = 1 - 0.8*(1 - 40/100) = 0.52.
+  EXPECT_NEAR(p.current_rate()->as_gbps(), 40.0 * 0.52, 0.5);
+}
+
+TEST(Timely, PositiveGradientDecreasesInTheBand) {
+  TimelyPacer p(TimelyParams{});
+  p.on_rtt(1_us, 10_us);
+  p.on_rtt(2_us, 30_us);  // in [T_low, T_high], rising steeply
+  EXPECT_GT(p.gradient(), 0.0);
+  EXPECT_LT(p.current_rate()->as_gbps(), 40.0);
+}
+
+TEST(Timely, NegativeGradientRecoversWithHai) {
+  TimelyParams params;
+  params.ewma_alpha = 1.0;  // instantaneous gradient for determinism
+  TimelyPacer p(params);
+  p.on_rtt(1_us, 20_us);
+  p.on_rtt(2_us, 100_us);  // cut hard (above T_high)
+  const double low = p.current_rate()->as_gbps();
+  // Falling RTTs inside the band: additive, then hyper after the streak:
+  // 4 samples x delta + 8 samples x 5*delta = 4.4 Gbps.
+  Time rtt = 38_us;
+  for (int i = 0; i < 12; ++i) {
+    p.on_rtt(Time{(3 + i) * 1'000'000}, rtt);
+    rtt -= 1_us;
+  }
+  EXPECT_NEAR(p.current_rate()->as_gbps(), low + 4.4, 0.3);
+}
+
+TEST(Timely, NeverBelowMinRate) {
+  TimelyParams params;
+  params.min_rate = Rate::mbps(50);
+  TimelyPacer p(params);
+  p.on_rtt(1_us, 100_us);
+  for (int i = 0; i < 100; ++i) {
+    p.on_rtt(Time{(2 + i) * 1'000'000}, 800_us);
+  }
+  EXPECT_GE(p.current_rate()->bps(), Rate::mbps(50).bps());
+}
+
+TEST(Timely, ReducesPfcOnIncastEndToEnd) {
+  std::uint64_t pauses_plain = 0, pauses_timely = 0;
+  for (const bool timely : {false, true}) {
+    Simulator sim;
+    const LeafSpineTopo ls = make_leaf_spine(3, 2, 4);
+    Topology topo = ls.topo;
+    NetConfig cfg;
+    cfg.rtt_feedback = timely;
+    Network net(sim, topo, cfg);
+    routing::install_shortest_paths(net);
+    int made = 0;
+    for (int leaf = 1; leaf < 3; ++leaf) {
+      for (int h = 0; h < 4; ++h) {
+        FlowSpec f;
+        f.id = static_cast<FlowId>(++made);
+        f.src_host = ls.hosts[static_cast<std::size_t>(leaf)]
+                             [static_cast<std::size_t>(h)];
+        f.dst_host = ls.hosts[0][0];
+        f.packet_bytes = 1000;
+        std::unique_ptr<Pacer> pacer;
+        if (timely) pacer = std::make_unique<TimelyPacer>(TimelyParams{});
+        net.host_at(f.src_host).add_flow(f, std::move(pacer));
+      }
+    }
+    stats::PauseEventLog log(net);
+    sim.run_until(20_ms);
+    std::uint64_t pauses = 0;
+    for (const auto& e : log.events()) pauses += e.paused ? 1 : 0;
+    (timely ? pauses_timely : pauses_plain) = pauses;
+    EXPECT_EQ(net.drops(DropReason::kBufferOverflow), 0u);
+  }
+  EXPECT_LT(pauses_timely * 5, pauses_plain)
+      << "TIMELY should cut pause generation by >5x";
+}
+
+}  // namespace
+}  // namespace dcdl::mitigation

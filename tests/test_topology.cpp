@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcdl/topo/generators.hpp"
+#include "dcdl/topo/topology.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::topo;
+
+TEST(Topology, PortsAndPeersAreSymmetric) {
+  Topology t;
+  const NodeId a = t.add_switch("a");
+  const NodeId b = t.add_switch("b");
+  const NodeId h = t.add_host("h");
+  t.add_link(a, b);
+  t.add_link(a, h);
+
+  EXPECT_EQ(t.degree(a), 2u);
+  EXPECT_EQ(t.degree(b), 1u);
+  const PortPeer& ab = t.peer(a, 0);
+  EXPECT_EQ(ab.peer_node, b);
+  const PortPeer& back = t.peer(ab.peer_node, ab.peer_port);
+  EXPECT_EQ(back.peer_node, a);
+  EXPECT_EQ(back.peer_port, 0);
+}
+
+TEST(Topology, PortTowards) {
+  Topology t;
+  const NodeId a = t.add_switch();
+  const NodeId b = t.add_switch();
+  const NodeId c = t.add_switch();
+  t.add_link(a, b);
+  t.add_link(a, c);
+  EXPECT_EQ(t.port_towards(a, b), PortId{0});
+  EXPECT_EQ(t.port_towards(a, c), PortId{1});
+  EXPECT_FALSE(t.port_towards(b, c).has_value());
+}
+
+TEST(Topology, HostSwitchQueries) {
+  Topology t;
+  const NodeId s = t.add_switch();
+  const NodeId h = t.add_host();
+  t.add_link(s, h);
+  EXPECT_TRUE(t.is_switch(s));
+  EXPECT_TRUE(t.is_host(h));
+  EXPECT_EQ(t.switches(), std::vector<NodeId>{s});
+  EXPECT_EQ(t.hosts(), std::vector<NodeId>{h});
+  EXPECT_EQ(t.first_host_of(s), h);
+}
+
+TEST(Generators, RingHasNLinksPlusHosts) {
+  const RingTopo r = make_ring(5, 2);
+  EXPECT_EQ(r.switches.size(), 5u);
+  EXPECT_EQ(r.topo.link_count(), 5u + 10u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(r.topo.port_towards(r.switches[i], r.switches[(i + 1) % 5])
+                    .has_value());
+    EXPECT_EQ(r.hosts[i].size(), 2u);
+  }
+}
+
+TEST(Generators, TwoSwitchRingIsSingleLink) {
+  const RingTopo r = make_ring(2, 1);
+  // One switch-switch link (not two parallel ones) + two host links.
+  EXPECT_EQ(r.topo.link_count(), 3u);
+  EXPECT_EQ(r.topo.degree(r.switches[0]), 2u);
+}
+
+TEST(Generators, LineIsAcyclicChain) {
+  const RingTopo l = make_line(4, 1);
+  EXPECT_EQ(l.topo.link_count(), 3u + 4u);
+  EXPECT_FALSE(
+      l.topo.port_towards(l.switches[0], l.switches[3]).has_value());
+}
+
+TEST(Generators, MeshGridStructure) {
+  const MeshTopo m = make_mesh(3, 4);
+  // Links: horizontal 3*3 + vertical 2*4 = 17, plus 12 host links.
+  EXPECT_EQ(m.topo.link_count(), 17u + 12u);
+  EXPECT_TRUE(m.topo.port_towards(m.sw[1][1], m.sw[1][2]).has_value());
+  EXPECT_TRUE(m.topo.port_towards(m.sw[1][1], m.sw[2][1]).has_value());
+  EXPECT_FALSE(m.topo.port_towards(m.sw[0][0], m.sw[1][1]).has_value());
+}
+
+TEST(Generators, LeafSpineIsFullBipartite) {
+  const LeafSpineTopo ls = make_leaf_spine(4, 3, 2);
+  EXPECT_EQ(ls.leaves.size(), 4u);
+  EXPECT_EQ(ls.spines.size(), 3u);
+  for (const NodeId leaf : ls.leaves) {
+    for (const NodeId spine : ls.spines) {
+      EXPECT_TRUE(ls.topo.port_towards(leaf, spine).has_value());
+    }
+    EXPECT_EQ(ls.topo.degree(leaf), 3u + 2u);
+  }
+  for (const NodeId spine : ls.spines) {
+    EXPECT_EQ(ls.topo.node(spine).tier, 2);
+  }
+}
+
+TEST(Generators, FatTreeK4Counts) {
+  const FatTreeTopo ft = make_fat_tree(4);
+  EXPECT_EQ(ft.core.size(), 4u);         // (k/2)^2
+  EXPECT_EQ(ft.agg.size(), 4u);          // pods
+  EXPECT_EQ(ft.agg[0].size(), 2u);       // k/2 per pod
+  EXPECT_EQ(ft.edge[0].size(), 2u);
+  EXPECT_EQ(ft.all_hosts.size(), 16u);   // k^3/4
+  // Every switch has degree k.
+  for (const NodeId sw : ft.topo.switches()) {
+    EXPECT_EQ(ft.topo.degree(sw), 4u) << ft.topo.node(sw).name;
+  }
+  // Tiers annotated.
+  EXPECT_EQ(ft.topo.node(ft.core[0]).tier, 3);
+  EXPECT_EQ(ft.topo.node(ft.agg[0][0]).tier, 2);
+  EXPECT_EQ(ft.topo.node(ft.edge[0][0]).tier, 1);
+}
+
+TEST(Generators, FatTreeCoreReachesEveryPodOnce) {
+  const FatTreeTopo ft = make_fat_tree(4);
+  for (const NodeId core : ft.core) {
+    std::set<int> pods;
+    for (const auto& pp : ft.topo.ports(core)) {
+      for (int pod = 0; pod < 4; ++pod) {
+        for (const NodeId agg : ft.agg[pod]) {
+          if (pp.peer_node == agg) pods.insert(pod);
+        }
+      }
+    }
+    EXPECT_EQ(pods.size(), 4u);
+  }
+}
+
+TEST(Generators, BCubeCounts) {
+  const BCubeTopo bc = make_bcube(4, 1);
+  EXPECT_EQ(bc.hosts.size(), 16u);               // n^(k+1)
+  EXPECT_EQ(bc.level_switches.size(), 2u);       // levels 0..k
+  EXPECT_EQ(bc.level_switches[0].size(), 4u);    // n^k
+  // Every host has k+1 ports; every switch n ports.
+  for (const NodeId h : bc.hosts) EXPECT_EQ(bc.topo.degree(h), 2u);
+  for (const auto& level : bc.level_switches) {
+    for (const NodeId sw : level) EXPECT_EQ(bc.topo.degree(sw), 4u);
+  }
+}
+
+TEST(Generators, JellyfishIsRegularAndSimple) {
+  const JellyfishTopo j = make_jellyfish(12, 4, 1, /*seed=*/3);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (std::size_t i = 0; i < j.topo.link_count(); ++i) {
+    const auto& l = j.topo.link(static_cast<std::uint32_t>(i));
+    if (j.topo.is_host(l.a) || j.topo.is_host(l.b)) continue;
+    auto key = std::minmax(l.a, l.b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate edge";
+    EXPECT_NE(l.a, l.b);
+  }
+  for (const NodeId sw : j.switches) {
+    EXPECT_EQ(j.topo.degree(sw), 4u + 1u);  // degree + one host
+  }
+}
+
+TEST(Generators, JellyfishSeedsGiveDifferentGraphs) {
+  const JellyfishTopo a = make_jellyfish(12, 4, 0, 1);
+  const JellyfishTopo b = make_jellyfish(12, 4, 0, 2);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.topo.link_count() && !differ; ++i) {
+    const auto& la = a.topo.link(static_cast<std::uint32_t>(i));
+    const auto& lb = b.topo.link(static_cast<std::uint32_t>(i));
+    differ = la.a != lb.a || la.b != lb.b;
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace dcdl

@@ -1,0 +1,106 @@
+// §1's headline claim: "While transient loops will disappear by
+// themselves soon, deadlocks caused by them are not transient. Deadlocks
+// cannot recover automatically even after the problems that cause them
+// have been fixed."
+#include <gtest/gtest.h>
+
+#include "dcdl/analysis/boundary.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+
+namespace dcdl::scenarios {
+namespace {
+
+using namespace dcdl::literals;
+using analysis::BoundaryModel;
+
+TEST(TransientLoop, DeadlockOutlivesTheLoop) {
+  TransientLoopParams p;  // loop window [1 ms, 3 ms), threshold 5 Gbps
+  p.inject = Rate::gbps(10);
+  Scenario s = make_transient_loop(p);
+  s.sim->run_until(10_ms);  // 7 ms after the routes were repaired
+  // Delivery stopped permanently: trapped bytes remain after drain.
+  const auto drain = analysis::stop_and_drain(*s.net, 20_ms);
+  EXPECT_TRUE(drain.deadlocked);
+  EXPECT_GT(drain.trapped_bytes, 0);
+}
+
+TEST(TransientLoop, BelowThresholdRecoversCompletely) {
+  TransientLoopParams p;
+  p.inject = Rate::gbps(3);  // below n*B/TTL = 5 Gbps
+  Scenario s = make_transient_loop(p);
+  s.sim->run_until(10_ms);
+  const auto delivered_10ms =
+      s.net->host_at(s.flows[0].dst_host).delivered_bytes(1);
+  s.sim->run_until(12_ms);
+  const auto delivered_12ms =
+      s.net->host_at(s.flows[0].dst_host).delivered_bytes(1);
+  EXPECT_GT(delivered_12ms, delivered_10ms) << "delivery resumed";
+  EXPECT_FALSE(analysis::stop_and_drain(*s.net, 20_ms).deadlocked);
+}
+
+TEST(TransientLoop, DeliveryHaltsAfterDeadlock) {
+  TransientLoopParams p;
+  p.inject = Rate::gbps(10);
+  Scenario s = make_transient_loop(p);
+  s.sim->run_until(6_ms);
+  const auto at6 = s.net->host_at(s.flows[0].dst_host).delivered_bytes(1);
+  s.sim->run_until(10_ms);
+  const auto at10 = s.net->host_at(s.flows[0].dst_host).delivered_bytes(1);
+  EXPECT_EQ(at6, at10) << "no packet escapes a deadlocked loop";
+}
+
+TEST(TransientLoop, NoLoopNoDeadlockControl) {
+  // Control: identical setup but the loop window never opens.
+  TransientLoopParams p;
+  p.inject = Rate::gbps(10);
+  p.loop_start = 1000_sec;  // never (within the run)
+  Scenario s = make_transient_loop(p);
+  s.sim->run_until(10_ms);
+  // 10 Gbps for 10 ms = 12.5 MB delivered.
+  EXPECT_NEAR(
+      static_cast<double>(
+          s.net->host_at(s.flows[0].dst_host).delivered_bytes(1)),
+      12.5e6, 0.5e6);
+  EXPECT_FALSE(analysis::stop_and_drain(*s.net, 20_ms).deadlocked);
+}
+
+TEST(TransientLoop, ShortLoopWindowMayNotDeadlock) {
+  // The loop must live long enough for queues to reach Xoff; a 10 us
+  // window at 6 Gbps injects far too little.
+  TransientLoopParams p;
+  p.inject = Rate::gbps(6);
+  p.loop_duration = 10_us;
+  Scenario s = make_transient_loop(p);
+  s.sim->run_until(10_ms);
+  EXPECT_FALSE(analysis::stop_and_drain(*s.net, 20_ms).deadlocked);
+}
+
+TEST(TransientLoop, TtlClassMitigationPreventsPersistence) {
+  // §4 TTL-banded classes: with band 1 over 8 classes the effective TTL in
+  // each class is 1 <= loop length, so the loop cannot deadlock and the
+  // network recovers when routes are repaired.
+  TransientLoopParams p;
+  p.inject = Rate::gbps(10);
+  p.ttl = 8;
+  p.num_classes = 8;
+  p.ttl_class_band = 1;
+  Scenario s = make_transient_loop(p);
+  s.sim->run_until(10_ms);
+  EXPECT_FALSE(analysis::stop_and_drain(*s.net, 20_ms).deadlocked);
+}
+
+TEST(TransientLoop, SameSetupWithoutMitigationDeadlocks) {
+  // Companion to the test above: identical parameters minus the class
+  // banding deadlock as usual (threshold n*B/TTL = 10 Gbps, greedy > that
+  // after PFC shaping bursts). Use a clearly supercritical rate.
+  TransientLoopParams p;
+  p.inject = Rate::gbps(15);
+  p.ttl = 8;
+  Scenario s = make_transient_loop(p);
+  s.sim->run_until(10_ms);
+  EXPECT_TRUE(analysis::stop_and_drain(*s.net, 20_ms).deadlocked);
+}
+
+}  // namespace
+}  // namespace dcdl::scenarios

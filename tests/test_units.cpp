@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "dcdl/common/units.hpp"
+
+namespace dcdl {
+namespace {
+
+using namespace dcdl::literals;
+
+TEST(Time, LiteralsAndAccessors) {
+  EXPECT_EQ((1_ns).ps(), 1'000);
+  EXPECT_EQ((1_us).ps(), 1'000'000);
+  EXPECT_EQ((1_ms).ps(), 1'000'000'000);
+  EXPECT_EQ((1_sec).ps(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ((1500_ns).us(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_us).ms(), 2.5);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(1_us + 500_ns, Time{1'500'000});
+  EXPECT_EQ(1_us - 500_ns, 500_ns);
+  EXPECT_EQ(3 * (10_ns), 30_ns);
+  EXPECT_EQ((100_ns) / 4, 25_ns);
+  Time t = 1_us;
+  t += 1_us;
+  EXPECT_EQ(t, 2_us);
+  t -= 500_ns;
+  EXPECT_EQ(t, Time{1'500'000});
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(1_ns, 1_us);
+  EXPECT_GT(Time::max(), 1000_sec);
+  EXPECT_EQ(Time::zero().ps(), 0);
+}
+
+TEST(Rate, Constructors) {
+  EXPECT_EQ(Rate::gbps(40).bps(), 40'000'000'000);
+  EXPECT_EQ(Rate::mbps(100).bps(), 100'000'000);
+  EXPECT_TRUE(Rate::zero().is_zero());
+  EXPECT_FALSE(Rate::gbps(1).is_zero());
+  EXPECT_DOUBLE_EQ(Rate::gbps(40).as_gbps(), 40.0);
+}
+
+TEST(SerializationTime, ExactAt40G) {
+  // 1000 bytes at 40 Gbps is exactly 200 ns — the paper's base case.
+  EXPECT_EQ(serialization_time(1000, Rate::gbps(40)), 200_ns);
+  // 64-byte control frame at 40 Gbps: 12.8 ns, rounded up to the ps.
+  EXPECT_EQ(serialization_time(64, Rate::gbps(40)).ps(), 12'800);
+}
+
+TEST(SerializationTime, RoundsUpNeverDown) {
+  // 1000 bytes at 3 Gbps = 8000/3 us: not an integral ps count.
+  const Time t = serialization_time(1000, Rate::gbps(3));
+  EXPECT_GE(static_cast<double>(t.ps()) * 3e9, 8000.0 * 1e12 / 1e3 * 3e-3)
+      << "must not finish early";
+  EXPECT_EQ(t.ps(), (8000 * 1'000'000'000'000LL + 2'999'999'999) /
+                        3'000'000'000LL);
+}
+
+TEST(SerializationTime, ScalesLinearly) {
+  const Time one = serialization_time(1500, Rate::gbps(10));
+  const Time ten = serialization_time(15000, Rate::gbps(10));
+  EXPECT_EQ(ten.ps(), one.ps() * 10);
+}
+
+TEST(BytesIn, InverseOfSerialization) {
+  // 40 Gbps for 1 ms = 5 MB.
+  EXPECT_EQ(bytes_in(Rate::gbps(40), 1_ms), 5'000'000);
+  EXPECT_EQ(bytes_in(Rate::gbps(1), 8_us), 1'000);
+}
+
+TEST(Formatting, HumanReadable) {
+  EXPECT_EQ((1500_us).to_string(), "1.500ms");
+  EXPECT_EQ(Rate::gbps(40).to_string(), "40.000Gbps");
+  EXPECT_EQ(Rate::mbps(5).to_string(), "5.000Mbps");
+}
+
+}  // namespace
+}  // namespace dcdl
