@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_base_bufferclass"
+  "../bench/bench_base_bufferclass.pdb"
+  "CMakeFiles/bench_base_bufferclass.dir/bench_base_bufferclass.cpp.o"
+  "CMakeFiles/bench_base_bufferclass.dir/bench_base_bufferclass.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_base_bufferclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_base_bufferclass.
+# This may be replaced when dependencies are built.

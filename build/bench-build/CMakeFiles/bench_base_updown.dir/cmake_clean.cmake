@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_base_updown"
+  "../bench/bench_base_updown.pdb"
+  "CMakeFiles/bench_base_updown.dir/bench_base_updown.cpp.o"
+  "CMakeFiles/bench_base_updown.dir/bench_base_updown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_base_updown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_ring"
+  "../bench/bench_fig1_ring.pdb"
+  "CMakeFiles/bench_fig1_ring.dir/bench_fig1_ring.cpp.o"
+  "CMakeFiles/bench_fig1_ring.dir/bench_fig1_ring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_routing_loop"
+  "../bench/bench_fig2_routing_loop.pdb"
+  "CMakeFiles/bench_fig2_routing_loop.dir/bench_fig2_routing_loop.cpp.o"
+  "CMakeFiles/bench_fig2_routing_loop.dir/bench_fig2_routing_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_routing_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fluid_model"
+  "../bench/bench_fluid_model.pdb"
+  "CMakeFiles/bench_fluid_model.dir/bench_fluid_model.cpp.o"
+  "CMakeFiles/bench_fluid_model.dir/bench_fluid_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fluid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

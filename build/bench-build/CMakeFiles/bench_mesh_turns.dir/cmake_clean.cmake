@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mesh_turns"
+  "../bench/bench_mesh_turns.pdb"
+  "CMakeFiles/bench_mesh_turns.dir/bench_mesh_turns.cpp.o"
+  "CMakeFiles/bench_mesh_turns.dir/bench_mesh_turns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_turns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mit_dcqcn"
+  "../bench/bench_mit_dcqcn.pdb"
+  "CMakeFiles/bench_mit_dcqcn.dir/bench_mit_dcqcn.cpp.o"
+  "CMakeFiles/bench_mit_dcqcn.dir/bench_mit_dcqcn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mit_dcqcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mit_fairness"
+  "../bench/bench_mit_fairness.pdb"
+  "CMakeFiles/bench_mit_fairness.dir/bench_mit_fairness.cpp.o"
+  "CMakeFiles/bench_mit_fairness.dir/bench_mit_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mit_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mit_ttl_classes"
+  "../bench/bench_mit_ttl_classes.pdb"
+  "CMakeFiles/bench_mit_ttl_classes.dir/bench_mit_ttl_classes.cpp.o"
+  "CMakeFiles/bench_mit_ttl_classes.dir/bench_mit_ttl_classes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mit_ttl_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_risk_score"
+  "../bench/bench_risk_score.pdb"
+  "CMakeFiles/bench_risk_score.dir/bench_risk_score.cpp.o"
+  "CMakeFiles/bench_risk_score.dir/bench_risk_score.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_risk_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

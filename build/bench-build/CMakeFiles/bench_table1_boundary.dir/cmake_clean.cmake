@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_boundary"
+  "../bench/bench_table1_boundary.pdb"
+  "CMakeFiles/bench_table1_boundary.dir/bench_table1_boundary.cpp.o"
+  "CMakeFiles/bench_table1_boundary.dir/bench_table1_boundary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_transient_loops"
+  "../bench/bench_transient_loops.pdb"
+  "CMakeFiles/bench_transient_loops.dir/bench_transient_loops.cpp.o"
+  "CMakeFiles/bench_transient_loops.dir/bench_transient_loops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transient_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dcdl_sim"
+  "../examples/dcdl_sim.pdb"
+  "CMakeFiles/dcdl_sim.dir/dcdl_sim.cpp.o"
+  "CMakeFiles/dcdl_sim.dir/dcdl_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

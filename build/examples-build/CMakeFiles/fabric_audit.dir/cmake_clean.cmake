@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/fabric_audit"
+  "../examples/fabric_audit.pdb"
+  "CMakeFiles/fabric_audit.dir/fabric_audit.cpp.o"
+  "CMakeFiles/fabric_audit.dir/fabric_audit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

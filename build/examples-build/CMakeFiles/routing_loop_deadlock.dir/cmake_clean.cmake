@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/routing_loop_deadlock"
+  "../examples/routing_loop_deadlock.pdb"
+  "CMakeFiles/routing_loop_deadlock.dir/routing_loop_deadlock.cpp.o"
+  "CMakeFiles/routing_loop_deadlock.dir/routing_loop_deadlock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_loop_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

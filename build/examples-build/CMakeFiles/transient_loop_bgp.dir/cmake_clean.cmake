@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/transient_loop_bgp"
+  "../examples/transient_loop_bgp.pdb"
+  "CMakeFiles/transient_loop_bgp.dir/transient_loop_bgp.cpp.o"
+  "CMakeFiles/transient_loop_bgp.dir/transient_loop_bgp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_loop_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

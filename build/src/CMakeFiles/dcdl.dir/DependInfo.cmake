@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcdl/analysis/bdg.cpp" "src/CMakeFiles/dcdl.dir/dcdl/analysis/bdg.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/analysis/bdg.cpp.o.d"
+  "/root/repo/src/dcdl/analysis/deadlock.cpp" "src/CMakeFiles/dcdl.dir/dcdl/analysis/deadlock.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/analysis/deadlock.cpp.o.d"
+  "/root/repo/src/dcdl/analysis/fluid.cpp" "src/CMakeFiles/dcdl.dir/dcdl/analysis/fluid.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/analysis/fluid.cpp.o.d"
+  "/root/repo/src/dcdl/analysis/risk.cpp" "src/CMakeFiles/dcdl.dir/dcdl/analysis/risk.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/analysis/risk.cpp.o.d"
+  "/root/repo/src/dcdl/common/flags.cpp" "src/CMakeFiles/dcdl.dir/dcdl/common/flags.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/common/flags.cpp.o.d"
+  "/root/repo/src/dcdl/common/log.cpp" "src/CMakeFiles/dcdl.dir/dcdl/common/log.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/common/log.cpp.o.d"
+  "/root/repo/src/dcdl/common/rng.cpp" "src/CMakeFiles/dcdl.dir/dcdl/common/rng.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/common/rng.cpp.o.d"
+  "/root/repo/src/dcdl/common/units.cpp" "src/CMakeFiles/dcdl.dir/dcdl/common/units.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/common/units.cpp.o.d"
+  "/root/repo/src/dcdl/device/host.cpp" "src/CMakeFiles/dcdl.dir/dcdl/device/host.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/device/host.cpp.o.d"
+  "/root/repo/src/dcdl/device/network.cpp" "src/CMakeFiles/dcdl.dir/dcdl/device/network.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/device/network.cpp.o.d"
+  "/root/repo/src/dcdl/device/switch.cpp" "src/CMakeFiles/dcdl.dir/dcdl/device/switch.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/device/switch.cpp.o.d"
+  "/root/repo/src/dcdl/mitigation/class_policy.cpp" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/class_policy.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/class_policy.cpp.o.d"
+  "/root/repo/src/dcdl/mitigation/dcqcn.cpp" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/dcqcn.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/dcqcn.cpp.o.d"
+  "/root/repo/src/dcdl/mitigation/smart_limiter.cpp" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/smart_limiter.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/smart_limiter.cpp.o.d"
+  "/root/repo/src/dcdl/mitigation/thresholds.cpp" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/thresholds.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/thresholds.cpp.o.d"
+  "/root/repo/src/dcdl/mitigation/timely.cpp" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/timely.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/timely.cpp.o.d"
+  "/root/repo/src/dcdl/mitigation/watchdog.cpp" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/watchdog.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/mitigation/watchdog.cpp.o.d"
+  "/root/repo/src/dcdl/routing/bgp.cpp" "src/CMakeFiles/dcdl.dir/dcdl/routing/bgp.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/routing/bgp.cpp.o.d"
+  "/root/repo/src/dcdl/routing/compute.cpp" "src/CMakeFiles/dcdl.dir/dcdl/routing/compute.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/routing/compute.cpp.o.d"
+  "/root/repo/src/dcdl/routing/mesh_routing.cpp" "src/CMakeFiles/dcdl.dir/dcdl/routing/mesh_routing.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/routing/mesh_routing.cpp.o.d"
+  "/root/repo/src/dcdl/routing/route_table.cpp" "src/CMakeFiles/dcdl.dir/dcdl/routing/route_table.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/routing/route_table.cpp.o.d"
+  "/root/repo/src/dcdl/routing/sdn.cpp" "src/CMakeFiles/dcdl.dir/dcdl/routing/sdn.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/routing/sdn.cpp.o.d"
+  "/root/repo/src/dcdl/scenarios/scenario.cpp" "src/CMakeFiles/dcdl.dir/dcdl/scenarios/scenario.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/scenarios/scenario.cpp.o.d"
+  "/root/repo/src/dcdl/sim/simulator.cpp" "src/CMakeFiles/dcdl.dir/dcdl/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/sim/simulator.cpp.o.d"
+  "/root/repo/src/dcdl/stats/cascade.cpp" "src/CMakeFiles/dcdl.dir/dcdl/stats/cascade.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/stats/cascade.cpp.o.d"
+  "/root/repo/src/dcdl/stats/csv.cpp" "src/CMakeFiles/dcdl.dir/dcdl/stats/csv.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/stats/csv.cpp.o.d"
+  "/root/repo/src/dcdl/stats/latency.cpp" "src/CMakeFiles/dcdl.dir/dcdl/stats/latency.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/stats/latency.cpp.o.d"
+  "/root/repo/src/dcdl/stats/pause_log.cpp" "src/CMakeFiles/dcdl.dir/dcdl/stats/pause_log.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/stats/pause_log.cpp.o.d"
+  "/root/repo/src/dcdl/stats/sampler.cpp" "src/CMakeFiles/dcdl.dir/dcdl/stats/sampler.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/stats/sampler.cpp.o.d"
+  "/root/repo/src/dcdl/stats/throughput.cpp" "src/CMakeFiles/dcdl.dir/dcdl/stats/throughput.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/stats/throughput.cpp.o.d"
+  "/root/repo/src/dcdl/topo/generators.cpp" "src/CMakeFiles/dcdl.dir/dcdl/topo/generators.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/topo/generators.cpp.o.d"
+  "/root/repo/src/dcdl/topo/topology.cpp" "src/CMakeFiles/dcdl.dir/dcdl/topo/topology.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/topo/topology.cpp.o.d"
+  "/root/repo/src/dcdl/traffic/flow.cpp" "src/CMakeFiles/dcdl.dir/dcdl/traffic/flow.cpp.o" "gcc" "src/CMakeFiles/dcdl.dir/dcdl/traffic/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

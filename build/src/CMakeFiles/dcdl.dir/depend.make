@@ -1,0 +1,2 @@
+# Empty dependencies file for dcdl.
+# This may be replaced when dependencies are built.

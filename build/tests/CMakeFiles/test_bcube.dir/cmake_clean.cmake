@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcube.dir/test_bcube.cpp.o"
+  "CMakeFiles/test_bcube.dir/test_bcube.cpp.o.d"
+  "test_bcube"
+  "test_bcube.pdb"
+  "test_bcube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

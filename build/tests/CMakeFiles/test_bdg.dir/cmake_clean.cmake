@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdg.dir/test_bdg.cpp.o"
+  "CMakeFiles/test_bdg.dir/test_bdg.cpp.o.d"
+  "test_bdg"
+  "test_bdg.pdb"
+  "test_bdg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcqcn_deadlock.dir/test_dcqcn_deadlock.cpp.o"
+  "CMakeFiles/test_dcqcn_deadlock.dir/test_dcqcn_deadlock.cpp.o.d"
+  "test_dcqcn_deadlock"
+  "test_dcqcn_deadlock.pdb"
+  "test_dcqcn_deadlock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcqcn_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

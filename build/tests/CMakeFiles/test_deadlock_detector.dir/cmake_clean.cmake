@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock_detector.dir/test_deadlock_detector.cpp.o"
+  "CMakeFiles/test_deadlock_detector.dir/test_deadlock_detector.cpp.o.d"
+  "test_deadlock_detector"
+  "test_deadlock_detector.pdb"
+  "test_deadlock_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

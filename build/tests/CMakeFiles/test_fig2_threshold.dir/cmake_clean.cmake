@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig2_threshold.dir/test_fig2_threshold.cpp.o"
+  "CMakeFiles/test_fig2_threshold.dir/test_fig2_threshold.cpp.o.d"
+  "test_fig2_threshold"
+  "test_fig2_threshold.pdb"
+  "test_fig2_threshold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig2_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_routing.dir/test_mesh_routing.cpp.o"
+  "CMakeFiles/test_mesh_routing.dir/test_mesh_routing.cpp.o.d"
+  "test_mesh_routing"
+  "test_mesh_routing.pdb"
+  "test_mesh_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

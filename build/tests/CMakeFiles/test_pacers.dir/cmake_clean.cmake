@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pacers.dir/test_pacers.cpp.o"
+  "CMakeFiles/test_pacers.dir/test_pacers.cpp.o.d"
+  "test_pacers"
+  "test_pacers.pdb"
+  "test_pacers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pacers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pause_quanta.dir/test_pause_quanta.cpp.o"
+  "CMakeFiles/test_pause_quanta.dir/test_pause_quanta.cpp.o.d"
+  "test_pause_quanta"
+  "test_pause_quanta.pdb"
+  "test_pause_quanta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pause_quanta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_risk_edges.dir/test_risk_edges.cpp.o"
+  "CMakeFiles/test_risk_edges.dir/test_risk_edges.cpp.o.d"
+  "test_risk_edges"
+  "test_risk_edges.pdb"
+  "test_risk_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_risk_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_compute.dir/test_routing_compute.cpp.o"
+  "CMakeFiles/test_routing_compute.dir/test_routing_compute.cpp.o.d"
+  "test_routing_compute"
+  "test_routing_compute.pdb"
+  "test_routing_compute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_smoke.dir/test_scenario_smoke.cpp.o"
+  "CMakeFiles/test_scenario_smoke.dir/test_scenario_smoke.cpp.o.d"
+  "test_scenario_smoke"
+  "test_scenario_smoke.pdb"
+  "test_scenario_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

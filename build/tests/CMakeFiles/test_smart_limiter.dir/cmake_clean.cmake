@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smart_limiter.dir/test_smart_limiter.cpp.o"
+  "CMakeFiles/test_smart_limiter.dir/test_smart_limiter.cpp.o.d"
+  "test_smart_limiter"
+  "test_smart_limiter.pdb"
+  "test_smart_limiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smart_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

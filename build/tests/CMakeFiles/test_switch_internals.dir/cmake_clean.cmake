@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_internals.dir/test_switch_internals.cpp.o"
+  "CMakeFiles/test_switch_internals.dir/test_switch_internals.cpp.o.d"
+  "test_switch_internals"
+  "test_switch_internals.pdb"
+  "test_switch_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timely.dir/test_timely.cpp.o"
+  "CMakeFiles/test_timely.dir/test_timely.cpp.o.d"
+  "test_timely"
+  "test_timely.pdb"
+  "test_timely[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timely.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_loop.dir/test_transient_loop.cpp.o"
+  "CMakeFiles/test_transient_loop.dir/test_transient_loop.cpp.o.d"
+  "test_transient_loop"
+  "test_transient_loop.pdb"
+  "test_transient_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

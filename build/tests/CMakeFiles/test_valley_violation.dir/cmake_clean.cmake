@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_valley_violation.dir/test_valley_violation.cpp.o"
+  "CMakeFiles/test_valley_violation.dir/test_valley_violation.cpp.o.d"
+  "test_valley_violation"
+  "test_valley_violation.pdb"
+  "test_valley_violation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_valley_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
