@@ -9,10 +9,17 @@
 // Series 4: §4 rate-limiting mitigation — greedy host, switch-side
 //           ingress shaper swept across the threshold.
 //
-// Flags: --bw_gbps, --ttl, --loop_len, --run_ms.
+// All four series expand into one run list executed by the dcdl::campaign
+// thread pool; series 4 rides on a bench-registered "routing_loop_shaped"
+// scenario (the built-in loop plus a switch ingress shaper).
+//
+// Flags: --bw_gbps, --ttl, --loop_len, --run_ms, --jobs, --out=fig2.json,
+// --timing.
 #include <cstdio>
+#include <vector>
 
 #include "dcdl/analysis/boundary.hpp"
+#include "dcdl/campaign/campaign.hpp"
 #include "dcdl/common/flags.hpp"
 #include "dcdl/device/switch.hpp"
 #include "dcdl/scenarios/scenario.hpp"
@@ -20,102 +27,179 @@
 
 using namespace dcdl;
 using namespace dcdl::literals;
+using namespace dcdl::campaign;
 using analysis::BoundaryModel;
-using namespace dcdl::scenarios;
 
 namespace {
 
-struct Outcome {
-  bool deadlocked;
-  double detect_ms;
-  std::int64_t trapped;
-};
-
-Outcome run_loop(RoutingLoopParams p, Time run_for, Rate shaper = Rate::zero()) {
-  Scenario s = make_routing_loop(p);
-  if (!shaper.is_zero()) {
+// The built-in routing loop plus a switch-side ingress shaper on S0's
+// host-facing port (§4 rate-limiting mitigation; host stays greedy).
+void register_shaped_loop(ScenarioRegistry& reg) {
+  const ScenarioDef& base = reg.at("routing_loop");
+  ScenarioDef def;
+  def.name = "routing_loop_shaped";
+  def.description =
+      "paper §4: routing loop with a switch ingress shaper at the source "
+      "edge port";
+  def.params = base.params;
+  def.params.push_back(
+      {"shaper_gbps", ParamKind::kDouble, "gbps", "ingress shaper rate"});
+  def.make = [make = base.make](const ParamMap& pm) {
+    scenarios::Scenario s = make(pm);
     const NodeId s0 = s.node("S0");
     const NodeId h0 = s.node("H0");
-    s.net->switch_at(s0).set_ingress_shaper(*s.topo->port_towards(s0, h0),
-                                            shaper, p.packet_bytes);
+    const auto packet_bytes =
+        static_cast<std::uint32_t>(pm.get_int("packet_bytes", 1000));
+    s.net->switch_at(s0).set_ingress_shaper(
+        *s.topo->port_towards(s0, h0),
+        Rate::gbps(pm.get_double("shaper_gbps", 0)), packet_bytes);
+    return s;
+  };
+  reg.add(std::move(def));
+}
+
+std::vector<RunSpec> expand_into(const SweepSpec& spec,
+                                 std::vector<RunSpec>& all) {
+  std::vector<RunSpec> runs = expand(spec);
+  for (RunSpec& r : runs) {
+    r.run_index = static_cast<int>(all.size());
+    all.push_back(r);
   }
-  const RunSummary r = run_and_check(s, run_for, run_for + 10_ms);
-  return Outcome{r.deadlocked, r.detected_at ? r.detected_at->ms() : -1.0,
-                 r.trapped_bytes};
+  return runs;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  RoutingLoopParams base;
-  base.bandwidth = Rate::gbps(flags.get_double("bw_gbps", 40));
-  base.ttl = static_cast<int>(flags.get_int("ttl", 16));
-  base.loop_len = static_cast<int>(flags.get_int("loop_len", 2));
+  const double bw_gbps = flags.get_double("bw_gbps", 40);
+  const int ttl = static_cast<int>(flags.get_int("ttl", 16));
+  const int loop_len = static_cast<int>(flags.get_int("loop_len", 2));
   const Time run_for = Time{flags.get_int("run_ms", 6) * 1'000'000'000};
+  const int jobs = flags.jobs();
+  const std::string out_path = flags.out();
+  const bool timing = flags.get_bool("timing", false);
   flags.check_unused();
 
+  const Rate bandwidth = Rate::gbps(bw_gbps);
+  ScenarioRegistry& reg = ScenarioRegistry::global();
+  register_shaped_loop(reg);
+
+  SweepSpec base;
+  base.scenario = "routing_loop";
+  base.base.set("bw_gbps", ParamValue::of_double(bw_gbps));
+  base.base.set("ttl", ParamValue::of_int(ttl));
+  base.base.set("loop_len", ParamValue::of_int(loop_len));
+  base.run_for = run_for;
+  base.drain_grace = run_for + 10_ms;
+
+  std::vector<RunSpec> all;
+
+  // Series 1: injection rate 1..10 Gbps in 0.5 steps.
+  SweepSpec s1 = base;
+  GridAxis inject_axis{"inject", {}};
+  for (double g = 1.0; g <= 10.0; g += 0.5) {
+    inject_axis.values.push_back(ParamValue::of_double(g));
+  }
+  s1.axes = {inject_axis};
+  const std::vector<RunSpec> runs1 = expand_into(s1, all);
+
+  // Series 2: TTL sweep at 6 Gbps.
+  SweepSpec s2 = base;
+  s2.base.set("inject", ParamValue::of_double(6));
+  GridAxis ttl_axis{"ttl", {}};
+  const std::vector<int> ttls = {4, 8, 12, 13, 14, 16, 24, 32, 48, 64};
+  for (const int t : ttls) ttl_axis.values.push_back(ParamValue::of_int(t));
+  s2.axes = {ttl_axis};
+  const std::vector<RunSpec> runs2 = expand_into(s2, all);
+
+  // Series 3: loop length sweep at 6 Gbps.
+  SweepSpec s3 = base;
+  s3.base.set("inject", ParamValue::of_double(6));
+  GridAxis len_axis{"loop_len", {}};
+  const std::vector<int> lens = {2, 3, 4, 5, 6, 8};
+  for (const int n : lens) len_axis.values.push_back(ParamValue::of_int(n));
+  s3.axes = {len_axis};
+  const std::vector<RunSpec> runs3 = expand_into(s3, all);
+
+  // Series 4: greedy host behind a swept switch ingress shaper.
+  SweepSpec s4 = base;
+  s4.scenario = "routing_loop_shaped";
+  s4.base.set("inject", ParamValue::of_double(0));  // greedy
+  GridAxis shaper_axis{"shaper_gbps", {}};
+  for (double g = 2.0; g <= 9.0; g += 1.0) {
+    shaper_axis.values.push_back(ParamValue::of_double(g));
+  }
+  s4.axes = {shaper_axis};
+  const std::vector<RunSpec> runs4 = expand_into(s4, all);
+
+  ExecutorOptions opts;
+  opts.jobs = jobs;
+  CampaignExecutor exec(reg, opts);
+  const CampaignResult result = exec.run(all, base.root_seed);
+  std::fprintf(stderr, "# campaign: %zu runs in %.0f ms wall on %d job(s)\n",
+               result.records.size(), result.total_wall_ms, result.jobs);
+
   stats::CsvWriter csv;
-  const Rate thr = BoundaryModel::deadlock_threshold(base.loop_len,
-                                                     base.bandwidth, base.ttl);
+  const Rate thr = BoundaryModel::deadlock_threshold(loop_len, bandwidth, ttl);
   std::printf("# Fig.2 / §3.1: routing-loop deadlock vs injection rate\n");
   std::printf("# analytic threshold n*B/TTL = %.3f Gbps (paper: 5 Gbps at "
               "n=2,B=40G,TTL=16)\n", thr.as_gbps());
 
+  std::size_t next = 0;
   csv.section("series 1: injection rate sweep");
   csv.header({"inject_gbps", "analytic_deadlock", "sim_deadlock",
               "detect_ms", "trapped_bytes"});
-  for (double g = 1.0; g <= 10.0; g += 0.5) {
-    RoutingLoopParams p = base;
-    p.inject = Rate::gbps(g);
-    const Outcome o = run_loop(p, run_for);
-    csv.row({stats::CsvWriter::num(g),
-             stats::CsvWriter::num(std::int64_t{
-                 BoundaryModel::predicts_deadlock(p.loop_len, p.bandwidth,
-                                                  p.ttl, p.inject)}),
-             stats::CsvWriter::num(std::int64_t{o.deadlocked}),
-             stats::CsvWriter::num(o.detect_ms),
-             stats::CsvWriter::num(o.trapped)});
+  for (std::size_t i = 0; i < runs1.size(); ++i, ++next) {
+    const RunRecord& r = result.records[next];
+    const Rate inject = Rate::gbps(r.params.get_double("inject", 0));
+    csv.row({stats::CsvWriter::num(inject.as_gbps()),
+             stats::CsvWriter::num(std::int64_t{BoundaryModel::predicts_deadlock(
+                 loop_len, bandwidth, ttl, inject)}),
+             stats::CsvWriter::num(std::int64_t{r.deadlocked}),
+             stats::CsvWriter::num(r.detect_ms),
+             stats::CsvWriter::num(r.trapped_bytes)});
   }
 
   csv.section("series 2: TTL sweep at 6 Gbps (deadlock iff TTL > n*B/r = 13.3)");
   csv.header({"ttl", "analytic_deadlock", "sim_deadlock"});
-  for (const int ttl : {4, 8, 12, 13, 14, 16, 24, 32, 48, 64}) {
-    RoutingLoopParams p = base;
-    p.ttl = ttl;
-    p.inject = Rate::gbps(6);
-    const Outcome o = run_loop(p, run_for);
-    csv.row({stats::CsvWriter::num(std::int64_t{ttl}),
+  for (std::size_t i = 0; i < runs2.size(); ++i, ++next) {
+    const RunRecord& r = result.records[next];
+    const int t = static_cast<int>(r.params.get_int("ttl", 0));
+    csv.row({stats::CsvWriter::num(std::int64_t{t}),
              stats::CsvWriter::num(std::int64_t{BoundaryModel::predicts_deadlock(
-                 p.loop_len, p.bandwidth, ttl, p.inject)}),
-             stats::CsvWriter::num(std::int64_t{o.deadlocked})});
+                 loop_len, bandwidth, t, Rate::gbps(6))}),
+             stats::CsvWriter::num(std::int64_t{r.deadlocked})});
   }
 
   csv.section("series 3: loop length sweep at 6 Gbps, TTL 16");
   csv.header({"loop_len", "threshold_gbps", "analytic_deadlock", "sim_deadlock"});
-  for (const int n : {2, 3, 4, 5, 6, 8}) {
-    RoutingLoopParams p = base;
-    p.loop_len = n;
-    p.inject = Rate::gbps(6);
-    const Outcome o = run_loop(p, run_for);
+  for (std::size_t i = 0; i < runs3.size(); ++i, ++next) {
+    const RunRecord& r = result.records[next];
+    const int n = static_cast<int>(r.params.get_int("loop_len", 0));
     csv.row({stats::CsvWriter::num(std::int64_t{n}),
-             stats::CsvWriter::num(BoundaryModel::deadlock_threshold(
-                                       n, p.bandwidth, p.ttl)
-                                       .as_gbps()),
+             stats::CsvWriter::num(
+                 BoundaryModel::deadlock_threshold(n, bandwidth, ttl)
+                     .as_gbps()),
              stats::CsvWriter::num(std::int64_t{BoundaryModel::predicts_deadlock(
-                 n, p.bandwidth, p.ttl, p.inject)}),
-             stats::CsvWriter::num(std::int64_t{o.deadlocked})});
+                 n, bandwidth, ttl, Rate::gbps(6))}),
+             stats::CsvWriter::num(std::int64_t{r.deadlocked})});
   }
 
   csv.section(
       "series 4: rate-limit mitigation (greedy host, switch ingress shaper)");
   csv.header({"shaper_gbps", "sim_deadlock"});
-  for (double g = 2.0; g <= 9.0; g += 1.0) {
-    RoutingLoopParams p = base;
-    p.inject = Rate::zero();  // greedy
-    const Outcome o = run_loop(p, run_for, Rate::gbps(g));
-    csv.row({stats::CsvWriter::num(g),
-             stats::CsvWriter::num(std::int64_t{o.deadlocked})});
+  for (std::size_t i = 0; i < runs4.size(); ++i, ++next) {
+    const RunRecord& r = result.records[next];
+    csv.row({stats::CsvWriter::num(r.params.get_double("shaper_gbps", 0)),
+             stats::CsvWriter::num(std::int64_t{r.deadlocked})});
+  }
+
+  if (!out_path.empty()) {
+    WriteOptions wopts;
+    wopts.include_timing = timing;
+    write_text_file(out_path, to_json(result, wopts));
+    std::fprintf(stderr, "# wrote %s\n", out_path.c_str());
   }
   return 0;
 }

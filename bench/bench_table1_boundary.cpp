@@ -4,33 +4,59 @@
 // cell against packet-level simulation just below and just above the
 // threshold.
 //
+// The 96 probe simulations run through the dcdl::campaign engine (one cell
+// per (n, B, TTL, ±margin) probe) on a thread pool, so the table
+// regenerates in wall time ~ serial/jobs and can be exported as a
+// structured artifact.
+//
 // Paper's reference point: B = 40 Gbps, n = 2, TTL = 16 -> 5 Gbps.
 //
-// Flags: --margin=0.3 (probe distance from threshold), --run_ms, --sim=1/0.
+// Flags: --margin=0.3 (probe distance from threshold), --run_ms, --sim=1/0,
+// --jobs=N (default: hardware threads), --out=table1.json, --timing.
 #include <cstdio>
 
 #include "dcdl/analysis/boundary.hpp"
+#include "dcdl/campaign/campaign.hpp"
 #include "dcdl/common/flags.hpp"
 #include "dcdl/scenarios/scenario.hpp"
 #include "dcdl/stats/csv.hpp"
 
 using namespace dcdl;
 using namespace dcdl::literals;
+using namespace dcdl::campaign;
 using analysis::BoundaryModel;
-using scenarios::make_routing_loop;
-using scenarios::RoutingLoopParams;
-using scenarios::run_and_check;
 
 namespace {
 
-bool simulate(int n, Rate bandwidth, int ttl, Rate inject, Time run_for) {
-  RoutingLoopParams p;
-  p.loop_len = n;
-  p.bandwidth = bandwidth;
-  p.ttl = ttl;
-  p.inject = inject;
-  scenarios::Scenario s = make_routing_loop(p);
-  return run_and_check(s, run_for, run_for + 10_ms).deadlocked;
+constexpr int kLoopLens[] = {2, 3, 4, 8};
+constexpr double kBandwidthsGbps[] = {10.0, 40.0, 100.0};
+constexpr int kTtls[] = {8, 16, 32, 64};
+
+// One probe of the boundary model: the routing-loop scenario injected at
+// threshold * (1 + margin); margin < 0 probes below, > 0 above.
+void register_table1_cell(ScenarioRegistry& reg) {
+  ScenarioDef def;
+  def.name = "table1_cell";
+  def.description =
+      "Table 1 probe: routing loop injected at r_d * (1 + margin)";
+  def.params = {
+      {"loop_len", ParamKind::kInt, "", "switches in the loop"},
+      {"bw_gbps", ParamKind::kDouble, "gbps", "link bandwidth"},
+      {"ttl", ParamKind::kInt, "", "initial packet TTL"},
+      {"margin", ParamKind::kDouble, "", "signed probe distance from r_d"},
+  };
+  def.make = [](const ParamMap& pm) {
+    scenarios::RoutingLoopParams p;
+    p.loop_len = static_cast<int>(pm.get_int("loop_len", 2));
+    p.bandwidth = Rate::gbps(pm.get_double("bw_gbps", 40));
+    p.ttl = static_cast<int>(pm.get_int("ttl", 16));
+    const Rate thr =
+        BoundaryModel::deadlock_threshold(p.loop_len, p.bandwidth, p.ttl);
+    p.inject = Rate{static_cast<std::int64_t>(
+        static_cast<double>(thr.bps()) * (1.0 + pm.get_double("margin", 0)))};
+    return scenarios::make_routing_loop(p);
+  };
+  reg.add(std::move(def));
 }
 
 }  // namespace
@@ -40,7 +66,45 @@ int main(int argc, char** argv) {
   const double margin = flags.get_double("margin", 0.3);
   const Time run_for = Time{flags.get_int("run_ms", 6) * 1'000'000'000};
   const bool sim = flags.get_bool("sim", true);
+  const int jobs = flags.jobs();
+  const std::string out_path = flags.out();
+  const bool timing = flags.get_bool("timing", false);
   flags.check_unused();
+
+  ScenarioRegistry& reg = ScenarioRegistry::global();
+  register_table1_cell(reg);
+
+  CampaignResult result;
+  if (sim) {
+    SweepSpec spec;
+    spec.scenario = "table1_cell";
+    GridAxis loop_axis{"loop_len", {}};
+    for (const int n : kLoopLens) {
+      loop_axis.values.push_back(ParamValue::of_int(n));
+    }
+    GridAxis bw_axis{"bw_gbps", {}};
+    for (const double b : kBandwidthsGbps) {
+      bw_axis.values.push_back(ParamValue::of_double(b));
+    }
+    GridAxis ttl_axis{"ttl", {}};
+    for (const int ttl : kTtls) {
+      ttl_axis.values.push_back(ParamValue::of_int(ttl));
+    }
+    GridAxis margin_axis{"margin",
+                         {ParamValue::of_double(-margin),
+                          ParamValue::of_double(margin)}};
+    spec.axes = {loop_axis, bw_axis, ttl_axis, margin_axis};
+    spec.run_for = run_for;
+    spec.drain_grace = run_for + 10_ms;
+
+    ExecutorOptions opts;
+    opts.jobs = jobs;
+    CampaignExecutor exec(reg, opts);
+    result = exec.run(expand(spec), spec.root_seed);
+    std::fprintf(stderr,
+                 "# campaign: %zu probe runs in %.0f ms wall on %d job(s)\n",
+                 result.records.size(), result.total_wall_ms, result.jobs);
+  }
 
   stats::CsvWriter csv;
   std::printf("# Table 1 / Eq.3: r_d = n*B/TTL (boundary-state model)\n");
@@ -48,25 +112,19 @@ int main(int argc, char** argv) {
   csv.header({"loop_len", "bandwidth_gbps", "ttl", "threshold_gbps",
               "sim_below_deadlock", "sim_above_deadlock", "model_validated"});
 
-  for (const int n : {2, 3, 4, 8}) {
-    for (const double b : {10.0, 40.0, 100.0}) {
-      for (const int ttl : {8, 16, 32, 64}) {
+  std::size_t next_record = 0;
+  for (const int n : kLoopLens) {
+    for (const double b : kBandwidthsGbps) {
+      for (const int ttl : kTtls) {
         const Rate bw = Rate::gbps(b);
         const Rate thr = BoundaryModel::deadlock_threshold(n, bw, ttl);
         int below = -1, above = -1, ok = -1;
         if (sim) {
-          below = simulate(n, bw, ttl,
-                           Rate{static_cast<std::int64_t>(
-                               thr.bps() * (1.0 - margin))},
-                           run_for)
-                      ? 1
-                      : 0;
-          above = simulate(n, bw, ttl,
-                           Rate{static_cast<std::int64_t>(
-                               thr.bps() * (1.0 + margin))},
-                           run_for)
-                      ? 1
-                      : 0;
+          // Cells expand margin-fastest: the below probe precedes above.
+          const RunRecord& lo = result.records[next_record++];
+          const RunRecord& hi = result.records[next_record++];
+          below = lo.status == RunStatus::kOk ? (lo.deadlocked ? 1 : 0) : -1;
+          above = hi.status == RunStatus::kOk ? (hi.deadlocked ? 1 : 0) : -1;
           ok = (below == 0 && above == 1) ? 1 : 0;
         }
         csv.row({stats::CsvWriter::num(std::int64_t{n}),
@@ -77,6 +135,12 @@ int main(int argc, char** argv) {
                  stats::CsvWriter::num(std::int64_t{ok})});
       }
     }
+  }
+  if (sim && !out_path.empty()) {
+    WriteOptions wopts;
+    wopts.include_timing = timing;
+    write_text_file(out_path, to_json(result, wopts));
+    std::fprintf(stderr, "# wrote %s\n", out_path.c_str());
   }
   return 0;
 }

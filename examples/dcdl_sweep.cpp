@@ -1,0 +1,136 @@
+// dcdl_sweep — the campaign CLI: run a (scenario x parameter-grid x seeds)
+// sweep on a thread pool and emit structured JSON/CSV artifacts.
+//
+//   $ ./dcdl_sweep --scenario routing_loop --grid inject=2..8gbps:7
+//         --seeds 4 --jobs 8 --out out.json
+//   $ ./dcdl_sweep --scenario four_switch
+//         --grid "with_flow3=true;flow3_limit=1..8gbps:15" --seeds 5
+//         --run_ms=20 --out fig5.json --csv fig5.csv
+//   $ ./dcdl_sweep --list
+//
+// Flags: --scenario, --grid "a=lo..hi:steps;b=x,y,z", --set "k=v;k2=v2",
+// --seeds, --root_seed, --run_ms, --drain_ms, --dwell_ms, --jobs, --out,
+// --csv, --timeout_ms (0 = off), --timing (include wall-clock in artifacts;
+// breaks byte-stable diffing), --quiet.
+#include <cstdio>
+#include <string>
+
+#include "dcdl/campaign/campaign.hpp"
+#include "dcdl/common/flags.hpp"
+
+using namespace dcdl;
+using namespace dcdl::campaign;
+
+namespace {
+
+void list_scenarios(const ScenarioRegistry& reg) {
+  for (const std::string& name : reg.names()) {
+    const ScenarioDef& def = reg.at(name);
+    std::printf("%s — %s\n", name.c_str(), def.description.c_str());
+    for (const ParamSpec& p : def.params) {
+      std::printf("  --%s (%s%s%s): %s\n", p.name.c_str(),
+                  to_string(p.kind), p.unit.empty() ? "" : ", ",
+                  p.unit.c_str(), p.description.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool list = flags.get_bool("list", false);
+  const std::string scenario = flags.get_string("scenario", "");
+  const std::string grid = flags.get_string("grid", "");
+  const std::string sets = flags.get_string("set", "");
+  const int seeds = static_cast<int>(flags.get_int("seeds", 1));
+  const auto root_seed =
+      static_cast<std::uint64_t>(flags.get_int("root_seed", 1));
+  const std::int64_t run_ms = flags.get_int("run_ms", 6);
+  const std::int64_t drain_ms = flags.get_int("drain_ms", run_ms + 10);
+  const std::int64_t dwell_ms = flags.get_int("dwell_ms", 1);
+  const int jobs = flags.jobs();
+  const std::string out_json = flags.out();
+  const std::string out_csv = flags.get_string("csv", "");
+  const double timeout_ms = flags.get_double("timeout_ms", 0);
+  const bool timing = flags.get_bool("timing", false);
+  const bool quiet = flags.get_bool("quiet", false);
+  flags.check_unused();
+
+  ScenarioRegistry& reg = ScenarioRegistry::global();
+  if (list) {
+    list_scenarios(reg);
+    return 0;
+  }
+  if (scenario.empty()) {
+    std::fprintf(stderr,
+                 "usage: dcdl_sweep --scenario <name> [--grid ...] "
+                 "[--seeds N] [--jobs N] [--out file.json]\n"
+                 "       dcdl_sweep --list\n");
+    return 2;
+  }
+
+  try {
+    SweepSpec spec;
+    spec.scenario = scenario;
+    spec.axes = parse_grid(grid);
+    apply_sets(spec.base, sets);
+    spec.seeds_per_cell = seeds;
+    spec.root_seed = root_seed;
+    spec.run_for = Time{run_ms * 1'000'000'000};
+    spec.drain_grace = Time{drain_ms * 1'000'000'000};
+    spec.monitor_dwell = Time{dwell_ms * 1'000'000'000};
+    reg.validate_params(scenario, spec.base);
+    for (const GridAxis& axis : spec.axes) {
+      ParamMap probe;
+      probe.set(axis.param, axis.values.front());
+      reg.validate_params(scenario, probe);
+    }
+
+    const std::vector<RunSpec> runs = expand(spec);
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "dcdl_sweep: %zu run(s) of '%s' (%zu axis/axes, %d "
+                   "seed(s)/cell) on %d job(s)\n",
+                   runs.size(), scenario.c_str(), spec.axes.size(), seeds,
+                   jobs);
+    }
+
+    ExecutorOptions opts;
+    opts.jobs = jobs;
+    opts.run_wall_budget_ms = timeout_ms;
+    std::size_t done = 0;
+    if (!quiet) {
+      opts.on_run_done = [&done, &runs](const RunRecord& rec) {
+        ++done;
+        std::fprintf(stderr, "  [%zu/%zu] run %d %s%s%s\n", done, runs.size(),
+                     rec.run_index, to_string(rec.status),
+                     rec.error.empty() ? "" : ": ", rec.error.c_str());
+      };
+    }
+    CampaignExecutor exec(reg, opts);
+    const CampaignResult result = exec.run(runs, root_seed);
+
+    WriteOptions wopts;
+    wopts.include_timing = timing;
+    if (!out_json.empty()) write_text_file(out_json, to_json(result, wopts));
+    if (!out_csv.empty()) write_text_file(out_csv, to_csv(result));
+    if (out_json.empty() && out_csv.empty()) {
+      std::fputs(to_csv(result).c_str(), stdout);
+    }
+
+    std::fprintf(stderr,
+                 "dcdl_sweep: %zu ok, %zu failed, %zu timeout, %zu cancelled "
+                 "in %.0f ms wall (%d jobs)%s%s\n",
+                 result.count(RunStatus::kOk),
+                 result.count(RunStatus::kFailed),
+                 result.count(RunStatus::kTimeout),
+                 result.count(RunStatus::kCancelled), result.total_wall_ms,
+                 result.jobs, out_json.empty() ? "" : " -> ",
+                 out_json.c_str());
+    return result.count(RunStatus::kFailed) == 0 ? 0 : 1;
+  } catch (const CampaignError& e) {
+    std::fprintf(stderr, "dcdl_sweep: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,14 @@
+// Umbrella for the campaign subsystem: parallel experiment sweeps with
+// structured, diffable results.
+//
+//   ScenarioRegistry  — names + typed params -> scenarios::make_* factories
+//   SweepSpec/expand  — cartesian grids + deterministic seed streams
+//   CampaignExecutor  — thread pool, per-run guard rails, failure capture
+//   CampaignResult    — JSON/CSV artifacts (schema dcdl.campaign.v1)
+#pragma once
+
+#include "dcdl/campaign/executor.hpp"
+#include "dcdl/campaign/param.hpp"
+#include "dcdl/campaign/registry.hpp"
+#include "dcdl/campaign/result.hpp"
+#include "dcdl/campaign/sweep.hpp"

@@ -1,0 +1,208 @@
+#include "dcdl/campaign/executor.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/common/contract.hpp"
+#include "dcdl/stats/pause_log.hpp"
+
+namespace dcdl::campaign {
+
+namespace {
+
+/// Thrown (per thread) in place of std::abort while a run executes.
+struct ContractViolation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void throw_contract(const char* kind, const char* expr,
+                                 const char* file, int line) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "contract %s violated: %s at %s:%d", kind,
+                expr, file, line);
+  throw ContractViolation(buf);
+}
+
+/// Installs the throwing contract handler for the current scope/thread.
+class ScopedContractCapture {
+ public:
+  ScopedContractCapture() : prev_(detail::contract_handler) {
+    detail::contract_handler = &throw_contract;
+  }
+  ~ScopedContractCapture() { detail::contract_handler = prev_; }
+  ScopedContractCapture(const ScopedContractCapture&) = delete;
+  ScopedContractCapture& operator=(const ScopedContractCapture&) = delete;
+
+ private:
+  detail::ContractHandler prev_;
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
+                      const std::atomic<bool>* cancel,
+                      const ExecutorOptions& opts) {
+  RunRecord rec;
+  rec.run_index = spec.run_index;
+  rec.cell_index = spec.cell_index;
+  rec.seed_index = spec.seed_index;
+  rec.scenario = spec.scenario;
+  rec.params = spec.params;
+  rec.seed = spec.seed;
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  ScopedContractCapture capture;
+  try {
+    const ScenarioDef& def = registry.at(spec.scenario);
+    registry.validate_params(spec.scenario, spec.params);
+    scenarios::Scenario s = def.make(spec.params);
+    stats::PauseEventLog pauses(*s.net);
+    ScenarioDef::Finisher finish;
+    if (def.instrument) finish = def.instrument(s, spec.params);
+
+    // Cooperative guard: a recurring simulator event — always scheduled, so
+    // the event stream (and events_executed) is identical whether a run
+    // executes inside a campaign or standalone. `guard_active` ends the
+    // recurrence once the measured window closes, keeping the drain phase
+    // free of artificial wakeups.
+    bool guard_active = true;
+    bool timed_out = false;
+    bool cancelled = false;
+    Simulator* sim = s.sim.get();
+    std::function<void()> guard = [&, sim] {
+      if (!guard_active) return;
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        cancelled = true;
+        sim->stop();
+        return;
+      }
+      if (opts.run_wall_budget_ms > 0 &&
+          elapsed_ms(wall0) > opts.run_wall_budget_ms) {
+        timed_out = true;
+        sim->stop();
+        return;
+      }
+      sim->schedule_in(opts.guard_poll, guard);
+    };
+    sim->schedule_in(opts.guard_poll, guard);
+
+    // Same sequence as scenarios::run_and_check, but with the at-stop
+    // metric capture interposed between the measured run and the drain.
+    analysis::DeadlockMonitor monitor(*s.net, Time{50'000'000},
+                                      spec.monitor_dwell);
+    const Time start = sim->now();
+    monitor.start(start, start + spec.run_for + spec.drain_grace);
+    sim->run_until(start + spec.run_for);
+    guard_active = false;
+    rec.wall_ms = elapsed_ms(wall0);
+    if (cancelled) {
+      rec.status = RunStatus::kCancelled;
+      return rec;
+    }
+    if (timed_out) {
+      rec.status = RunStatus::kTimeout;
+      rec.error = "per-run wall-clock budget exceeded";
+      return rec;
+    }
+
+    std::int64_t total = 0;
+    for (const FlowSpec& f : s.flows) {
+      const std::int64_t bytes =
+          s.net->host_at(f.dst_host).delivered_bytes(f.id);
+      rec.delivered.emplace_back(f.id, bytes);
+      total += bytes;
+    }
+    rec.goodput_gbps =
+        static_cast<double>(total) * 8 / spec.run_for.sec() / 1e9;
+    for (const stats::PauseEvent& e : pauses.events()) {
+      rec.pause_assertions += e.paused ? 1 : 0;
+    }
+    rec.status = RunStatus::kOk;  // finisher sees a complete core record
+    if (finish) finish(rec, rec.metrics);
+
+    const analysis::DrainResult drain =
+        analysis::stop_and_drain(*s.net, spec.drain_grace);
+    rec.trapped_bytes = drain.trapped_bytes;
+    rec.deadlocked = drain.deadlocked;
+    if (monitor.detected_at()) rec.detect_ms = monitor.detected_at()->ms();
+    rec.events = sim->events_executed();
+  } catch (const std::exception& e) {
+    rec.status = RunStatus::kFailed;
+    rec.error = e.what();
+  }
+  rec.wall_ms = elapsed_ms(wall0);
+  return rec;
+}
+
+CampaignExecutor::CampaignExecutor(const ScenarioRegistry& registry,
+                                   ExecutorOptions opts)
+    : registry_(registry), opts_(std::move(opts)) {}
+
+CampaignResult CampaignExecutor::run(const std::vector<RunSpec>& specs,
+                                     std::uint64_t root_seed) {
+  CampaignResult result;
+  result.root_seed = root_seed;
+  result.records.resize(specs.size());
+  if (specs.empty()) return result;
+
+  int jobs = opts_.jobs > 0
+                 ? opts_.jobs
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  if (static_cast<std::size_t>(jobs) > specs.size()) {
+    jobs = static_cast<int>(specs.size());
+  }
+  effective_jobs_ = jobs;
+  result.jobs = jobs;
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> cursor{0};
+  std::mutex done_mutex;
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      if (cancel_.load(std::memory_order_relaxed)) {
+        // Not started: record the spec identity with status=cancelled.
+        RunRecord& rec = result.records[i];
+        rec.run_index = specs[i].run_index;
+        rec.cell_index = specs[i].cell_index;
+        rec.seed_index = specs[i].seed_index;
+        rec.scenario = specs[i].scenario;
+        rec.params = specs[i].params;
+        rec.seed = specs[i].seed;
+        rec.status = RunStatus::kCancelled;
+      } else {
+        result.records[i] = execute_run(registry_, specs[i], &cancel_, opts_);
+      }
+      if (opts_.on_run_done) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        opts_.on_run_done(result.records[i]);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs) - 1);
+  for (int t = 1; t < jobs; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+
+  result.total_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall0)
+          .count();
+  return result;
+}
+
+}  // namespace dcdl::campaign

@@ -1,0 +1,72 @@
+// Thread-pool campaign executor.
+//
+// Every Simulator is an independent single-threaded deterministic engine, so
+// a campaign of N runs is embarrassingly parallel: workers pull run specs
+// off an atomic cursor and write records into pre-assigned slots — no locks
+// on the result path, and the record order (hence every artifact byte)
+// depends only on the spec order.
+//
+// Robustness: each run is guarded by
+//   - graceful failure capture: exceptions AND dcdl contract violations
+//     inside one run become status=failed records instead of aborting the
+//     campaign (see detail::contract_handler);
+//   - a cooperative cancellation/timeout guard: a recurring simulator event
+//     checks the campaign's cancel flag and the per-run wall-clock budget,
+//     stopping runs that deadlock-and-spin without preempting any thread.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "dcdl/campaign/result.hpp"
+
+namespace dcdl::campaign {
+
+struct ExecutorOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Per-run wall-clock budget in ms; 0 = unlimited. A tripped budget
+  /// yields status=timeout (inherently nondeterministic — leave at 0 when
+  /// byte-stable artifacts matter).
+  double run_wall_budget_ms = 0;
+  /// Simulated-time cadence of the cancellation/timeout guard event.
+  Time guard_poll = Time{1'000'000'000};  // 1 ms
+  /// Progress callback, invoked under a lock after each run completes.
+  std::function<void(const RunRecord&)> on_run_done;
+};
+
+/// Executes one spec synchronously on the calling thread. This is both the
+/// worker body and the standalone single-cell reproduction entry point: the
+/// record it returns is identical to the one a campaign produces for the
+/// same spec (pass cancel = nullptr for standalone use).
+RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
+                      const std::atomic<bool>* cancel = nullptr,
+                      const ExecutorOptions& opts = {});
+
+class CampaignExecutor {
+ public:
+  explicit CampaignExecutor(const ScenarioRegistry& registry,
+                            ExecutorOptions opts = {});
+
+  /// Runs all specs; blocks until every run completed, failed, timed out,
+  /// or was cancelled. records[i] corresponds to specs[i].
+  CampaignResult run(const std::vector<RunSpec>& specs,
+                     std::uint64_t root_seed = 0);
+
+  /// Cooperative cancellation (callable from any thread, e.g. a signal
+  /// context): in-flight runs stop at their next guard poll and are marked
+  /// cancelled; queued runs are not started.
+  void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  /// The job count run() resolved to (after the hardware default and the
+  /// spec-count clamp).
+  int effective_jobs() const { return effective_jobs_; }
+
+ private:
+  const ScenarioRegistry& registry_;
+  ExecutorOptions opts_;
+  std::atomic<bool> cancel_{false};
+  int effective_jobs_ = 1;
+};
+
+}  // namespace dcdl::campaign

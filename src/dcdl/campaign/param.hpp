@@ -1,0 +1,99 @@
+// Typed key/value parameters for campaign scenarios.
+//
+// A ParamMap is the wire format between sweep specs and scenario factories:
+// every knob of a registered scenario is addressable by name, so a sweep can
+// grid over any of them without the factory knowing about sweeps. Values are
+// deliberately a small closed set (int, double, bool, string) — everything a
+// command line or a JSON artifact can carry losslessly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace dcdl::campaign {
+
+/// Campaign-layer failures (unknown scenario, malformed grid, bad param):
+/// these are *user input* errors, reported gracefully, never contract aborts.
+struct CampaignError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class ParamKind { kInt, kDouble, kBool, kString };
+
+const char* to_string(ParamKind kind);
+
+class ParamValue {
+ public:
+  ParamValue() = default;
+  static ParamValue of_int(std::int64_t v);
+  static ParamValue of_double(double v);
+  static ParamValue of_bool(bool v);
+  static ParamValue of_string(std::string v);
+
+  /// Parses "17" -> int, "2.5" / "1e9" -> double, "true"/"false" -> bool,
+  /// anything else -> string. A recognized unit suffix on a number (e.g.
+  /// "8gbps") is stripped; the unit text is returned via `unit` if non-null.
+  static ParamValue parse(const std::string& text, std::string* unit = nullptr);
+
+  ParamKind kind() const { return kind_; }
+  /// Numeric accessors coerce between int and double; anything else throws
+  /// CampaignError (a type mismatch is a spec bug worth surfacing).
+  std::int64_t as_int() const;
+  double as_double() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+
+  /// Canonical text form (shortest round-trip for doubles) used by the JSON
+  /// and CSV sinks; deterministic across runs and thread counts.
+  std::string to_string() const;
+
+  friend bool operator==(const ParamValue&, const ParamValue&) = default;
+
+ private:
+  ParamKind kind_ = ParamKind::kInt;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  bool bool_ = false;
+  std::string string_;
+};
+
+/// An ordered name -> value map (ordered so serialization is deterministic).
+class ParamMap {
+ public:
+  void set(const std::string& name, ParamValue value) {
+    values_[name] = std::move(value);
+  }
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+
+  const std::map<std::string, ParamValue>& items() const { return values_; }
+  bool empty() const { return values_.empty(); }
+
+  friend bool operator==(const ParamMap&, const ParamMap&) = default;
+
+ private:
+  std::map<std::string, ParamValue> values_;
+};
+
+/// Declaration of one scenario knob, used for validation and --list output.
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kDouble;
+  /// Unit suffix accepted after numbers in grid specs ("gbps", "us", ...).
+  std::string unit;
+  std::string description;
+};
+
+/// Shortest-round-trip decimal text for a double (std::to_chars), so JSON
+/// and CSV artifacts are byte-identical regardless of how the value was
+/// computed or which thread produced it.
+std::string format_double(double v);
+
+}  // namespace dcdl::campaign

@@ -1,0 +1,90 @@
+// Structured campaign results: one record per run, aggregated into
+// machine-readable JSON and CSV artifacts with a versioned schema.
+//
+// Determinism contract: everything serialized by default depends only on the
+// sweep spec and root seed — never on wall clock, thread count, or
+// scheduling — so re-running a campaign diffs clean. Wall-clock accounting
+// exists on every record but is only serialized under
+// WriteOptions::include_timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dcdl/campaign/registry.hpp"
+#include "dcdl/campaign/sweep.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl::campaign {
+
+/// Schema identifier embedded in every JSON artifact; bump on any
+/// backwards-incompatible field change and document in DESIGN.md.
+inline constexpr const char* kResultSchema = "dcdl.campaign.v1";
+
+enum class RunStatus {
+  kOk,         ///< ran to completion
+  kFailed,     ///< factory/simulation raised (exception or contract breach)
+  kTimeout,    ///< per-run wall-clock budget exceeded; metrics partial
+  kCancelled,  ///< campaign cancelled before/while this run executed
+};
+const char* to_string(RunStatus status);
+
+struct RunRecord {
+  int run_index = 0;
+  int cell_index = 0;
+  int seed_index = 0;
+  std::string scenario;
+  ParamMap params;
+  std::uint64_t seed = 0;
+
+  RunStatus status = RunStatus::kCancelled;
+  std::string error;  ///< failure description when status == kFailed
+
+  // Core metrics (valid when status == kOk).
+  bool deadlocked = false;
+  double detect_ms = -1;  ///< online detection time; -1 = never confirmed
+  std::int64_t trapped_bytes = 0;
+  double goodput_gbps = 0;  ///< aggregate delivered*8/run_for at stop time
+  std::uint64_t pause_assertions = 0;  ///< Xoff count up to stop time
+  std::vector<std::pair<FlowId, std::int64_t>> delivered;  ///< per flow
+  /// Scenario-specific metrics from the ScenarioDef instrument hook.
+  MetricSink metrics;
+  /// Simulator events executed (deterministic for a given spec+seed).
+  std::uint64_t events = 0;
+
+  // Wall-clock accounting — excluded from artifacts by default.
+  double wall_ms = 0;
+};
+
+struct CampaignResult {
+  std::uint64_t root_seed = 0;
+  std::vector<RunRecord> records;  ///< in run_index order
+
+  // Timing-only (never in deterministic artifacts).
+  double total_wall_ms = 0;
+  int jobs = 1;
+
+  std::size_t count(RunStatus status) const;
+};
+
+struct WriteOptions {
+  /// Adds per-run "timing" objects and a campaign "timing" header. Off by
+  /// default: timing is nondeterministic and would break artifact diffing.
+  bool include_timing = false;
+};
+
+std::string to_json(const CampaignResult& result, const WriteOptions& = {});
+/// One record as a standalone JSON object (same field layout as an entry of
+/// "runs"); the standalone-reproduction story for a single cell.
+std::string run_to_json(const RunRecord& record, const WriteOptions& = {});
+
+/// Flat table: core columns, then every param column, then every
+/// scenario-metric column (union across records, sorted by name).
+std::string to_csv(const CampaignResult& result);
+
+/// Overwrites `path` with `content`; throws CampaignError on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace dcdl::campaign

@@ -7,12 +7,25 @@
 #include <cstdlib>
 
 namespace dcdl::detail {
+
+/// Optional per-thread override of the abort behaviour. When set, a contract
+/// violation calls the handler instead of aborting; the handler must not
+/// return (it throws). The campaign executor uses this to capture a broken
+/// run as a failed record instead of killing the whole campaign process.
+using ContractHandler = void (*)(const char* kind, const char* expr,
+                                 const char* file, int line);
+inline thread_local ContractHandler contract_handler = nullptr;
+
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
                                        const char* file, int line) {
+  if (contract_handler != nullptr) {
+    contract_handler(kind, expr, file, line);
+  }
   std::fprintf(stderr, "dcdl: %s violated: %s at %s:%d\n", kind, expr, file,
                line);
   std::abort();
 }
+
 }  // namespace dcdl::detail
 
 #define DCDL_EXPECTS(cond)                                                   \

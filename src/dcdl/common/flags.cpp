@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "dcdl/common/contract.hpp"
 
@@ -55,6 +56,16 @@ std::string Flags::get_string(const std::string& name,
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return it->second;
+}
+
+int Flags::jobs() {
+  const auto hw = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  const std::int64_t n = get_int("jobs", hw > 0 ? hw : 1);
+  return static_cast<int>(n > 0 ? n : 1);
+}
+
+std::string Flags::out(const std::string& default_path) {
+  return get_string("out", default_path);
 }
 
 void Flags::check_unused() const {

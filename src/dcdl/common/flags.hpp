@@ -22,6 +22,15 @@ class Flags {
   bool get_bool(const std::string& name, bool default_value);
   std::string get_string(const std::string& name, const std::string& default_value);
 
+  /// --jobs N: worker-thread count shared by every bench/CLI entry point
+  /// that can parallelize (campaign sweeps). Defaults to
+  /// std::thread::hardware_concurrency() (at least 1).
+  int jobs();
+
+  /// --out <path>: result-artifact path shared by every bench/CLI entry
+  /// point that writes one; empty = no artifact.
+  std::string out(const std::string& default_path = "");
+
   /// Call after all get_* calls: aborts if the command line contained a flag
   /// that was never queried (almost always a typo in an experiment sweep).
   void check_unused() const;

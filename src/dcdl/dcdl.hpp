@@ -51,3 +51,5 @@
 #include "dcdl/stats/throughput.hpp"
 
 #include "dcdl/scenarios/scenario.hpp"
+
+#include "dcdl/campaign/campaign.hpp"

@@ -8,12 +8,16 @@ EventId Simulator::schedule_at(Time at, EventFn fn) {
   DCDL_EXPECTS(at >= now_);
   DCDL_EXPECTS(fn != nullptr);
   const std::uint64_t seq = next_seq_++;
+  pending_.insert(seq);
   heap_.push(Entry{at, seq, std::move(fn)});
   return EventId{seq};
 }
 
 void Simulator::cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.seq);
+  // Erasing from the pending set is complete: the heap entry becomes a husk
+  // reclaimed on pop, and a stale id (already fired/cancelled) is a no-op
+  // with no residue.
+  if (id.valid()) pending_.erase(id.seq);
 }
 
 bool Simulator::step() {
@@ -22,10 +26,7 @@ bool Simulator::step() {
     // non-const underlying entry. The entry is popped immediately after.
     Entry entry = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
-    if (const auto it = cancelled_.find(entry.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    if (pending_.erase(entry.seq) == 0) continue;  // cancelled husk
     DCDL_ASSERT(entry.at >= now_);
     now_ = entry.at;
     ++executed_;
@@ -45,10 +46,9 @@ bool Simulator::run_until(Time deadline) {
   DCDL_EXPECTS(deadline >= now_);
   stopped_ = false;
   while (!stopped_) {
-    // Peek past cancelled entries without executing live ones beyond the
+    // Peek past cancelled husks without executing live entries beyond the
     // deadline.
-    while (!heap_.empty() && cancelled_.count(heap_.top().seq)) {
-      cancelled_.erase(heap_.top().seq);
+    while (!heap_.empty() && pending_.count(heap_.top().seq) == 0) {
       heap_.pop();
     }
     if (heap_.empty() || heap_.top().at > deadline) break;

@@ -40,7 +40,9 @@ class Simulator {
   }
 
   /// Cancels a pending event. Cancelling an already-fired or already
-  /// cancelled event is a harmless no-op.
+  /// cancelled event is a harmless no-op and never accumulates state: the
+  /// engine tracks the *pending* set, so stale ids cannot leave tombstones
+  /// behind (they used to, growing unboundedly under timer-heavy runs).
   void cancel(EventId id);
 
   /// Runs until the event queue is empty or stop() is called.
@@ -54,7 +56,12 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return pending_.size(); }
+
+  /// Diagnostic: heap entries including cancelled husks awaiting their pop.
+  /// Bounded by the number of still-scheduled timestamps; the regression
+  /// test for the cancel-tombstone leak asserts on this.
+  std::size_t heap_entries() const { return heap_.size(); }
 
  private:
   struct Entry {
@@ -74,7 +81,9 @@ class Simulator {
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Seqs scheduled but not yet fired or cancelled. A heap entry whose seq
+  /// is absent here is a cancelled husk, skipped (and reclaimed) on pop.
+  std::unordered_set<std::uint64_t> pending_;
 };
 
 }  // namespace dcdl

@@ -114,6 +114,59 @@ TEST(Simulator, PendingEventsAccountsForCancellations) {
   EXPECT_EQ(sim.pending_events(), 1u);
 }
 
+TEST(Simulator, CancelOfFiredEventLeavesNoResidue) {
+  // Regression: cancelling an already-fired event used to insert its seq
+  // into a tombstone set that nothing ever drained, so long-lived sims
+  // (device timers follow exactly this schedule/fire/cancel pattern) grew
+  // their bookkeeping without bound.
+  Simulator sim;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const EventId id = sim.schedule_in(1_ns, [] {});
+    sim.run();
+    sim.cancel(id);  // already fired: must be a true no-op
+    if (sim.pending_events() != 0 || sim.heap_entries() != 0) {
+      FAIL() << "residue after cycle " << i
+             << ": pending=" << sim.pending_events()
+             << " heap=" << sim.heap_entries();
+    }
+  }
+  EXPECT_EQ(sim.events_executed(), 1'000'000u);
+}
+
+TEST(Simulator, CancelledHusksAreReclaimedOnPop) {
+  // Cancel-before-fire leaves a husk in the heap; every husk must be
+  // reclaimed as the clock passes it, so churn stays bounded too.
+  Simulator sim;
+  for (int i = 0; i < 100'000; ++i) {
+    sim.schedule_in(1_ns, [] {});
+    const EventId dropped = sim.schedule_in(2_ns, [] {});
+    sim.cancel(dropped);
+    sim.run();
+    if (sim.pending_events() != 0 || sim.heap_entries() != 0) {
+      FAIL() << "residue after cycle " << i
+             << ": pending=" << sim.pending_events()
+             << " heap=" << sim.heap_entries();
+    }
+  }
+  EXPECT_EQ(sim.events_executed(), 100'000u);
+}
+
+TEST(Simulator, CancelAtCurrentTimeInsideRunUntil) {
+  // The cancelled event sits exactly at now(); run_until must skip it and
+  // reclaim the husk rather than execute it.
+  Simulator sim;
+  int fired = 0;
+  EventId victim;
+  sim.schedule_at(10_ns, [&] {
+    victim = sim.schedule_in(Time::zero(), [&] { ++fired; });
+    sim.cancel(victim);
+  });
+  sim.run_until(20_ns);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.heap_entries(), 0u);
+}
+
 TEST(SimulatorDeath, RejectsSchedulingInThePast) {
   Simulator sim;
   sim.schedule_at(10_ns, [] {});
