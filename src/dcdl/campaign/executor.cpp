@@ -7,6 +7,7 @@
 
 #include "dcdl/analysis/deadlock.hpp"
 #include "dcdl/common/contract.hpp"
+#include "dcdl/sim/simulator.hpp"
 #include "dcdl/stats/pause_log.hpp"
 
 namespace dcdl::campaign {
@@ -169,6 +170,10 @@ CampaignResult CampaignExecutor::run(const std::vector<RunSpec>& specs,
   std::mutex done_mutex;
 
   const auto worker = [&] {
+    // Each worker recycles one simulator arena across all its runs: the
+    // event slab/heap grown by run i is adopted by run i+1 instead of being
+    // freed and re-grown (see Simulator::ScopedArenaRecycling).
+    const Simulator::ScopedArenaRecycling arena_scope;
     while (true) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= specs.size()) return;

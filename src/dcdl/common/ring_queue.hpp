@@ -1,0 +1,70 @@
+// Growable ring-buffer FIFO.
+//
+// std::deque allocates and frees ~512-byte blocks as its window slides, so
+// a steady packet stream through an egress queue still churns the
+// allocator. RingQueue keeps one power-of-two contiguous buffer: push/pop
+// are an index mask each, and once the buffer has grown to the high-water
+// mark of the queue it never allocates again. Restricted to trivially
+// destructible element types (packets and their queue wrappers), which lets
+// pop_front be a bare index bump.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dcdl {
+
+template <typename T>
+class RingQueue {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "RingQueue elements must be trivially destructible");
+
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  /// i-th element from the front (0 == front()).
+  const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dcdl

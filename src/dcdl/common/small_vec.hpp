@@ -1,0 +1,113 @@
+// Inline-capacity vector for move-only element types.
+//
+// The first N elements live inside the object; growing past N moves them to
+// a single heap block. Used where a handful of elements is the norm and the
+// per-element dispatch must stay contiguous and allocation-free (trace hook
+// lists, most prominently).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace dcdl {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  SmallVec(SmallVec&& o) noexcept { move_from(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroy(); }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow();
+    ::new (static_cast<void*>(data() + size_)) T(std::move(v));
+    ++size_;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data()[i].~T();
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+ private:
+  T* data() {
+    return heap_ != nullptr ? heap_ : reinterpret_cast<T*>(inline_);
+  }
+  const T* data() const {
+    return heap_ != nullptr ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow() {
+    // The explicit N*2 floor also convinces GCC's bounds checker the block
+    // is never zero-sized.
+    const std::size_t new_cap = cap_ * 2 < N * 2 ? N * 2 : cap_ * 2;
+    T* block = static_cast<T*>(
+        ::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(block + i)) T(std::move(data()[i]));
+      data()[i].~T();
+    }
+    release_heap();
+    heap_ = block;
+    cap_ = new_cap;
+  }
+
+  void release_heap() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+      heap_ = nullptr;
+    }
+  }
+
+  void destroy() {
+    clear();
+    release_heap();
+    cap_ = N;
+  }
+
+  void move_from(SmallVec& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.heap_ = nullptr;
+      o.size_ = 0;
+      o.cap_ = N;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(data() + i)) T(std::move(o.data()[i]));
+        o.data()[i].~T();
+      }
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace dcdl

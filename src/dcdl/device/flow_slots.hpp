@@ -1,0 +1,87 @@
+// Per-switch flow-slot registry: dense indices for per-flow accounting.
+//
+// The ingress counters track bytes per (port, class, flow). Keying that by
+// FlowId directly forces a hash lookup on every packet arrival AND
+// departure; instead each switch assigns every flow *currently resident in
+// its buffer* a small dense slot index, and the per-counter tallies become
+// plain vectors indexed by slot. The registry counts switch-wide resident
+// bytes per slot and recycles a slot the moment its flow fully drains, so
+// the dense vectors stay sized to the live working set, not to the lifetime
+// flow population (a long campaign cycles through thousands of flow ids; a
+// switch only ever buffers a handful at once).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/common/flow_map.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl {
+
+class FlowSlotRegistry {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Slot for `flow`, allocating (or recycling) one on first resident byte;
+  /// records `bytes` entering the switch. One dense-array read per packet.
+  std::uint32_t acquire(FlowId flow, std::int64_t bytes) {
+    std::uint32_t& idx = index_.at_or_insert(flow);
+    if (idx == 0) {  // FlowMap default-constructs to 0 == "no slot"
+      std::uint32_t slot;
+      if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+        slots_[slot] = SlotInfo{flow, 0};
+      } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(SlotInfo{flow, 0});
+      }
+      idx = slot + 1;
+    }
+    const std::uint32_t slot = idx - 1;
+    DCDL_ASSERT(slots_[slot].flow == flow);
+    slots_[slot].resident_bytes += bytes;
+    return slot;
+  }
+
+  /// Records `bytes` leaving the switch; frees the slot when the flow's
+  /// switch-wide residency reaches zero (every per-counter tally for it is
+  /// exactly zero at that point, so recycling needs no sweeps).
+  void release(std::uint32_t slot, std::int64_t bytes) {
+    SlotInfo& s = slots_[slot];
+    s.resident_bytes -= bytes;
+    DCDL_ASSERT(s.resident_bytes >= 0);
+    if (s.resident_bytes == 0) {
+      index_.at_or_insert(s.flow) = 0;
+      free_.push_back(slot);
+    }
+  }
+
+  /// Slot of a currently-resident flow, kNoSlot if it holds no bytes here.
+  std::uint32_t lookup(FlowId flow) const {
+    const std::uint32_t* idx = index_.find(flow);
+    return idx == nullptr || *idx == 0 ? kNoSlot : *idx - 1;
+  }
+
+  /// High-water slot count — the size dense accounting vectors grow to.
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Flows currently holding buffer in this switch.
+  std::size_t resident_flows() const { return slots_.size() - free_.size(); }
+
+ private:
+  struct SlotInfo {
+    FlowId flow = 0;
+    std::int64_t resident_bytes = 0;
+  };
+
+  FlowMap<std::uint32_t> index_;  ///< flow -> slot + 1; 0 means absent
+  std::vector<SlotInfo> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace dcdl

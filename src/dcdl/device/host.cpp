@@ -108,7 +108,7 @@ void Host::complete_transmit() {
 }
 
 void Host::on_receive(PortId, Packet pkt) {
-  auto& s = delivered_[pkt.flow];
+  auto& s = delivered_.at_or_insert(pkt.flow);
   s.bytes += pkt.size_bytes;
   s.packets += 1;
   if (net_.trace().delivered) net_.trace().delivered(net_.sim().now(), pkt);
@@ -177,13 +177,13 @@ std::uint64_t Host::sent_packets(FlowId flow) const {
 }
 
 std::int64_t Host::delivered_bytes(FlowId flow) const {
-  const auto it = delivered_.find(flow);
-  return it == delivered_.end() ? 0 : it->second.bytes;
+  const SinkStats* s = delivered_.find(flow);
+  return s == nullptr ? 0 : s->bytes;
 }
 
 std::uint64_t Host::delivered_packets(FlowId flow) const {
-  const auto it = delivered_.find(flow);
-  return it == delivered_.end() ? 0 : it->second.packets;
+  const SinkStats* s = delivered_.find(flow);
+  return s == nullptr ? 0 : s->packets;
 }
 
 Pacer* Host::pacer(FlowId flow) {

@@ -10,9 +10,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "dcdl/common/flow_map.hpp"
 #include "dcdl/common/rng.hpp"
 #include "dcdl/device/config.hpp"
 #include "dcdl/device/device.hpp"
@@ -84,7 +84,8 @@ class Host final : public Device {
   std::array<Time, kMaxClasses> pause_expiry_{};
   EventId wake_{};
   Time wake_at_ = Time::max();
-  std::unordered_map<FlowId, SinkStats> delivered_;
+  /// Sink tallies, dense-indexed by FlowId (no hashing per delivery).
+  FlowMap<SinkStats> delivered_;
   Rng jitter_rng_;
 };
 

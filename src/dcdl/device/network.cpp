@@ -55,7 +55,8 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   const PortPeer& pp = topo_.peer(from, port);
   const LinkSpec& link = topo_.link(pp.link);
   const Time ser = serialization_time(pkt.size_bytes, link.rate);
-  Device* peer = devices_.at(pp.peer_node).get();
+  DCDL_ASSERT(pp.peer_node < devices_.size());
+  Device* peer = devices_[pp.peer_node].get();
   const PortId peer_port = pp.peer_port;
   sim_.schedule_in(ser + link.delay, [peer, peer_port, pkt]() mutable {
     peer->on_receive(peer_port, pkt);
@@ -66,7 +67,8 @@ void Network::send_pfc(NodeId from, PortId port, ClassId cls, bool pause) {
   const PortPeer& pp = topo_.peer(from, port);
   const LinkSpec& link = topo_.link(pp.link);
   const Time ser = serialization_time(cfg_.pfc.control_frame_bytes, link.rate);
-  Device* peer = devices_.at(pp.peer_node).get();
+  DCDL_ASSERT(pp.peer_node < devices_.size());
+  Device* peer = devices_[pp.peer_node].get();
   const PortId peer_port = pp.peer_port;
   sim_.schedule_in(ser + link.delay, [peer, peer_port, cls, pause] {
     peer->on_pfc(peer_port, cls, pause);

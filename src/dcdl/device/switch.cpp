@@ -11,17 +11,24 @@ Switch::Switch(Network& net, NodeId id, const NetConfig& cfg)
     : Device(net, id), cfg_(cfg) {
   DCDL_EXPECTS(cfg.num_classes >= 1 && cfg.num_classes <= kMaxClasses);
   const std::size_t ports = net.topo().degree(id);
+  from_stride_ = static_cast<std::uint32_t>(cfg.num_classes);
+  num_classes_ = static_cast<std::size_t>(cfg.num_classes);
   ingress_.resize(ports);
   egress_.resize(ports);
   for (auto& in : ingress_) {
-    in.cls.resize(static_cast<std::size_t>(cfg.num_classes));
+    in.cls.resize(num_classes_);
     for (auto& c : in.cls) {
       c.xoff = cfg.pfc.xoff_bytes;
       c.xon = cfg.pfc.xon_bytes;
     }
   }
   for (auto& eg : egress_) {
-    eg.cls.resize(static_cast<std::size_t>(cfg.num_classes));
+    eg.cls.resize(num_classes_);
+    for (auto& c : eg.cls) {
+      // Attribution vector spans every possible from_key up front, so the
+      // enqueue/dequeue paths are bare indexed adds.
+      c.from.assign(ports * num_classes_, 0);
+    }
   }
   routes_.set_ecmp_salt(0x5DEECE66DULL * (id + 1));
   jitter_rng_.reseed(cfg.jitter_seed * 0x9E3779B97F4A7C15ULL + id);
@@ -48,7 +55,9 @@ void Switch::clear_ingress_shaper(PortId port) {
     Packet pkt = std::move(in.held.front());
     in.held.pop_front();
     in.held_bytes -= pkt.size_bytes;
-    route_and_enqueue(port, pkt.prio, std::move(pkt));
+    const std::uint32_t slot = flow_slots_.lookup(pkt.flow);
+    DCDL_ASSERT(slot != FlowSlotRegistry::kNoSlot);
+    route_and_enqueue(port, pkt.prio, slot, std::move(pkt));
   }
 }
 
@@ -63,7 +72,7 @@ Time Switch::tx_hold_time(const Packet& pkt, PortId egress) {
 
 void Switch::update_pause_state(PortId port, ClassId cls) {
   if (!cfg_.pfc.enabled) return;
-  auto& c = ingress_.at(port).cls.at(cls);
+  auto& c = ingress_[port].cls[cls];
   if (!c.pause_asserted && c.bytes >= c.xoff) {
     c.pause_asserted = true;
     net_.send_pfc(id_, port, cls, /*pause=*/true);
@@ -80,6 +89,19 @@ void Switch::update_pause_state(PortId port, ClassId cls) {
   }
 }
 
+std::uint32_t Switch::charge_ingress(IngressCounter& ctr, FlowId flow,
+                                     std::int64_t bytes) {
+  const std::uint32_t slot = flow_slots_.acquire(flow, bytes);
+  if (slot >= ctr.flow_bytes.size()) {
+    // First time this counter sees a slot this high: catch up to the
+    // registry's high-water capacity. A recycled slot is guaranteed zero
+    // here (its flow fully drained from every counter before it was freed).
+    ctr.flow_bytes.resize(flow_slots_.capacity(), 0);
+  }
+  ctr.flow_bytes[slot] += bytes;
+  return slot;
+}
+
 void Switch::on_receive(PortId in_port, Packet pkt) {
   const Time now = net_.sim().now();
   if (total_buffered_ + pkt.size_bytes > cfg_.switch_buffer_bytes) {
@@ -93,30 +115,33 @@ void Switch::on_receive(PortId in_port, Packet pkt) {
   }
 
   const ClassId in_class = pkt.prio;  // accounting class = class as received
-  auto& in = ingress_.at(in_port);
+  auto& in = ingress_[in_port];
   DCDL_ASSERT(in_class < in.cls.size());
 
   // Ingress admission: the packet now occupies buffer.
   auto& ctr = in.cls[in_class];
   ctr.bytes += pkt.size_bytes;
-  ctr.flow_bytes[pkt.flow] += pkt.size_bytes;
+  const std::uint32_t flow_slot =
+      charge_ingress(ctr, pkt.flow, pkt.size_bytes);
   total_buffered_ += pkt.size_bytes;
   update_pause_state(in_port, in_class);
 
-  if (const auto it = flow_shapers_.find(pkt.flow);
-      it != flow_shapers_.end()) {
-    it->second.held_bytes += pkt.size_bytes;
-    it->second.held.emplace_back(std::move(pkt), in_port, in_class);
-    schedule_flow_release(it->first);
-    return;
+  if (!flow_shapers_.empty()) {
+    if (const auto it = flow_shapers_.find(pkt.flow);
+        it != flow_shapers_.end()) {
+      it->second.held_bytes += pkt.size_bytes;
+      it->second.held.push_back(HeldPacket{std::move(pkt), in_port, in_class});
+      schedule_flow_release(it->first);
+      return;
+    }
   }
   if (in.shaper) {
+    in.held_bytes += pkt.size_bytes;
     in.held.push_back(std::move(pkt));
-    in.held_bytes += in.held.back().size_bytes;
     schedule_shaper_release(in_port);
     return;
   }
-  route_and_enqueue(in_port, in_class, std::move(pkt));
+  route_and_enqueue(in_port, in_class, flow_slot, std::move(pkt));
 }
 
 void Switch::set_flow_shaper(FlowId flow, Rate rate,
@@ -129,9 +154,11 @@ void Switch::clear_flow_shaper(FlowId flow) {
   const auto it = flow_shapers_.find(flow);
   if (it == flow_shapers_.end()) return;
   while (!it->second.held.empty()) {
-    auto [pkt, in_port, in_class] = std::move(it->second.held.front());
+    HeldPacket h = std::move(it->second.held.front());
     it->second.held.pop_front();
-    route_and_enqueue(in_port, in_class, std::move(pkt));
+    const std::uint32_t slot = flow_slots_.lookup(h.pkt.flow);
+    DCDL_ASSERT(slot != FlowSlotRegistry::kNoSlot);
+    route_and_enqueue(h.in_port, h.in_class, slot, std::move(h.pkt));
   }
   flow_shapers_.erase(it);
 }
@@ -140,8 +167,7 @@ void Switch::schedule_flow_release(FlowId flow) {
   auto& fs = flow_shapers_.at(flow);
   if (fs.release_scheduled || fs.held.empty()) return;
   const Time now = net_.sim().now();
-  const Time ready =
-      fs.shaper->ready_at(now, std::get<0>(fs.held.front()).size_bytes);
+  const Time ready = fs.shaper->ready_at(now, fs.held.front().pkt.size_bytes);
   fs.release_scheduled = true;
   net_.sim().schedule_at(std::max(now, ready), [this, flow] {
     // The shaper may have been cleared while this release was in flight.
@@ -156,31 +182,32 @@ void Switch::release_flow_held(FlowId flow) {
   auto& fs = flow_shapers_.at(flow);
   const Time now = net_.sim().now();
   while (!fs.held.empty() &&
-         fs.shaper->ready_at(now, std::get<0>(fs.held.front()).size_bytes) <=
-             now) {
-    auto [pkt, in_port, in_class] = std::move(fs.held.front());
+         fs.shaper->ready_at(now, fs.held.front().pkt.size_bytes) <= now) {
+    HeldPacket h = std::move(fs.held.front());
     fs.held.pop_front();
-    fs.held_bytes -= pkt.size_bytes;
-    fs.shaper->on_sent(now, pkt.size_bytes);
-    route_and_enqueue(in_port, in_class, std::move(pkt));
+    fs.held_bytes -= h.pkt.size_bytes;
+    fs.shaper->on_sent(now, h.pkt.size_bytes);
+    const std::uint32_t slot = flow_slots_.lookup(h.pkt.flow);
+    DCDL_ASSERT(slot != FlowSlotRegistry::kNoSlot);
+    route_and_enqueue(h.in_port, h.in_class, slot, std::move(h.pkt));
   }
   schedule_flow_release(flow);
 }
 
 void Switch::schedule_shaper_release(PortId in_port) {
-  auto& in = ingress_.at(in_port);
+  auto& in = ingress_[in_port];
   if (in.release_scheduled || in.held.empty() || !in.shaper) return;
   const Time now = net_.sim().now();
   const Time ready = in.shaper->ready_at(now, in.held.front().size_bytes);
   in.release_scheduled = true;
   net_.sim().schedule_at(std::max(now, ready), [this, in_port] {
-    ingress_.at(in_port).release_scheduled = false;
+    ingress_[in_port].release_scheduled = false;
     release_held(in_port);
   });
 }
 
 void Switch::release_held(PortId in_port) {
-  auto& in = ingress_.at(in_port);
+  auto& in = ingress_[in_port];
   const Time now = net_.sim().now();
   while (!in.held.empty() && in.shaper &&
          in.shaper->ready_at(now, in.held.front().size_bytes) <= now) {
@@ -188,29 +215,33 @@ void Switch::release_held(PortId in_port) {
     in.held.pop_front();
     in.held_bytes -= pkt.size_bytes;
     in.shaper->on_sent(now, pkt.size_bytes);
-    route_and_enqueue(in_port, pkt.prio, std::move(pkt));
+    const std::uint32_t slot = flow_slots_.lookup(pkt.flow);
+    DCDL_ASSERT(slot != FlowSlotRegistry::kNoSlot);
+    route_and_enqueue(in_port, pkt.prio, slot, std::move(pkt));
   }
   schedule_shaper_release(in_port);
 }
 
-void Switch::dec_ingress(PortId in_port, ClassId in_class, const Packet& pkt) {
-  auto& ctr = ingress_.at(in_port).cls.at(in_class);
+void Switch::dec_ingress(PortId in_port, ClassId in_class,
+                         std::uint32_t flow_slot, const Packet& pkt) {
+  auto& ctr = ingress_[in_port].cls[in_class];
   ctr.bytes -= pkt.size_bytes;
   DCDL_ASSERT(ctr.bytes >= 0);
   total_buffered_ -= pkt.size_bytes;
   ctr.departure_count += 1;
-  if (auto it = ctr.flow_bytes.find(pkt.flow); it != ctr.flow_bytes.end()) {
-    it->second -= pkt.size_bytes;
-    if (it->second <= 0) ctr.flow_bytes.erase(it);
-  }
+  DCDL_ASSERT(flow_slot < ctr.flow_bytes.size());
+  ctr.flow_bytes[flow_slot] -= pkt.size_bytes;
+  DCDL_ASSERT(ctr.flow_bytes[flow_slot] >= 0);
+  flow_slots_.release(flow_slot, pkt.size_bytes);
   update_pause_state(in_port, in_class);
 }
 
-void Switch::route_and_enqueue(PortId in_port, ClassId in_class, Packet pkt) {
+void Switch::route_and_enqueue(PortId in_port, ClassId in_class,
+                               std::uint32_t flow_slot, Packet pkt) {
   const Time now = net_.sim().now();
   const auto egress = routes_.lookup(pkt.flow, pkt.dst);
   if (!egress) {
-    dec_ingress(in_port, in_class, pkt);
+    dec_ingress(in_port, in_class, flow_slot, pkt);
     net_.count_drop(DropReason::kNoRoute);
     if (net_.trace().dropped) {
       net_.trace().dropped(now, pkt, id_, DropReason::kNoRoute);
@@ -221,7 +252,7 @@ void Switch::route_and_enqueue(PortId in_port, ClassId in_class, Packet pkt) {
   if (net_.topo().is_switch(next)) {
     // Further switch-to-switch forwarding: TTL check and decrement.
     if (pkt.ttl == 0) {
-      dec_ingress(in_port, in_class, pkt);
+      dec_ingress(in_port, in_class, flow_slot, pkt);
       net_.count_drop(DropReason::kTtlExpired);
       if (net_.trace().dropped) {
         net_.trace().dropped(now, pkt, id_, DropReason::kTtlExpired);
@@ -237,12 +268,12 @@ void Switch::route_and_enqueue(PortId in_port, ClassId in_class, Packet pkt) {
     DCDL_ASSERT(out < cfg_.num_classes);
     pkt.prio = out;
   }
-  auto& eg = egress_.at(*egress);
+  auto& eg = egress_[*egress];
   if (ecn_mark_on_enqueue(eg, *egress, pkt)) pkt.ecn_marked = true;
-  auto& q = eg.cls.at(pkt.prio);
+  auto& q = eg.cls[pkt.prio];
   q.bytes += pkt.size_bytes;
   q.from[from_key(in_port, in_class)] += pkt.size_bytes;
-  q.q.push_back(QueuedPacket{std::move(pkt), in_port, in_class});
+  q.q.push_back(QueuedPacket{std::move(pkt), in_port, in_class, flow_slot});
   try_transmit(*egress);
 }
 
@@ -280,11 +311,11 @@ void Switch::schedule_pause_refresh(PortId port, ClassId cls) {
   if (cfg_.pfc.pause_quanta == Time::zero() || !cfg_.pfc.pause_refresh) {
     return;
   }
-  auto& ctr = ingress_.at(port).cls.at(cls);
+  auto& ctr = ingress_[port].cls[cls];
   if (ctr.refresh_scheduled) return;
   ctr.refresh_scheduled = true;
   net_.sim().schedule_in(cfg_.pfc.pause_quanta / 2, [this, port, cls] {
-    auto& c = ingress_.at(port).cls.at(cls);
+    auto& c = ingress_[port].cls[cls];
     c.refresh_scheduled = false;
     if (c.pause_asserted) {
       net_.send_pfc(id_, port, cls, /*pause=*/true);
@@ -294,9 +325,9 @@ void Switch::schedule_pause_refresh(PortId port, ClassId cls) {
 }
 
 void Switch::try_transmit(PortId egress) {
-  auto& eg = egress_.at(egress);
+  auto& eg = egress_[egress];
   if (eg.busy) return;
-  const std::size_t num_cls = eg.cls.size();
+  const std::size_t num_cls = num_classes_;
   for (std::size_t i = 0; i < num_cls; ++i) {
     const std::size_t c = (eg.rr_class + i) % num_cls;
     auto& q = eg.cls[c];
@@ -308,11 +339,9 @@ void Switch::try_transmit(PortId egress) {
     QueuedPacket qp = std::move(q.q.front());
     q.q.pop_front();
     q.bytes -= qp.pkt.size_bytes;
-    auto fit = q.from.find(from_key(qp.in_port, qp.in_class));
-    DCDL_ASSERT(fit != q.from.end());
-    fit->second -= qp.pkt.size_bytes;
-    if (fit->second <= 0) q.from.erase(fit);
-    dec_ingress(qp.in_port, qp.in_class, qp.pkt);
+    q.from[from_key(qp.in_port, qp.in_class)] -= qp.pkt.size_bytes;
+    DCDL_ASSERT(q.from[from_key(qp.in_port, qp.in_class)] >= 0);
+    dec_ingress(qp.in_port, qp.in_class, qp.flow_slot, qp.pkt);
 
     if (net_.trace().tx_start) {
       net_.trace().tx_start(net_.sim().now(), qp.pkt, id_, egress);
@@ -327,7 +356,7 @@ void Switch::try_transmit(PortId egress) {
 }
 
 void Switch::complete_transmit(PortId egress) {
-  egress_.at(egress).busy = false;
+  egress_[egress].busy = false;
   try_transmit(egress);
 }
 
@@ -362,20 +391,16 @@ std::uint64_t Switch::flush_egress_queue(PortId port, ClassId cls) {
     QueuedPacket qp = std::move(q.q.front());
     q.q.pop_front();
     q.bytes -= qp.pkt.size_bytes;
-    auto fit = q.from.find(from_key(qp.in_port, qp.in_class));
-    DCDL_ASSERT(fit != q.from.end());
-    fit->second -= qp.pkt.size_bytes;
-    if (fit->second <= 0) q.from.erase(fit);
+    q.from[from_key(qp.in_port, qp.in_class)] -= qp.pkt.size_bytes;
     // Releasing the buffer credits the ingress counter (possibly sending
-    // the RESUME that untangles the upstream), exactly like a forward.
+    // the RESUME that untangles the upstream), exactly like a forward —
+    // but a flushed packet is not a departure.
     auto& ctr = ingress_.at(qp.in_port).cls.at(qp.in_class);
     ctr.bytes -= qp.pkt.size_bytes;
     total_buffered_ -= qp.pkt.size_bytes;
-    if (auto it = ctr.flow_bytes.find(qp.pkt.flow);
-        it != ctr.flow_bytes.end()) {
-      it->second -= qp.pkt.size_bytes;
-      if (it->second <= 0) ctr.flow_bytes.erase(it);
-    }
+    DCDL_ASSERT(qp.flow_slot < ctr.flow_bytes.size());
+    ctr.flow_bytes[qp.flow_slot] -= qp.pkt.size_bytes;
+    flow_slots_.release(qp.flow_slot, qp.pkt.size_bytes);
     update_pause_state(qp.in_port, qp.in_class);
     net_.count_drop(DropReason::kWatchdogReset);
     if (net_.trace().dropped) {
@@ -401,9 +426,10 @@ std::int64_t Switch::ingress_bytes(PortId port, ClassId cls) const {
 
 std::int64_t Switch::ingress_flow_bytes(PortId port, ClassId cls,
                                         FlowId flow) const {
+  const std::uint32_t slot = flow_slots_.lookup(flow);
+  if (slot == FlowSlotRegistry::kNoSlot) return 0;
   const auto& fb = ingress_.at(port).cls.at(cls).flow_bytes;
-  const auto it = fb.find(flow);
-  return it == fb.end() ? 0 : it->second;
+  return slot < fb.size() ? fb[slot] : 0;
 }
 
 bool Switch::pause_asserted(PortId port, ClassId cls) const {
@@ -421,8 +447,8 @@ std::int64_t Switch::egress_queue_bytes(PortId port, ClassId cls) const {
 std::int64_t Switch::egress_bytes_from(PortId port, ClassId cls,
                                        PortId in_port, ClassId in_cls) const {
   const auto& from = egress_.at(port).cls.at(cls).from;
-  const auto it = from.find(from_key(in_port, in_cls));
-  return it == from.end() ? 0 : it->second;
+  const std::uint32_t key = from_key(in_port, in_cls);
+  return key < from.size() ? from[key] : 0;
 }
 
 std::uint64_t Switch::departures(PortId port, ClassId cls) const {
@@ -432,8 +458,8 @@ std::uint64_t Switch::departures(PortId port, ClassId cls) const {
 std::int64_t Switch::shaper_held_bytes(PortId port) const {
   std::int64_t total = ingress_.at(port).held_bytes;
   for (const auto& [flow, fs] : flow_shapers_) {
-    for (const auto& [pkt, in_port, in_class] : fs.held) {
-      if (in_port == port) total += pkt.size_bytes;
+    for (std::size_t i = 0; i < fs.held.size(); ++i) {
+      if (fs.held[i].in_port == port) total += fs.held[i].pkt.size_bytes;
     }
   }
   return total;

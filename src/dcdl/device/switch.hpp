@@ -33,20 +33,27 @@
 //  - ECN marking for the DCQCN mitigation: on enqueue against the real
 //    egress backlog, or against a phantom queue draining at a fraction of
 //    line rate (EcnConfig).
+//
+// Hot-path memory layout (see DESIGN.md "Hot-path memory architecture"):
+// per-flow ingress tallies are dense vectors indexed by the switch's
+// FlowSlotRegistry, per-ingress egress attribution is a dense vector
+// indexed by from_key, and every packet FIFO is a pooled RingQueue — a
+// packet arrival/forward touches no hash table and, at steady state,
+// performs no heap allocation.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
-#include <tuple>
 #include <unordered_map>
 #include <vector>
 
+#include "dcdl/common/ring_queue.hpp"
 #include "dcdl/common/rng.hpp"
 #include "dcdl/device/config.hpp"
 #include "dcdl/device/device.hpp"
+#include "dcdl/device/flow_slots.hpp"
 #include "dcdl/routing/route_table.hpp"
 #include "dcdl/sim/simulator.hpp"
 #include "dcdl/traffic/flow.hpp"
@@ -110,6 +117,11 @@ class Switch final : public Device {
   std::int64_t total_buffered() const { return total_buffered_; }
   /// Bytes waiting in the ingress shaper's holding queue (0 if no shaper).
   std::int64_t shaper_held_bytes(PortId port) const;
+  /// Flows currently holding buffer in this switch (flow-slot registry).
+  std::size_t resident_flows() const { return flow_slots_.resident_flows(); }
+  /// High-water flow-slot count — dense accounting vectors grow to this
+  /// and never beyond the concurrent working set (slots recycle on drain).
+  std::uint32_t flow_slot_capacity() const { return flow_slots_.capacity(); }
 
   // --- Reactive recovery (PFC watchdog support, paper §1) ---
   /// How long this egress (port, class) has been continuously paused by
@@ -128,6 +140,7 @@ class Switch final : public Device {
     Packet pkt;          ///< prio already rewritten to the departure class
     PortId in_port;      ///< ingress attribution for counter/PFC accounting
     ClassId in_class;
+    std::uint32_t flow_slot;  ///< dense per-flow accounting index
   };
 
   struct IngressCounter {
@@ -137,30 +150,40 @@ class Switch final : public Device {
     std::uint64_t departure_count = 0;
     std::int64_t xoff = 0;
     std::int64_t xon = 0;
-    std::unordered_map<FlowId, std::int64_t> flow_bytes;
+    /// Per-flow bytes, indexed by flow slot (see FlowSlotRegistry). Grown
+    /// lazily to the registry's high-water capacity; a recycled slot is
+    /// guaranteed zero here when it is reassigned.
+    std::vector<std::int64_t> flow_bytes;
   };
 
   struct IngressPort {
     std::vector<IngressCounter> cls;
     std::unique_ptr<TokenBucketPacer> shaper;
-    std::deque<Packet> held;        ///< awaiting shaper release
+    RingQueue<Packet> held;  ///< awaiting shaper release
     std::int64_t held_bytes = 0;
     bool release_scheduled = false;
   };
 
+  /// Held packets remember their ingress attribution.
+  struct HeldPacket {
+    Packet pkt;
+    PortId in_port;
+    ClassId in_class;
+  };
+
   struct FlowShaper {
     std::unique_ptr<TokenBucketPacer> shaper;
-    /// Held packets remember their ingress attribution.
-    std::deque<std::tuple<Packet, PortId, ClassId>> held;
+    RingQueue<HeldPacket> held;
     std::int64_t held_bytes = 0;
     bool release_scheduled = false;
   };
 
   struct EgressClassQueue {
-    std::deque<QueuedPacket> q;
+    RingQueue<QueuedPacket> q;
     std::int64_t bytes = 0;
-    /// Attribution: bytes per (in_port * num_classes + in_class).
-    std::unordered_map<std::uint32_t, std::int64_t> from;
+    /// Attribution: bytes per from_key(in_port, in_class), dense (sized
+    /// ports * num_classes at construction — no per-packet hashing).
+    std::vector<std::int64_t> from;
   };
 
   struct EgressPort {
@@ -183,28 +206,38 @@ class Switch final : public Device {
   void schedule_pause_refresh(PortId port, ClassId cls);
 
   /// Routes and enqueues a packet that has cleared ingress admission (and
-  /// the shaper, if any).
-  void route_and_enqueue(PortId in_port, ClassId in_class, Packet pkt);
+  /// the shaper, if any). `flow_slot` is the packet's dense accounting
+  /// index, already charged at admission.
+  void route_and_enqueue(PortId in_port, ClassId in_class,
+                         std::uint32_t flow_slot, Packet pkt);
   void try_transmit(PortId egress);
   void complete_transmit(PortId egress);
   void schedule_shaper_release(PortId in_port);
   void release_held(PortId in_port);
   void schedule_flow_release(FlowId flow);
   void release_flow_held(FlowId flow);
-  void dec_ingress(PortId in_port, ClassId in_class, const Packet& pkt);
+  void dec_ingress(PortId in_port, ClassId in_class, std::uint32_t flow_slot,
+                   const Packet& pkt);
   void update_pause_state(PortId port, ClassId cls);
   bool ecn_mark_on_enqueue(EgressPort& eg, PortId port, const Packet& pkt);
   Time tx_hold_time(const Packet& pkt, PortId egress);
+  /// Charges `bytes` of `flow` to counter (in_port, in_class) and returns
+  /// the flow's dense slot, growing the counter's tally vector on a
+  /// first-ever slot high-water (steady state: a bare vector index).
+  std::uint32_t charge_ingress(IngressCounter& ctr, FlowId flow,
+                               std::int64_t bytes);
   std::uint32_t from_key(PortId in_port, ClassId in_cls) const {
-    return static_cast<std::uint32_t>(in_port) *
-               static_cast<std::uint32_t>(cfg_.num_classes) +
-           in_cls;
+    return static_cast<std::uint32_t>(in_port) * from_stride_ + in_cls;
   }
 
   const NetConfig& cfg_;
   RouteTable routes_;
+  /// Hoisted per-packet constants (avoid re-deriving from cfg_ per packet).
+  std::uint32_t from_stride_ = 1;  ///< == cfg_.num_classes
+  std::size_t num_classes_ = 1;
   std::vector<IngressPort> ingress_;
   std::vector<EgressPort> egress_;
+  FlowSlotRegistry flow_slots_;
   std::unordered_map<FlowId, FlowShaper> flow_shapers_;
   std::int64_t total_buffered_ = 0;
   Rng jitter_rng_;

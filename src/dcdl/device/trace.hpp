@@ -1,11 +1,20 @@
 // Observation hooks. All instrumentation (pause-event logs, occupancy
 // samplers, throughput meters, deadlock detectors) attaches through these
 // callbacks; the data path never depends on what is listening.
+//
+// Each Trace slot is a HookSlot: a small inline vector of InplaceFn
+// observers dispatched in attachment order. Unlike the former chain of
+// nested std::functions, appending the Nth observer costs one push into
+// contiguous storage (no re-wrapping) and firing a hook walks that storage
+// directly — no heap allocation and no nested indirection on the hot path.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
+#include <utility>
 
+#include "dcdl/common/inplace_fn.hpp"
+#include "dcdl/common/small_vec.hpp"
 #include "dcdl/common/units.hpp"
 #include "dcdl/net/packet.hpp"
 
@@ -21,23 +30,64 @@ constexpr int kNumDropReasons = 4;
 
 const char* to_string(DropReason r);
 
+/// One observation slot: zero or more observers fired in attachment order.
+/// Assigning a callable replaces the whole list (and assigning nullptr
+/// clears it), preserving the ergonomics of the former std::function slots;
+/// stats::append_hook chains additional observers.
+template <typename... Args>
+class HookSlot {
+ public:
+  /// Observers are stored inline up to 48 bytes of captures — every
+  /// observer in the stats layer captures a single object pointer.
+  using Fn = InplaceFn<void(Args...), 48>;
+
+  HookSlot() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, HookSlot> &&
+                std::is_invocable_v<std::decay_t<F>&, Args...>>>
+  HookSlot& operator=(F&& f) {
+    fns_.clear();
+    fns_.push_back(Fn(std::forward<F>(f)));
+    return *this;
+  }
+
+  HookSlot& operator=(std::nullptr_t) {
+    fns_.clear();
+    return *this;
+  }
+
+  void append(Fn fn) {
+    if (fn) fns_.push_back(std::move(fn));
+  }
+
+  explicit operator bool() const { return !fns_.empty(); }
+
+  void operator()(Args... args) {
+    for (Fn& f : fns_) f(args...);
+  }
+
+ private:
+  SmallVec<Fn, 2> fns_;
+};
+
 struct Trace {
   /// A switch ingress queue (node, port, class) changed the pause state it
   /// imposes on its upstream: paused=true means an Xoff was emitted.
-  std::function<void(Time, NodeId node, PortId port, ClassId cls, bool paused)>
-      pfc_state;
+  HookSlot<Time, NodeId, PortId, ClassId, bool> pfc_state;
 
   /// Packet delivered to its destination host.
-  std::function<void(Time, const Packet&)> delivered;
+  HookSlot<Time, const Packet&> delivered;
 
   /// Packet dropped at `node`.
-  std::function<void(Time, const Packet&, NodeId node, DropReason)> dropped;
+  HookSlot<Time, const Packet&, NodeId, DropReason> dropped;
 
   /// A device started serializing a packet out of (node, port).
-  std::function<void(Time, const Packet&, NodeId node, PortId port)> tx_start;
+  HookSlot<Time, const Packet&, NodeId, PortId> tx_start;
 
   /// Sender-side congestion notification delivered for a flow.
-  std::function<void(Time, FlowId)> cnp;
+  HookSlot<Time, FlowId> cnp;
 };
 
 }  // namespace dcdl

@@ -1,39 +1,109 @@
 #include "dcdl/sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "dcdl/common/contract.hpp"
 
 namespace dcdl {
 
+thread_local int Simulator::arena_scope_depth_ = 0;
+thread_local Simulator::Arena* Simulator::arena_stash_ = nullptr;
+
+Simulator::Simulator() {
+  if (arena_scope_depth_ > 0 && arena_stash_ != nullptr) {
+    heap_ = std::move(arena_stash_->heap);
+    slab_ = std::move(arena_stash_->slab);
+    free_slots_ = std::move(arena_stash_->free_slots);
+    delete arena_stash_;
+    arena_stash_ = nullptr;
+  }
+}
+
+Simulator::~Simulator() {
+  if (arena_scope_depth_ > 0 && arena_stash_ == nullptr) {
+    // clear() destroys pending closures but keeps vector capacity — the
+    // next Simulator on this thread starts with a warmed arena.
+    heap_.clear();
+    slab_.clear();
+    free_slots_.clear();
+    arena_stash_ = new Arena{std::move(heap_), std::move(slab_),
+                             std::move(free_slots_)};
+  }
+}
+
+Simulator::ScopedArenaRecycling::ScopedArenaRecycling() {
+  ++arena_scope_depth_;
+}
+
+Simulator::ScopedArenaRecycling::~ScopedArenaRecycling() {
+  if (--arena_scope_depth_ == 0) {
+    delete arena_stash_;
+    arena_stash_ = nullptr;
+  }
+}
+
 EventId Simulator::schedule_at(Time at, EventFn fn) {
   DCDL_EXPECTS(at >= now_);
-  DCDL_EXPECTS(fn != nullptr);
-  const std::uint64_t seq = next_seq_++;
-  pending_.insert(seq);
-  heap_.push(Entry{at, seq, std::move(fn)});
-  return EventId{seq};
+  DCDL_EXPECTS(static_cast<bool>(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Slot& s = slab_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  ++live_;
+  heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  return EventId{slot, s.gen};
 }
 
 void Simulator::cancel(EventId id) {
-  // Erasing from the pending set is complete: the heap entry becomes a husk
-  // reclaimed on pop, and a stale id (already fired/cancelled) is a no-op
-  // with no residue.
-  if (id.valid()) pending_.erase(id.seq);
+  if (!id.valid() || id.slot >= slab_.size()) return;
+  Slot& s = slab_[id.slot];
+  if (s.gen != id.gen || !s.live) return;  // fired/cancelled/recycled: no-op
+  s.fn.reset();
+  s.live = false;
+  ++s.gen;  // invalidates the heap husk and any other stale handle
+  free_slots_.push_back(id.slot);
+  --live_;
 }
 
 bool Simulator::step() {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; move out via const_cast on the known
-    // non-const underlying entry. The entry is popped immediately after.
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (pending_.erase(entry.seq) == 0) continue;  // cancelled husk
-    DCDL_ASSERT(entry.at >= now_);
-    now_ = entry.at;
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    Slot& s = slab_[top.slot];
+    if (s.gen != top.gen || !s.live) continue;  // cancelled husk: reclaim
+    DCDL_ASSERT(top.at >= now_);
+    // Retire the slot *before* firing: a cancel() of this event from inside
+    // its own callback sees a bumped generation and is a no-op, and the
+    // callback may immediately reschedule into the recycled slot.
+    EventFn fn = std::move(s.fn);
+    s.live = false;
+    ++s.gen;
+    free_slots_.push_back(top.slot);
+    --live_;
+    now_ = top.at;
     ++executed_;
-    entry.fn();
+    fn();
     return true;
   }
   return false;
+}
+
+void Simulator::skim_husks() {
+  while (!heap_.empty()) {
+    const Slot& s = slab_[heap_.front().slot];
+    if (s.live && s.gen == heap_.front().gen) return;
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+  }
 }
 
 void Simulator::run() {
@@ -48,10 +118,8 @@ bool Simulator::run_until(Time deadline) {
   while (!stopped_) {
     // Peek past cancelled husks without executing live entries beyond the
     // deadline.
-    while (!heap_.empty() && pending_.count(heap_.top().seq) == 0) {
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().at > deadline) break;
+    skim_husks();
+    if (heap_.empty() || heap_.front().at > deadline) break;
     step();
   }
   if (!stopped_) {

@@ -2,30 +2,44 @@
 //
 // Determinism: events at the same timestamp fire in scheduling order (a
 // monotonically increasing sequence number breaks ties), so a scenario with
-// a fixed RNG seed replays identically.
+// a fixed RNG seed replays identically. The golden-trace tests pin this
+// ordering across engine refactors.
+//
+// Hot-path memory architecture (see DESIGN.md): callbacks live in a
+// generation-tagged slab of fixed-size records recycled through a free
+// list, the time-ordered heap holds only POD (time, seq, slot, gen)
+// entries, and closures are stored inline via InplaceFn — steady-state
+// scheduling, firing, and cancelling perform zero heap allocation and zero
+// hashing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "dcdl/common/inplace_fn.hpp"
 #include "dcdl/common/units.hpp"
 
 namespace dcdl {
 
-using EventFn = std::function<void()>;
+/// Event callbacks are stored inline in the event slab. 64 bytes covers
+/// every closure the device layer schedules (the largest captures a Packet
+/// by value plus a device pointer); larger captures still work via
+/// InplaceFn's heap fallback but are not allocation-free.
+using EventFn = InplaceFn<void(), 64>;
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. {slot, generation} into
+/// the event slab: a stale handle (fired, cancelled, or recycled slot)
+/// carries an old generation and is rejected by an O(1) array check.
 struct EventId {
-  std::uint64_t seq = 0;
-  bool valid() const { return seq != 0; }
+  std::uint32_t slot = 0xFFFFFFFFu;
+  std::uint32_t gen = 0;
+  bool valid() const { return slot != 0xFFFFFFFFu; }
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -41,8 +55,10 @@ class Simulator {
 
   /// Cancels a pending event. Cancelling an already-fired or already
   /// cancelled event is a harmless no-op and never accumulates state: the
-  /// engine tracks the *pending* set, so stale ids cannot leave tombstones
-  /// behind (they used to, growing unboundedly under timer-heavy runs).
+  /// slot's generation tag was bumped when it retired, so a stale id fails
+  /// the O(1) generation check. This also makes cancelling an event from
+  /// inside its own callback a guaranteed no-op (the slot retires *before*
+  /// the callback runs).
   void cancel(EventId id);
 
   /// Runs until the event queue is empty or stop() is called.
@@ -56,34 +72,78 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const { return pending_.size(); }
+  std::size_t pending_events() const { return live_; }
 
   /// Diagnostic: heap entries including cancelled husks awaiting their pop.
   /// Bounded by the number of still-scheduled timestamps; the regression
   /// test for the cancel-tombstone leak asserts on this.
   std::size_t heap_entries() const { return heap_.size(); }
 
+  /// Diagnostic: slab slots currently allocated (live + free-listed).
+  std::size_t slab_slots() const { return slab_.size(); }
+
+  /// While an object of this type is alive on a thread, Simulators
+  /// destroyed on that thread donate their slab/heap storage to a
+  /// thread-local stash and newly constructed ones adopt it — so a worker
+  /// that runs many simulations back-to-back (the campaign executor) pays
+  /// the arena growth once instead of once per run. Scopes nest; the stash
+  /// is freed when the outermost scope exits. No effect on behaviour, only
+  /// on allocation traffic.
+  class ScopedArenaRecycling {
+   public:
+    ScopedArenaRecycling();
+    ~ScopedArenaRecycling();
+    ScopedArenaRecycling(const ScopedArenaRecycling&) = delete;
+    ScopedArenaRecycling& operator=(const ScopedArenaRecycling&) = delete;
+  };
+
  private:
+  /// Heap entries are POD: sift operations move 24 bytes, never a closure.
   struct Entry {
     Time at;
     std::uint64_t seq;
-    EventFn fn;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  /// "a fires after b" — used as the comparator of a std::push_heap /
+  /// std::pop_heap min-heap on (at, seq).
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
 
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  /// Recyclable storage (see ScopedArenaRecycling).
+  struct Arena {
+    std::vector<Entry> heap;
+    std::vector<Slot> slab;
+    std::vector<std::uint32_t> free_slots;
+  };
+
   bool step();  // pops and runs one live event; false if queue empty
+  /// Pops cancelled husks off the heap top; afterwards the top (if any) is
+  /// live.
+  void skim_husks();
+
+  static thread_local int arena_scope_depth_;
+  static thread_local Arena* arena_stash_;
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  /// Seqs scheduled but not yet fired or cancelled. A heap entry whose seq
-  /// is absent here is a cancelled husk, skipped (and reclaimed) on pop.
-  std::unordered_set<std::uint64_t> pending_;
+  std::vector<Entry> heap_;
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace dcdl

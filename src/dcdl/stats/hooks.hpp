@@ -1,22 +1,16 @@
 // Helper for attaching several observers to one Trace slot.
 #pragma once
 
-#include <functional>
 #include <utility>
+
+#include "dcdl/device/trace.hpp"
 
 namespace dcdl::stats {
 
 /// Chains `fn` after whatever is already installed in `slot`.
 template <typename... Args, typename F>
-void append_hook(std::function<void(Args...)>& slot, F fn) {
-  if (!slot) {
-    slot = std::move(fn);
-    return;
-  }
-  slot = [prev = std::move(slot), fn = std::move(fn)](Args... args) {
-    prev(args...);
-    fn(args...);
-  };
+void append_hook(HookSlot<Args...>& slot, F fn) {
+  slot.append(typename HookSlot<Args...>::Fn(std::move(fn)));
 }
 
 }  // namespace dcdl::stats

@@ -232,11 +232,16 @@ TEST(CampaignExecutorTest, WallClockBudgetStopsSpinningRun) {
     scenarios::RoutingLoopParams p;
     scenarios::Scenario s = scenarios::make_routing_loop(p);
     // A self-perpetuating 1 ns event chain: simulated time crawls, wall
-    // time burns — the shape of a deadlock-and-spin run.
+    // time burns — the shape of a deadlock-and-spin run. Recursion via a
+    // static member so no closure owns itself (a shared_ptr cycle here
+    // leaks the chain when the budget guard abandons the run mid-flight).
+    struct Spin {
+      static void tick(Simulator* sim) {
+        sim->schedule_in(1_ns, [sim] { tick(sim); });
+      }
+    };
     Simulator* sim = s.sim.get();
-    auto loop = std::make_shared<std::function<void()>>();
-    *loop = [sim, loop] { sim->schedule_in(1_ns, *loop); };
-    sim->schedule_in(1_ns, *loop);
+    sim->schedule_in(1_ns, [sim] { Spin::tick(sim); });
     return s;
   };
   reg.add(std::move(spinner));

@@ -167,6 +167,70 @@ TEST(Simulator, CancelAtCurrentTimeInsideRunUntil) {
   EXPECT_EQ(sim.heap_entries(), 0u);
 }
 
+TEST(Simulator, SelfCancelDuringFireIsNoOp) {
+  // An event that cancels *itself* from inside its own callback. The slot
+  // retires (generation bump + free-list push) before the callback runs, so
+  // the cancel must be a guaranteed no-op — in particular it must not push
+  // the slot onto the free list a second time, which would hand one slot to
+  // two future events.
+  Simulator sim;
+  int fired = 0;
+  int later = 0;
+  EventId self;
+  self = sim.schedule_at(10_ns, [&] {
+    ++fired;
+    sim.cancel(self);  // stale by construction: no-op
+    // Likely recycles the very slot `self` pointed at (LIFO free list).
+    sim.schedule_in(1_ns, [&] { ++later; });
+    sim.cancel(self);  // still a no-op, even after the slot was reused
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(later, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.heap_entries(), 0u);
+}
+
+TEST(Simulator, StaleIdDoesNotCancelRecycledSlot) {
+  // A handle kept across its event's firing goes stale; once the slot is
+  // recycled for a new event, cancelling through the stale handle must not
+  // touch the new occupant (the generation tag disambiguates).
+  Simulator sim;
+  int a = 0;
+  int b = 0;
+  const EventId first = sim.schedule_at(1_ns, [&] { ++a; });
+  sim.run();  // fires; the slot returns to the free list
+  const EventId second = sim.schedule_at(2_ns, [&] { ++b; });
+  ASSERT_EQ(first.slot, second.slot) << "expected LIFO slot recycling";
+  ASSERT_NE(first.gen, second.gen);
+  sim.cancel(first);  // stale generation: must not cancel `second`
+  sim.run();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Simulator, SlabStaysBoundedUnderSteadyChurn) {
+  // Eight self-rescheduling timers firing a million times total: the slab
+  // must stay at the in-flight high-water mark (eight), not grow with
+  // lifetime churn — retired slots recycle through the free list.
+  Simulator sim;
+  struct Churn {
+    Simulator& sim;
+    std::uint64_t fired = 0;
+    void tick() {
+      if (++fired < 1'000'000) {
+        sim.schedule_in(1_ns, [this] { tick(); });
+      }
+    }
+  } churn{sim};
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_in(1_ns, [&churn] { churn.tick(); });
+  }
+  sim.run();
+  EXPECT_GE(churn.fired, 1'000'000u);
+  EXPECT_LE(sim.slab_slots(), 16u);
+}
+
 TEST(SimulatorDeath, RejectsSchedulingInThePast) {
   Simulator sim;
   sim.schedule_at(10_ns, [] {});

@@ -133,5 +133,62 @@ TEST(SwitchInternals, ThresholdOverrideChangesPauseOnset) {
   EXPECT_TRUE(fx.net->switch_at(s0).pause_asserted(s0_from_h0, 0));
 }
 
+TEST(SwitchInternals, FlowSlotsRecycleAfterDrain) {
+  // The dense per-flow accounting indexes by flow *slot*, and a slot is
+  // recycled the moment its flow fully drains from the switch. A later flow
+  // must reuse the freed slot (capacity stays at the concurrent high-water
+  // mark) and the recycled counters must read exactly for the new flow and
+  // zero for the old one.
+  Chain fx;
+  const NodeId s0 = fx.line.switches[0];
+  const PortId s0_from_h0 = fx.port(s0, fx.line.hosts[0][0]);
+  const PortId s0_to_s1 = fx.port(s0, fx.line.switches[1]);
+  auto& sw = fx.net->switch_at(s0);
+
+  FlowSpec f1;
+  f1.id = 7;
+  f1.src_host = fx.line.hosts[0][0];
+  f1.dst_host = fx.line.hosts[1][0];
+  f1.packet_bytes = 1000;
+  f1.stop = 40_us;
+  fx.net->host_at(f1.src_host).add_flow(f1);
+  // Build a backlog so the flow actually holds buffer in S0.
+  fx.sim.schedule_at(5_us, [&] { sw.on_pfc(s0_to_s1, 0, true); });
+  fx.sim.run_until(30_us);
+  EXPECT_EQ(sw.resident_flows(), 1u);
+  EXPECT_GT(sw.ingress_flow_bytes(s0_from_h0, 0, 7), 0);
+
+  // Unpause; the flow stops at 40us and the backlog drains completely.
+  sw.on_pfc(s0_to_s1, 0, false);
+  fx.sim.run_until(200_us);
+  EXPECT_EQ(sw.resident_flows(), 0u);
+  EXPECT_EQ(sw.ingress_flow_bytes(s0_from_h0, 0, 7), 0);
+  const std::uint32_t cap = sw.flow_slot_capacity();
+  EXPECT_GE(cap, 1u);
+
+  // A brand-new flow id reuses the recycled slot instead of growing the
+  // registry, and its counters are exact.
+  FlowSpec f2 = f1;
+  f2.id = 99;
+  f2.start = 200_us;
+  f2.stop = 240_us;
+  fx.net->host_at(f2.src_host).add_flow(f2);
+  fx.sim.schedule_at(205_us, [&] { sw.on_pfc(s0_to_s1, 0, true); });
+  fx.sim.run_until(230_us);
+  EXPECT_EQ(sw.resident_flows(), 1u);
+  EXPECT_GT(sw.ingress_flow_bytes(s0_from_h0, 0, 99), 0);
+  EXPECT_EQ(sw.ingress_flow_bytes(s0_from_h0, 0, 7), 0)
+      << "stale flow id must not alias the recycled slot";
+  EXPECT_EQ(sw.flow_slot_capacity(), cap) << "slot reused, registry not grown";
+  EXPECT_EQ(sw.ingress_bytes(s0_from_h0, 0),
+            sw.ingress_flow_bytes(s0_from_h0, 0, 99))
+      << "with one resident flow, per-flow and per-counter tallies agree";
+
+  sw.on_pfc(s0_to_s1, 0, false);
+  fx.sim.run_until(400_us);
+  EXPECT_EQ(sw.resident_flows(), 0u);
+  EXPECT_EQ(sw.flow_slot_capacity(), cap);
+}
+
 }  // namespace
 }  // namespace dcdl
