@@ -1,24 +1,33 @@
 // Simulator performance benchmarks.
 //
-// Two modes:
+// Three modes:
 //   bench_perf [google-benchmark flags]   microbenchmark suite (BM_*)
 //   bench_perf --json [PATH]              fixed scenario timings written as
-//                                         dcdl.bench_perf.v1 JSON (default
+//                                         dcdl.bench_perf.v2 JSON (default
 //                                         PATH: BENCH_perf.json)
+//   bench_perf --baseline PATH            rerun the fixed scenarios and
+//                                         compare events/sec against a
+//                                         committed v1/v2 artifact; exits
+//                                         non-zero on a >10% regression
 //
 // The --json mode measures events/sec on the paper's scenarios (Fig. 1
 // ring, Fig. 2 routing loop, fat-tree permutation) plus the pure scheduler
 // churn micro, so the perf trajectory of the hot path is tracked as a
 // committed artifact from PR 3 onward. Each scenario is run once to warm
 // the allocator, then `reps` times; the best run is reported (events/sec is
-// a throughput metric — best-of-N rejects scheduler noise).
+// a throughput metric — best-of-N rejects scheduler noise). v2 additionally
+// records the simulator's allocation-shape counters (slab slots/grows, heap
+// high water, cancellations) so accidental arena regressions show up in the
+// diff even when wall time happens to absorb them.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dcdl/device/host.hpp"
@@ -114,10 +123,11 @@ struct JsonResult {
   std::uint64_t events = 0;
   double best_wall_ms = 0;
   double events_per_sec = 0;
+  Simulator::Counters counters{};
 };
 
-/// Runs `body` (which returns events executed) once to warm up, then `reps`
-/// times; reports the fastest run.
+/// Runs `body` (which returns the simulator counters at completion) once to
+/// warm up, then `reps` times; reports the fastest run.
 template <typename Body>
 JsonResult measure(const std::string& name, int reps, Body body) {
   JsonResult r;
@@ -125,28 +135,29 @@ JsonResult measure(const std::string& name, int reps, Body body) {
   body();  // warm-up: page in code, size allocator pools
   for (int i = 0; i < reps; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
-    const std::uint64_t events = body();
+    const Simulator::Counters counters = body();
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
     if (i == 0 || ms < r.best_wall_ms) {
       r.best_wall_ms = ms;
-      r.events = events;
+      r.events = counters.executed;
+      r.counters = counters;
     }
   }
   r.events_per_sec = static_cast<double>(r.events) / (r.best_wall_ms / 1e3);
   return r;
 }
 
-std::uint64_t run_ring() {
+Simulator::Counters run_ring() {
   RingDeadlockParams p;
   Scenario s = make_ring_deadlock(p);
   s.sim->run_until(2_ms);
   benchmark::DoNotOptimize(s.net->total_queued_bytes());
-  return s.sim->events_executed();
+  return s.sim->counters();
 }
 
-std::uint64_t run_routing_loop() {
+Simulator::Counters run_routing_loop() {
   // Below the Eq. 3 boundary: packets circulate until TTL expiry forever,
   // the sustained per-packet/per-event steady state the refactor targets.
   RoutingLoopParams p;
@@ -154,10 +165,10 @@ std::uint64_t run_routing_loop() {
   Scenario s = make_routing_loop(p);
   s.sim->run_until(4_ms);
   benchmark::DoNotOptimize(s.net->total_queued_bytes());
-  return s.sim->events_executed();
+  return s.sim->counters();
 }
 
-std::uint64_t run_fat_tree() {
+Simulator::Counters run_fat_tree() {
   Simulator sim;
   const topo::FatTreeTopo ft = topo::make_fat_tree(4);
   Topology topo = ft.topo;
@@ -174,10 +185,10 @@ std::uint64_t run_fat_tree() {
   }
   sim.run_until(500_us);
   benchmark::DoNotOptimize(net.total_queued_bytes());
-  return sim.events_executed();
+  return sim.counters();
 }
 
-std::uint64_t run_event_churn() {
+Simulator::Counters run_event_churn() {
   Simulator sim;
   std::int64_t fired = 0;
   for (int round = 0; round < 10; ++round) {
@@ -188,41 +199,140 @@ std::uint64_t run_event_churn() {
     sim.run();
   }
   benchmark::DoNotOptimize(fired);
-  return sim.events_executed();
+  return sim.counters();
 }
 
-int run_json_mode(const std::string& path) {
+std::vector<JsonResult> run_suite() {
   constexpr int kReps = 5;
   std::vector<JsonResult> results;
   results.push_back(measure("ring", kReps, run_ring));
   results.push_back(measure("routing_loop", kReps, run_routing_loop));
   results.push_back(measure("fat_tree", kReps, run_fat_tree));
   results.push_back(measure("event_churn", kReps, run_event_churn));
+  return results;
+}
 
+void print_suite(const std::vector<JsonResult>& results) {
+  for (const JsonResult& r : results) {
+    std::printf("%-14s %10llu events  %8.2f ms  %12.0f events/sec  "
+                "(slab %zu, heap hw %zu, cancelled %llu)\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.events),
+                r.best_wall_ms, r.events_per_sec, r.counters.slab_slots,
+                r.counters.heap_high_water,
+                static_cast<unsigned long long>(r.counters.cancelled));
+  }
+}
+
+int run_json_mode(const std::string& path) {
+  const std::vector<JsonResult> results = run_suite();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_perf: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v2\",\n");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JsonResult& r = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"events\": %llu, "
-                 "\"best_wall_ms\": %.3f, \"events_per_sec\": %.0f}%s\n",
+                 "\"best_wall_ms\": %.3f, \"events_per_sec\": %.0f, "
+                 "\"events_cancelled\": %llu, \"slab_slots\": %zu, "
+                 "\"slab_grows\": %llu, \"heap_high_water\": %zu}%s\n",
                  r.name.c_str(),
                  static_cast<unsigned long long>(r.events), r.best_wall_ms,
-                 r.events_per_sec, i + 1 < results.size() ? "," : "");
+                 r.events_per_sec,
+                 static_cast<unsigned long long>(r.counters.cancelled),
+                 r.counters.slab_slots,
+                 static_cast<unsigned long long>(r.counters.slab_grows),
+                 r.counters.heap_high_water,
+                 i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  for (const JsonResult& r : results) {
-    std::printf("%-14s %10llu events  %8.2f ms  %12.0f events/sec\n",
-                r.name.c_str(), static_cast<unsigned long long>(r.events),
-                r.best_wall_ms, r.events_per_sec);
-  }
+  print_suite(results);
   std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --baseline mode: regression gate against a committed artifact.
+
+/// Pulls {name -> events_per_sec} out of a dcdl.bench_perf.v1/v2 JSON file
+/// with a purpose-built scan (both schemas emit one scenario object per
+/// line with "name" before "events_per_sec").
+std::vector<std::pair<std::string, double>> parse_baseline(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
+    const std::size_t open = text.find('"', pos + 6 + 1);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    const std::string name = text.substr(open + 1, close - open - 1);
+    const std::size_t eps = text.find("\"events_per_sec\"", close);
+    if (eps == std::string::npos) break;
+    const std::size_t colon = text.find(':', eps);
+    if (colon == std::string::npos) break;
+    out.emplace_back(name, std::strtod(text.c_str() + colon + 1, nullptr));
+    pos = close;
+  }
+  return out;
+}
+
+int run_baseline_mode(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_perf: cannot read baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  const auto baseline = parse_baseline(text);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench_perf: no scenarios found in %s\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const std::vector<JsonResult> results = run_suite();
+  print_suite(results);
+
+  constexpr double kRegressionTolerance = 0.10;
+  int regressions = 0;
+  for (const auto& [name, base_eps] : baseline) {
+    const JsonResult* cur = nullptr;
+    for (const JsonResult& r : results) {
+      if (r.name == name) { cur = &r; break; }
+    }
+    if (cur == nullptr) {
+      std::printf("%-14s MISSING (in baseline, not in suite)\n",
+                  name.c_str());
+      ++regressions;
+      continue;
+    }
+    const double ratio = base_eps > 0 ? cur->events_per_sec / base_eps : 1.0;
+    const bool regressed = ratio < 1.0 - kRegressionTolerance;
+    std::printf("%-14s %12.0f -> %12.0f events/sec  %+6.1f%%  %s\n",
+                name.c_str(), base_eps, cur->events_per_sec,
+                (ratio - 1.0) * 100, regressed ? "REGRESSED" : "ok");
+    regressions += regressed ? 1 : 0;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_perf: %d scenario(s) regressed more than %.0f%% vs "
+                 "%s\n",
+                 regressions, kRegressionTolerance * 100, path.c_str());
+    return 1;
+  }
+  std::printf("bench_perf: no events/sec regression beyond %.0f%% vs %s\n",
+              kRegressionTolerance * 100, path.c_str());
   return 0;
 }
 
@@ -238,6 +348,12 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       return run_json_mode(argv[i] + 7);
+    }
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      return run_baseline_mode(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      return run_baseline_mode(argv[i] + 11);
     }
   }
   benchmark::Initialize(&argc, argv);

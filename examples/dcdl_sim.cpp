@@ -10,7 +10,11 @@
 //
 // Scenarios: fig1 (ring), loop, fig3, fig4, fig5, transient, valley,
 // incast. Common flags: --run_ms, --seed, --watchdog, --smart_limit.
+// Observability: --trace <dir> writes <scenario>.trace.json (Perfetto; open
+// in chrome://tracing or ui.perfetto.dev) and <scenario>.telemetry.jsonl;
+// --metrics prints the full metrics snapshot after the run.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "dcdl/dcdl.hpp"
@@ -29,6 +33,8 @@ int main(int argc, char** argv) {
   const double inject = flags.get_double("inject_gbps", 8);
   const int ttl = static_cast<int>(flags.get_int("ttl", 16));
   const double flow3 = flags.get_double("flow3_gbps", 0);
+  const std::string trace_dir = flags.get_string("trace", "");
+  const bool metrics = flags.get_bool("metrics", false);
 
   Scenario s = [&]() -> Scenario {
     if (which == "fig1") {
@@ -113,6 +119,13 @@ int main(int argc, char** argv) {
 
   stats::PauseEventLog pauses(*s.net);
   stats::LatencyMeter latency(*s.net);
+  telemetry::RunTelemetry run_telemetry(*s.net);
+  std::unique_ptr<telemetry::FlightRecorder> recorder;
+  if (!trace_dir.empty()) {
+    std::filesystem::create_directories(trace_dir);
+    recorder = std::make_unique<telemetry::FlightRecorder>();
+    recorder->attach(*s.net);
+  }
   const RunSummary r = run_and_check(s, run_for, 30_ms);
 
   std::printf("\nafter %.0f ms:\n", run_for.ms());
@@ -137,5 +150,24 @@ int main(int argc, char** argv) {
                                  r.detected_at->ms());
   std::printf(", %lld bytes trapped\n",
               static_cast<long long>(r.trapped_bytes));
+
+  if (metrics) {
+    std::printf("\nmetrics:\n");
+    for (const auto& [name, value] : run_telemetry.snapshot().flatten()) {
+      std::printf("  %-40s %.6g\n", name.c_str(), value);
+    }
+  }
+  if (recorder) {
+    const std::string stem = trace_dir + "/" + which;
+    const auto records = recorder->snapshot();
+    campaign::write_text_file(stem + ".trace.json",
+                              telemetry::to_perfetto_json(*s.topo, records));
+    campaign::write_text_file(stem + ".telemetry.jsonl",
+                              telemetry::to_jsonl(records));
+    std::printf("trace: %zu of %llu record(s) -> %s.trace.json\n",
+                records.size(),
+                static_cast<unsigned long long>(recorder->total_recorded()),
+                stem.c_str());
+  }
   return r.deadlocked ? 1 : 0;
 }

@@ -12,7 +12,14 @@
 // --seeds, --root_seed, --run_ms, --drain_ms, --dwell_ms, --jobs, --out,
 // --csv, --timeout_ms (0 = off), --timing (include wall-clock in artifacts;
 // breaks byte-stable diffing), --quiet.
+//
+// Observability: --progress (live completed/total counter on stderr —
+// stdout artifacts stay byte-identical), --trace <dir> (per-run Perfetto +
+// dcdl.telemetry.v1 JSONL exports, plus deadlock post-mortems), --metrics
+// (aggregate telemetry summary on stderr after the sweep).
 #include <cstdio>
+#include <filesystem>
+#include <map>
 #include <string>
 
 #include "dcdl/campaign/campaign.hpp"
@@ -55,6 +62,9 @@ int main(int argc, char** argv) {
   const double timeout_ms = flags.get_double("timeout_ms", 0);
   const bool timing = flags.get_bool("timing", false);
   const bool quiet = flags.get_bool("quiet", false);
+  const bool progress = flags.get_bool("progress", false);
+  const std::string trace_dir = flags.get_string("trace", "");
+  const bool metrics = flags.get_bool("metrics", false);
   flags.check_unused();
 
   ScenarioRegistry& reg = ScenarioRegistry::global();
@@ -99,8 +109,22 @@ int main(int argc, char** argv) {
     ExecutorOptions opts;
     opts.jobs = jobs;
     opts.run_wall_budget_ms = timeout_ms;
+    if (!trace_dir.empty()) {
+      std::filesystem::create_directories(trace_dir);
+      opts.trace_dir = trace_dir;
+    }
     std::size_t done = 0;
-    if (!quiet) {
+    if (progress) {
+      // A single live counter, rewritten in place. Strictly stderr: stdout
+      // carries the JSON/CSV artifacts and must stay byte-identical whether
+      // or not anyone is watching.
+      opts.on_run_done = [&done, &runs](const RunRecord& rec) {
+        ++done;
+        std::fprintf(stderr, "\r  %zu/%zu run(s) done (last: run %d %s)",
+                     done, runs.size(), rec.run_index, to_string(rec.status));
+        std::fflush(stderr);
+      };
+    } else if (!quiet) {
       opts.on_run_done = [&done, &runs](const RunRecord& rec) {
         ++done;
         std::fprintf(stderr, "  [%zu/%zu] run %d %s%s%s\n", done, runs.size(),
@@ -110,6 +134,7 @@ int main(int argc, char** argv) {
     }
     CampaignExecutor exec(reg, opts);
     const CampaignResult result = exec.run(runs, root_seed);
+    if (progress) std::fputc('\n', stderr);
 
     WriteOptions wopts;
     wopts.include_timing = timing;
@@ -117,6 +142,27 @@ int main(int argc, char** argv) {
     if (!out_csv.empty()) write_text_file(out_csv, to_csv(result));
     if (out_json.empty() && out_csv.empty()) {
       std::fputs(to_csv(result).c_str(), stdout);
+    }
+
+    if (metrics) {
+      // Aggregate telemetry across ok runs: counters sum; everything is
+      // printed in first-seen (registration) order for stable output.
+      std::vector<std::string> order;
+      std::map<std::string, double> sums;
+      std::size_t ok_runs = 0;
+      for (const RunRecord& rec : result.records) {
+        if (rec.status != RunStatus::kOk) continue;
+        ++ok_runs;
+        for (const auto& [name, value] : rec.telemetry) {
+          if (sums.emplace(name, 0.0).second) order.push_back(name);
+          sums[name] += value;
+        }
+      }
+      std::fprintf(stderr, "dcdl_sweep: telemetry totals over %zu ok run(s)\n",
+                   ok_runs);
+      for (const std::string& name : order) {
+        std::fprintf(stderr, "  %-40s %.6g\n", name.c_str(), sums[name]);
+      }
     }
 
     std::fprintf(stderr,

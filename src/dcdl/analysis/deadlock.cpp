@@ -140,6 +140,7 @@ void DeadlockMonitor::poll_once() {
         deadlocked_ = true;
         detected_at_ = now;
         cycle_ = candidate_;
+        if (on_confirmed_) on_confirmed_(*this);
         return;
       }
       // Progress happened inside the candidate: restart the dwell clock.

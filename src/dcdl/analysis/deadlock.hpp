@@ -15,6 +15,7 @@
 //    quiet, those packets are permanently trapped — deadlock.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -50,12 +51,21 @@ class DeadlockMonitor {
   std::optional<Time> detected_at() const { return detected_at_; }
   const std::vector<QueueKey>& cycle() const { return cycle_; }
 
+  /// Invoked (at most once) at the simulated instant a cycle is confirmed,
+  /// with cycle()/detected_at() already filled in. The flight-recorder
+  /// post-mortem hangs off this: the callback snapshots the last-N-events
+  /// window while the wedged state is still live.
+  void set_on_confirmed(std::function<void(const DeadlockMonitor&)> fn) {
+    on_confirmed_ = std::move(fn);
+  }
+
  private:
   void poll_once();
   std::vector<std::uint64_t> departures_of(const std::vector<QueueKey>& keys) const;
 
   Network& net_;
   Time poll_, dwell_, until_ = Time::zero();
+  std::function<void(const DeadlockMonitor&)> on_confirmed_;
   bool deadlocked_ = false;
   std::optional<Time> detected_at_;
   std::vector<QueueKey> cycle_;

@@ -9,6 +9,7 @@
 #include "dcdl/common/contract.hpp"
 #include "dcdl/sim/simulator.hpp"
 #include "dcdl/stats/pause_log.hpp"
+#include "dcdl/telemetry/telemetry.hpp"
 
 namespace dcdl::campaign {
 
@@ -67,6 +68,16 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     registry.validate_params(spec.scenario, spec.params);
     scenarios::Scenario s = def.make(spec.params);
     stats::PauseEventLog pauses(*s.net);
+    telemetry::RunTelemetry run_telemetry(*s.net);
+    // With a trace directory configured, a flight recorder rides along and
+    // its window is exported after the run (plus a post-mortem at the
+    // instant a deadlock is confirmed).
+    std::unique_ptr<telemetry::FlightRecorder> recorder;
+    if (!opts.trace_dir.empty()) {
+      recorder = std::make_unique<telemetry::FlightRecorder>(
+          opts.trace_capacity);
+      recorder->attach(*s.net);
+    }
     ScenarioDef::Finisher finish;
     if (def.instrument) finish = def.instrument(s, spec.params);
 
@@ -100,6 +111,16 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     // metric capture interposed between the measured run and the drain.
     analysis::DeadlockMonitor monitor(*s.net, Time{50'000'000},
                                       spec.monitor_dwell);
+    std::string post_mortem;
+    if (recorder != nullptr) {
+      monitor.set_on_confirmed(
+          [&post_mortem, &recorder, &opts](
+              const analysis::DeadlockMonitor& m) {
+            post_mortem = telemetry::post_mortem_jsonl(
+                *recorder, m.cycle(), *m.detected_at(),
+                opts.post_mortem_window);
+          });
+    }
     const Time start = sim->now();
     monitor.start(start, start + spec.run_for + spec.drain_grace);
     sim->run_until(start + spec.run_for);
@@ -127,6 +148,9 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     for (const stats::PauseEvent& e : pauses.events()) {
       rec.pause_assertions += e.paused ? 1 : 0;
     }
+    // Telemetry snapshot at stop time: same instant as goodput and
+    // pause_assertions, before the drain phase perturbs the queues.
+    rec.telemetry = run_telemetry.snapshot().flatten();
     rec.status = RunStatus::kOk;  // finisher sees a complete core record
     if (finish) finish(rec, rec.metrics);
 
@@ -136,6 +160,20 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     rec.deadlocked = drain.deadlocked;
     if (monitor.detected_at()) rec.detect_ms = monitor.detected_at()->ms();
     rec.events = sim->events_executed();
+
+    if (recorder != nullptr) {
+      char idx[32];
+      std::snprintf(idx, sizeof(idx), "run_%05d", rec.run_index);
+      const std::string stem = opts.trace_dir + "/" + idx;
+      write_text_file(stem + ".trace.json",
+                      telemetry::to_perfetto_json(*s.topo,
+                                                  recorder->snapshot()));
+      write_text_file(stem + ".telemetry.jsonl",
+                      telemetry::to_jsonl(recorder->snapshot()));
+      if (!post_mortem.empty()) {
+        write_text_file(stem + ".postmortem.jsonl", post_mortem);
+      }
+    }
   } catch (const std::exception& e) {
     rec.status = RunStatus::kFailed;
     rec.error = e.what();

@@ -33,6 +33,18 @@ struct ExecutorOptions {
   Time guard_poll = Time{1'000'000'000};  // 1 ms
   /// Progress callback, invoked under a lock after each run completes.
   std::function<void(const RunRecord&)> on_run_done;
+
+  /// Non-empty: every run attaches a flight recorder and writes
+  /// `run_NNNNN.trace.json` (Perfetto) + `run_NNNNN.telemetry.jsonl` into
+  /// this existing directory; a run whose deadlock monitor confirms a cycle
+  /// additionally writes `run_NNNNN.postmortem.jsonl` with the last-events
+  /// window captured at the detection instant. One file set per run_index,
+  /// so artifacts are identical across --jobs counts.
+  std::string trace_dir;
+  /// Flight-recorder ring capacity (records) when trace_dir is set.
+  std::size_t trace_capacity = 1u << 16;
+  /// Records in a deadlock post-mortem dump.
+  std::size_t post_mortem_window = 4096;
 };
 
 /// Executes one spec synchronously on the calling thread. This is both the

@@ -136,6 +136,13 @@ void emit_run(Json& j, const RunRecord& r, const WriteOptions& opts) {
     }
     j.end_object();
     j.key("events"); j.value(r.events);
+    j.key("telemetry");
+    j.begin_object();
+    for (const auto& [name, value] : r.telemetry) {
+      j.key(name);
+      j.value(value);
+    }
+    j.end_object();
   }
   if (opts.include_timing) {
     j.key("timing");

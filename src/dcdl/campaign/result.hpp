@@ -21,7 +21,9 @@ namespace dcdl::campaign {
 
 /// Schema identifier embedded in every JSON artifact; bump on any
 /// backwards-incompatible field change and document in DESIGN.md.
-inline constexpr const char* kResultSchema = "dcdl.campaign.v1";
+/// v2: every ok run carries a "telemetry" object — the uniform metrics
+/// snapshot (net.* counters, sim.* engine gauges) taken at stop time.
+inline constexpr const char* kResultSchema = "dcdl.campaign.v2";
 
 enum class RunStatus {
   kOk,         ///< ran to completion
@@ -53,6 +55,10 @@ struct RunRecord {
   MetricSink metrics;
   /// Simulator events executed (deterministic for a given spec+seed).
   std::uint64_t events = 0;
+  /// The uniform telemetry snapshot (flattened name -> value, registration
+  /// order), sampled at stop time — see telemetry::RunTelemetry. Like every
+  /// serialized field, deterministic for a given spec+seed.
+  std::vector<std::pair<std::string, double>> telemetry;
 
   // Wall-clock accounting — excluded from artifacts by default.
   double wall_ms = 0;

@@ -50,6 +50,8 @@
 #include "dcdl/stats/sampler.hpp"
 #include "dcdl/stats/throughput.hpp"
 
+#include "dcdl/telemetry/telemetry.hpp"
+
 #include "dcdl/scenarios/scenario.hpp"
 
 #include "dcdl/campaign/campaign.hpp"

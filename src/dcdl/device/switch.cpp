@@ -71,6 +71,12 @@ Time Switch::tx_hold_time(const Packet& pkt, PortId egress) {
 }
 
 void Switch::update_pause_state(PortId port, ClassId cls) {
+  // Every ingress-counter change funnels through here (admission, departure,
+  // watchdog flush), so this is the one occupancy observation point.
+  if (net_.trace().queue_bytes) {
+    net_.trace().queue_bytes(net_.sim().now(), id_, port, cls,
+                             ingress_[port].cls[cls].bytes);
+  }
   if (!cfg_.pfc.enabled) return;
   auto& c = ingress_[port].cls[cls];
   if (!c.pause_asserted && c.bytes >= c.xoff) {

@@ -77,6 +77,13 @@ struct Trace {
   /// imposes on its upstream: paused=true means an Xoff was emitted.
   HookSlot<Time, NodeId, PortId, ClassId, bool> pfc_state;
 
+  /// A switch ingress counter (node, port, class) changed; `bytes` is its
+  /// new value. Fired on every packet admission and departure — the exact
+  /// occupancy series behind the paper's Fig. 3d sawtooth and the Perfetto
+  /// exporter's counter tracks. Leave empty when not needed: an unobserved
+  /// slot costs one branch.
+  HookSlot<Time, NodeId, PortId, ClassId, std::int64_t> queue_bytes;
+
   /// Packet delivered to its destination host.
   HookSlot<Time, const Packet&> delivered;
 

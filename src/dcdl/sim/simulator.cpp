@@ -52,12 +52,14 @@ EventId Simulator::schedule_at(Time at, EventFn fn) {
   } else {
     slot = static_cast<std::uint32_t>(slab_.size());
     slab_.emplace_back();
+    ++slab_grows_;
   }
   Slot& s = slab_[slot];
   s.fn = std::move(fn);
   s.live = true;
   ++live_;
   heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
+  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   return EventId{slot, s.gen};
 }
@@ -71,6 +73,7 @@ void Simulator::cancel(EventId id) {
   ++s.gen;  // invalidates the heap husk and any other stale handle
   free_slots_.push_back(id.slot);
   --live_;
+  ++cancelled_;
 }
 
 bool Simulator::step() {

@@ -74,6 +74,26 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t pending_events() const { return live_; }
 
+  /// Lifetime counters of the engine's hot path, exposed for the telemetry
+  /// layer and bench_perf. All are monotonic except `pending`; none cost
+  /// more than an integer bump per schedule/cancel to maintain.
+  struct Counters {
+    std::uint64_t scheduled = 0;  ///< schedule_at calls
+    std::uint64_t executed = 0;   ///< callbacks fired
+    std::uint64_t cancelled = 0;  ///< effective cancels (stale ids excluded)
+    /// Times the event slab grew by a slot because the free list was empty —
+    /// each is one real heap allocation; zero in a recycled-arena steady
+    /// state.
+    std::uint64_t slab_grows = 0;
+    std::size_t slab_slots = 0;       ///< slab high-water (slabs never shrink)
+    std::size_t heap_high_water = 0;  ///< max heap entries ever pending
+    std::size_t pending = 0;          ///< live events right now
+  };
+  Counters counters() const {
+    return Counters{next_seq_ - 1, executed_,        cancelled_, slab_grows_,
+                    slab_.size(),  heap_high_water_, live_};
+  }
+
   /// Diagnostic: heap entries including cancelled husks awaiting their pop.
   /// Bounded by the number of still-scheduled timestamps; the regression
   /// test for the cancel-tombstone leak asserts on this.
@@ -139,6 +159,9 @@ class Simulator {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t slab_grows_ = 0;
+  std::size_t heap_high_water_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
   std::vector<Entry> heap_;

@@ -1,0 +1,55 @@
+// Exporters for flight-recorder windows.
+//
+//  - to_perfetto_json: Chrome trace_event JSON (load in chrome://tracing or
+//    ui.perfetto.dev). Each switch renders as a process; each (port, class)
+//    ingress queue as a thread whose PFC pause is a span and whose
+//    occupancy is a counter track — the paper's Fig. 3 timelines,
+//    interactive.
+//  - to_jsonl: the versioned `dcdl.telemetry.v1` line format — one header
+//    line, then one JSON object per record — for scripted analysis.
+//  - post_mortem_jsonl: a JSONL dump whose header names the confirmed
+//    wait-for cycle, emitted when the deadlock detector fires.
+//
+// All output is deterministic: field order is fixed, doubles are printed
+// with fixed precision, and content depends only on the record stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dcdl/stats/pause_log.hpp"
+#include "dcdl/telemetry/recorder.hpp"
+#include "dcdl/topo/topology.hpp"
+
+namespace dcdl::telemetry {
+
+/// Schema tag of the JSONL dump header; bump on any field change.
+inline constexpr const char* kTelemetrySchema = "dcdl.telemetry.v1";
+
+struct PerfettoOptions {
+  bool pause_spans = true;         ///< PFC Xoff..Xon as B/E span pairs
+  bool occupancy_counters = true;  ///< ingress counters as "C" tracks
+  bool drop_instants = true;
+  bool cnp_instants = true;
+  /// Per-packet instants; off by default (they dwarf everything else).
+  bool delivered_instants = false;
+  bool tx_instants = false;
+};
+
+/// Renders `records` (oldest first, as returned by FlightRecorder) as a
+/// Chrome trace_event JSON object. `topo` supplies node names and kinds for
+/// the process/thread metadata.
+std::string to_perfetto_json(const Topology& topo,
+                             const std::vector<TraceRecord>& records,
+                             const PerfettoOptions& opts = {});
+
+/// `dcdl.telemetry.v1` JSONL: header line, then one object per record.
+std::string to_jsonl(const std::vector<TraceRecord>& records);
+
+/// The deadlock post-mortem: the recorder's newest `window` records as
+/// JSONL, with the confirmed cycle and detection time in the header.
+std::string post_mortem_jsonl(const FlightRecorder& recorder,
+                              const std::vector<stats::QueueKey>& cycle,
+                              Time detected_at, std::size_t window = 4096);
+
+}  // namespace dcdl::telemetry

@@ -1,0 +1,61 @@
+// The flight recorder's unit of storage: one fixed-layout POD record per
+// observed event. Records are written into a preallocated ring on the hot
+// path, so the layout is pinned: trivially copyable, standard layout, and
+// exactly 32 bytes (two records per cache line). The static_asserts below
+// make any accidental growth (a new field, a wider type, an implicit
+// vtable) a compile error instead of a silent hot-path regression.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/device/trace.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl::telemetry {
+
+/// What a TraceRecord describes. Values are part of the on-disk
+/// `dcdl.telemetry.v1` schema — append only, never renumber.
+enum class RecordKind : std::uint8_t {
+  kPfcXoff = 0,     ///< ingress (node, port, cls) asserted PAUSE upstream
+  kPfcXon = 1,      ///< ingress (node, port, cls) released its pause
+  kTxStart = 2,     ///< (node, port) began serializing a packet
+  kDelivered = 3,   ///< packet reached its destination host (node = dst)
+  kDropped = 4,     ///< packet dropped at node; `reason` holds DropReason
+  kCnp = 5,         ///< congestion notification delivered to flow's source
+  kQueueBytes = 6,  ///< ingress counter (node, port, cls) now holds `bytes`
+};
+constexpr int kNumRecordKinds = 7;
+
+const char* to_string(RecordKind kind);
+
+/// One observation. Field meaning varies slightly by kind (documented per
+/// kind above); unused fields are zero so identical streams are
+/// byte-comparable.
+struct TraceRecord {
+  std::int64_t t_ps = 0;      ///< simulated time, picoseconds
+  std::uint32_t node = 0;     ///< switch/host the event happened at
+  std::uint32_t flow = 0;     ///< flow id, 0 when not flow-scoped (PFC)
+  /// kQueueBytes: the counter value. Packet kinds: packet size. Else 0.
+  /// 32 bits caps a recorded counter at 4 GiB — far above any switch
+  /// buffer this model configures (12 MiB default).
+  std::uint32_t bytes = 0;
+  std::uint16_t port = 0;     ///< port index, 0xFFFF when not port-scoped
+  std::uint8_t cls = 0;       ///< PFC class / packet priority
+  RecordKind kind = RecordKind::kPfcXoff;
+  std::uint8_t reason = 0;    ///< DropReason for kDropped, else 0
+  std::uint8_t pad_[7] = {};  ///< explicit: the asserts pin sizeof at 32
+};
+
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "flight-recorder records must be memcpy-safe PODs");
+static_assert(std::is_standard_layout_v<TraceRecord>,
+              "flight-recorder records must have a pinned layout");
+static_assert(sizeof(TraceRecord) == 32,
+              "flight-recorder record grew: two records must fit one cache "
+              "line, and the dcdl.telemetry.v1 layout is frozen");
+static_assert(alignof(TraceRecord) == 8, "record alignment is part of the "
+              "ring layout");
+
+}  // namespace dcdl::telemetry

@@ -283,10 +283,14 @@ TEST(CampaignResultSink, JsonAndCsvCarrySchemaParamsAndMetrics) {
       CampaignExecutor(reg).run(expand(spec), spec.root_seed);
 
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v2\""), std::string::npos);
   EXPECT_NE(json.find("\"inject\":4.5"), std::string::npos);
   EXPECT_NE(json.find("\"r_threshold_gbps\":5"), std::string::npos);
   EXPECT_EQ(json.find("\"timing\""), std::string::npos) << "wall clock leaked";
+  // v2: every ok run embeds its telemetry snapshot.
+  EXPECT_NE(json.find("\"telemetry\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"net.tx_start_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.events_executed\""), std::string::npos);
 
   WriteOptions timed;
   timed.include_timing = true;

@@ -50,6 +50,101 @@ TEST(Cascade, CountsSumToTotal) {
   EXPECT_EQ(sum, stats.total_pauses);
 }
 
+// ---------------------------------------------------------------------------
+// Hand-built attribution cases: drive the pfc_state hook directly so every
+// depth assignment is pinned to a known event order, independent of any
+// scenario's traffic pattern.
+
+/// A 3-switch chain s0 — s1 — s2 with no hosts; pause events are injected
+/// by hand through the trace hook.
+struct Chain {
+  Simulator sim;
+  Topology topo;
+  NodeId s0, s1, s2;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<PauseEventLog> log;
+
+  Chain() {
+    s0 = topo.add_switch("s0");
+    s1 = topo.add_switch("s1");
+    s2 = topo.add_switch("s2");
+    topo.add_link(s0, s1);
+    topo.add_link(s1, s2);
+    net = std::make_unique<Network>(sim, topo, NetConfig{});
+    log = std::make_unique<PauseEventLog>(*net);
+  }
+
+  /// The ingress queue on `at` facing `from` — the identity that pauses
+  /// the link from->at.
+  QueueKey queue(NodeId at, NodeId from, ClassId cls = 0) const {
+    return QueueKey{at, *topo.port_towards(at, from), cls};
+  }
+
+  void fire(int t_us, QueueKey q, bool paused) {
+    net->trace().pfc_state(Time{t_us * 1'000'000}, q.node, q.port, q.cls,
+                           paused);
+  }
+};
+
+TEST(Cascade, ChainAttributesOriginAndPropagatedDepths) {
+  // Congestion starts at s2's ingress from s1 (depth 0), backpressure
+  // reaches s1's ingress from s0 (depth 1), then s0's ingress queue fires
+  // while s1 still holds it (depth 2).
+  Chain c;
+  c.fire(1, c.queue(c.s2, c.s1), true);   // origin
+  c.fire(2, c.queue(c.s1, c.s0), true);   // parent: s2's active pause
+  c.fire(3, c.queue(c.s0, c.s1), true);   // parent: s1's active pause
+  const CascadeStats stats = analyze_pause_cascade(*c.net, *c.log);
+  EXPECT_EQ(stats.total_pauses, 3u);
+  ASSERT_EQ(stats.count_by_depth.size(), 3u);
+  EXPECT_EQ(stats.count_by_depth[0], 1u);
+  EXPECT_EQ(stats.count_by_depth[1], 1u);
+  EXPECT_EQ(stats.count_by_depth[2], 1u);
+  EXPECT_EQ(stats.max_depth, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_depth, 1.0);
+}
+
+TEST(Cascade, XonResetsAttribution) {
+  // Once the origin releases (Xon), a fresh pause at the same queue is an
+  // origin again — attribution follows *active* pauses, not history.
+  Chain c;
+  c.fire(1, c.queue(c.s2, c.s1), true);
+  c.fire(2, c.queue(c.s2, c.s1), false);  // released
+  c.fire(3, c.queue(c.s1, c.s0), true);   // no active parent anywhere
+  const CascadeStats stats = analyze_pause_cascade(*c.net, *c.log);
+  EXPECT_EQ(stats.total_pauses, 2u);
+  EXPECT_EQ(stats.max_depth, 0);
+  EXPECT_EQ(stats.count_by_depth[0], 2u);
+}
+
+TEST(Cascade, SimultaneousParentsTakeMaxDepthPlusOne) {
+  // s1 sits between two active parents of different depths: s2's origin
+  // (depth 0) and s0's chained pause (depth 2). The middle queue must take
+  // max(parent depths) + 1, not min or sum.
+  Chain c;
+  c.fire(1, c.queue(c.s2, c.s1), true);   // depth 0 origin on the right
+  c.fire(2, c.queue(c.s1, c.s0), true);   // depth 1 (parent: s2)
+  c.fire(3, c.queue(c.s0, c.s1), true);   // depth 2 (parent: s1's queue)
+  c.fire(4, c.queue(c.s1, c.s2), true);   // parents: s0 (depth 2) AND
+                                          // s2 (depth 0) -> 3
+  const CascadeStats stats = analyze_pause_cascade(*c.net, *c.log);
+  EXPECT_EQ(stats.total_pauses, 4u);
+  EXPECT_EQ(stats.max_depth, 3);
+  ASSERT_EQ(stats.count_by_depth.size(), 4u);
+  EXPECT_EQ(stats.count_by_depth[3], 1u);
+}
+
+TEST(Cascade, ClassesDoNotCrossAttribute) {
+  // An active pause on class 1 is not a parent for a class-0 assertion:
+  // PFC is per-class, and so is the cascade.
+  Chain c;
+  c.fire(1, c.queue(c.s2, c.s1, 1), true);
+  c.fire(2, c.queue(c.s1, c.s0, 0), true);
+  const CascadeStats stats = analyze_pause_cascade(*c.net, *c.log);
+  EXPECT_EQ(stats.total_pauses, 2u);
+  EXPECT_EQ(stats.max_depth, 0) << "class 1 pause must not parent class 0";
+}
+
 TEST(Cascade, BurstAbsorbingThresholdsShrinkTheCascade) {
   // §4: larger upstream thresholds absorb bursts instead of propagating
   // pauses. Mean cascade depth must drop under the tiered policy.

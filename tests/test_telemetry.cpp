@@ -1,0 +1,314 @@
+// dcdl::telemetry: flight-recorder ring semantics, metrics registry
+// behaviour, exporter format guarantees, and the deadlock post-mortem path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dcdl/analysis/deadlock.hpp"
+#include "dcdl/campaign/campaign.hpp"
+#include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/stats/pause_log.hpp"
+#include "dcdl/telemetry/telemetry.hpp"
+
+namespace dcdl::telemetry {
+namespace {
+
+using namespace dcdl::literals;
+using namespace dcdl::scenarios;
+
+// ------------------------------------------------------------ ring buffer
+
+TraceRecord make_record(std::int64_t t, std::uint32_t node) {
+  TraceRecord r{};
+  r.t_ps = t;
+  r.node = node;
+  r.kind = RecordKind::kTxStart;
+  return r;
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 1u);
+  EXPECT_EQ(FlightRecorder(2).capacity(), 2u);
+  EXPECT_EQ(FlightRecorder(3).capacity(), 4u);
+  EXPECT_EQ(FlightRecorder(1000).capacity(), 1024u);
+  EXPECT_EQ(FlightRecorder(1024).capacity(), 1024u);
+}
+
+TEST(FlightRecorderTest, SnapshotBeforeWrapIsInsertionOrder) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 5; ++i) rec.record(make_record(i, 0));
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  EXPECT_EQ(rec.size(), 5u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(snap[i].t_ps, i);
+}
+
+TEST(FlightRecorderTest, WrapKeepsNewestWindowOldestFirst) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 21; ++i) rec.record(make_record(i, 0));
+  EXPECT_EQ(rec.total_recorded(), 21u);
+  EXPECT_EQ(rec.size(), 8u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(snap[i].t_ps, 13 + i);
+
+  const auto last3 = rec.last(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3[0].t_ps, 18);
+  EXPECT_EQ(last3[2].t_ps, 20);
+  EXPECT_EQ(rec.last(100).size(), 8u) << "last(n) clamps to size()";
+}
+
+TEST(FlightRecorderTest, ClearResets) {
+  FlightRecorder rec(4);
+  rec.record(make_record(1, 0));
+  rec.clear();
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(FlightRecorderTest, AttachOptionsMaskCategories) {
+  // Same deterministic run twice: a recorder masked to PFC-only must see
+  // strictly fewer records, and only pause kinds.
+  for (const bool pfc_only : {false, true}) {
+    RoutingLoopParams p;
+    p.inject = Rate::gbps(7);  // above the Eq. 3 boundary: plenty of PFC
+    Scenario s = make_routing_loop(p);
+    FlightRecorder rec(1u << 14);
+    FlightRecorder::AttachOptions opts;
+    if (pfc_only) {
+      opts.tx_start = opts.delivered = opts.dropped = false;
+      opts.cnp = opts.queue_bytes = false;
+    }
+    rec.attach(*s.net, opts);
+    s.sim->run_until(2_ms);
+    ASSERT_GT(rec.total_recorded(), 0u);
+    if (pfc_only) {
+      for (const TraceRecord& r : rec.snapshot()) {
+        EXPECT_TRUE(r.kind == RecordKind::kPfcXoff ||
+                    r.kind == RecordKind::kPfcXon);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  const CounterId c = reg.counter("c");
+  const GaugeId g = reg.gauge("g");
+  const HistogramId h = reg.histogram("h", {10, 100});
+
+  reg.add(c);
+  reg.add(c, 41);
+  reg.set(g, -2.5);
+  reg.observe(h, 5);     // bucket 0 (<= 10)
+  reg.observe(h, 10);    // bucket 0 (inclusive upper bound)
+  reg.observe(h, 50);    // bucket 1
+  reg.observe(h, 1000);  // overflow bucket
+
+  EXPECT_EQ(reg.counter_value(c), 42u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(g), -2.5);
+  EXPECT_EQ(reg.histogram_count(h), 4u);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.items.size(), 3u);
+  EXPECT_EQ(snap.items[0].name, "c");
+  EXPECT_EQ(snap.items[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap.items[2].buckets, (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_DOUBLE_EQ(snap.items[2].sum, 1065);
+
+  const auto flat = snap.flatten();
+  EXPECT_DOUBLE_EQ(snap.value("c"), 42);
+  EXPECT_DOUBLE_EQ(snap.value("h.count"), 4);
+  EXPECT_DOUBLE_EQ(snap.value("h.mean"), 1065.0 / 4);
+  EXPECT_DOUBLE_EQ(snap.value("absent", -1), -1);
+  ASSERT_EQ(flat.size(), 5u);  // c, g, h.count, h.sum, h.mean
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentButKindChecked) {
+  MetricsRegistry reg;
+  const CounterId a = reg.counter("x");
+  const CounterId b = reg.counter("x");
+  EXPECT_EQ(a.v, b.v);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  reg.histogram("hist", {1, 2});
+  EXPECT_NO_THROW(reg.histogram("hist", {1, 2}));
+  EXPECT_THROW(reg.histogram("hist", {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(RunTelemetryTest, CountsMatchIndependentObservers) {
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(7);
+  Scenario s = make_routing_loop(p);
+  stats::PauseEventLog pauses(*s.net);
+  RunTelemetry telem(*s.net);
+  s.sim->run_until(3_ms);
+
+  std::uint64_t xoff = 0, xon = 0;
+  for (const auto& e : pauses.events()) (e.paused ? xoff : xon) += 1;
+  const MetricsRegistry& reg = telem.registry();
+  EXPECT_EQ(reg.counter_value(telem.ids().pfc_xoff), xoff);
+  EXPECT_EQ(reg.counter_value(telem.ids().pfc_xon), xon);
+
+  const MetricsSnapshot snap = telem.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("sim.events_executed"),
+                   static_cast<double>(s.sim->events_executed()));
+  EXPECT_GT(snap.value("net.tx_start_total"), 0);
+  EXPECT_GT(snap.value("net.dropped_packets_total.ttl_expired"), 0)
+      << "the routing loop drains by TTL expiry";
+}
+
+TEST(RunTelemetryTest, SnapshotIsDeterministicAcrossRuns) {
+  auto run = [] {
+    RoutingLoopParams p;
+    p.inject = Rate::gbps(6);
+    Scenario s = make_routing_loop(p);
+    RunTelemetry telem(*s.net);
+    s.sim->run_until(2_ms);
+    return telem.snapshot().flatten();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// -------------------------------------------------------------- exporters
+
+std::vector<TraceRecord> fig2_records(Scenario& s, FlightRecorder& rec) {
+  rec.attach(*s.net);
+  s.sim->run_until(2_ms);
+  return rec.snapshot();
+}
+
+TEST(PerfettoExportTest, SpansNestAndCountersMatchRecords) {
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(7);
+  Scenario s = make_routing_loop(p);
+  FlightRecorder rec;
+  const auto records = fig2_records(s, rec);
+  const std::string json = to_perfetto_json(*s.topo, records);
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"PFC pause\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  // Every "B" has a matching later "E" (the exporter closes open spans at
+  // the window end): equal counts is the cheap proxy chrome://tracing
+  // enforces per track.
+  std::size_t b = 0, e = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++b; pos += 8;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++e; pos += 8;
+  }
+  EXPECT_GT(b, 0u);
+  EXPECT_EQ(b, e);
+
+  // Deterministic: the same record stream renders to the same bytes.
+  EXPECT_EQ(json, to_perfetto_json(*s.topo, records));
+}
+
+TEST(JsonlExportTest, HeaderAndRecordCount) {
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(7);
+  Scenario s = make_routing_loop(p);
+  FlightRecorder rec;
+  const auto records = fig2_records(s, rec);
+  const std::string jsonl = to_jsonl(records);
+
+  const std::string header = jsonl.substr(0, jsonl.find('\n'));
+  EXPECT_NE(header.find("\"schema\":\"dcdl.telemetry.v1\""),
+            std::string::npos);
+  EXPECT_NE(header.find("\"record_count\":" +
+                        std::to_string(records.size())),
+            std::string::npos);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(jsonl.begin(), jsonl.end(), '\n'));
+  EXPECT_EQ(lines, records.size() + 1);  // header + one line per record
+}
+
+TEST(PostMortemTest, ConfirmedDeadlockDumpNamesCycleAndPauseEvents) {
+  // Fig. 2 above the deadlock boundary: the monitor confirms a cycle, the
+  // callback snapshots the recorder, and the dump must carry (a) the cycle
+  // queues in its header and (b) the pause assertions that closed it.
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(7);
+  Scenario s = make_routing_loop(p);
+  FlightRecorder rec;
+  rec.attach(*s.net);
+  analysis::DeadlockMonitor monitor(*s.net, Time{50'000'000}, 1_ms);
+  std::string dump;
+  monitor.set_on_confirmed([&](const analysis::DeadlockMonitor& m) {
+    dump = post_mortem_jsonl(rec, m.cycle(), *m.detected_at(), 1024);
+  });
+  monitor.start(Time::zero(), 20_ms);
+  s.sim->run_until(20_ms);
+
+  ASSERT_TRUE(monitor.deadlocked());
+  ASSERT_FALSE(dump.empty()) << "on_confirmed must have fired";
+
+  const std::string header = dump.substr(0, dump.find('\n'));
+  EXPECT_NE(header.find("\"post_mortem\":true"), std::string::npos);
+  EXPECT_NE(header.find("\"cycle\":["), std::string::npos);
+  for (const auto& q : monitor.cycle()) {
+    const std::string entry = "{\"node\":" + std::to_string(q.node) +
+                              ",\"port\":" + std::to_string(q.port) +
+                              ",\"cls\":" + std::to_string(q.cls) + "}";
+    EXPECT_NE(header.find(entry), std::string::npos)
+        << "cycle queue missing from header: " << entry;
+  }
+  EXPECT_NE(dump.find("\"kind\":\"pfc_xoff\""), std::string::npos)
+      << "the window must contain the pause assertions that closed the "
+         "cycle";
+}
+
+TEST(PostMortemTest, ExecutorWritesIdenticalRecordAcrossJobs) {
+  // The campaign integration end-to-end knob: telemetry embedded in the
+  // v2 record depends only on the spec, never on --jobs or interleaving.
+  // (File outputs are exercised by the CLI; here we check the record.)
+  using namespace dcdl::campaign;
+  ScenarioRegistry reg;
+  register_builtin_scenarios(reg);
+  SweepSpec spec;
+  spec.scenario = "routing_loop";
+  spec.axes = parse_grid("inject=4..7gbps:2");
+  spec.seeds_per_cell = 1;
+  spec.run_for = 2_ms;
+  spec.drain_grace = 10_ms;
+  const std::vector<RunSpec> runs = expand(spec);
+
+  ExecutorOptions one, four;
+  one.jobs = 1;
+  four.jobs = 4;
+  const CampaignResult a = CampaignExecutor(reg, one).run(runs);
+  const CampaignResult b = CampaignExecutor(reg, four).run(runs);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].telemetry, b.records[i].telemetry);
+    EXPECT_FALSE(a.records[i].telemetry.empty());
+  }
+}
+
+// ------------------------------------------------------------ POD record
+
+TEST(TraceRecordTest, LayoutIsPinned) {
+  // The static_asserts in record.hpp are the real gate; this documents the
+  // numbers where a human will read them.
+  EXPECT_EQ(sizeof(TraceRecord), 32u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<TraceRecord>);
+  EXPECT_EQ(std::string(to_string(RecordKind::kPfcXoff)), "pfc_xoff");
+  EXPECT_EQ(std::string(to_string(RecordKind::kQueueBytes)), "queue_bytes");
+}
+
+}  // namespace
+}  // namespace dcdl::telemetry

@@ -20,6 +20,8 @@
 #include <new>
 
 #include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/telemetry/metrics.hpp"
+#include "dcdl/telemetry/recorder.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocs{0};
@@ -85,6 +87,38 @@ TEST(ZeroAlloc, RoutingLoopSteadyStateAllocatesNothing) {
   ASSERT_GE(events, 100'000u) << "window too small to be meaningful";
   EXPECT_EQ(allocs, 0u) << "heap allocations leaked into the steady state "
                            "across " << events << " events";
+}
+
+TEST(ZeroAlloc, TelemetryAttachedSteadyStateAllocatesNothing) {
+  // The observability invariant: a fully attached metrics registry AND a
+  // flight recorder subscribed to every trace slot (including per-packet
+  // queue_bytes) must not add a single allocation to the steady state —
+  // record() is a masked store, counter bumps are dense vector ops.
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(4);
+  Scenario s = make_routing_loop(p);
+  telemetry::RunTelemetry run_telemetry(*s.net);
+  telemetry::FlightRecorder recorder;  // default 64Ki-record ring
+  recorder.attach(*s.net);
+
+  s.sim->run_until(2_ms);  // warm-up: arenas reach high water
+
+  const std::uint64_t events_before = s.sim->events_executed();
+  const std::uint64_t records_before = recorder.total_recorded();
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  s.sim->run_until(12_ms);
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const std::uint64_t events = s.sim->events_executed() - events_before;
+
+  ASSERT_GE(events, 100'000u) << "window too small to be meaningful";
+  EXPECT_GT(recorder.total_recorded(), records_before)
+      << "recorder saw no traffic; the measurement is vacuous";
+  EXPECT_GT(run_telemetry.registry().counter_value(
+                run_telemetry.ids().tx_starts), 0u);
+  EXPECT_EQ(allocs, 0u) << "telemetry leaked heap allocations into the "
+                           "steady state across " << events << " events";
 }
 
 TEST(ZeroAlloc, EventChurnSteadyStateAllocatesNothing) {

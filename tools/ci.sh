@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# The one-command local CI gate: configure, build, and run the full test
+# suite exactly as the tier-1 check does.
+#
+#   tools/ci.sh [build-dir]              # default: build
+#   tools/ci.sh --sanitizers [build-dir] # additionally chain asan.sh and
+#                                        # tsan.sh (their own build dirs)
+#
+# A clean exit means the tree is committable: every gtest suite passed, and
+# (with --sanitizers) the ASan+UBSan full suite and the TSan campaign
+# binaries are clean too.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+sanitizers=0
+if [ "${1:-}" = "--sanitizers" ]; then
+  sanitizers=1
+  shift
+fi
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j"$(nproc)"
+(cd "$build_dir" && ctest --output-on-failure -j"$(nproc)")
+
+if [ "$sanitizers" = 1 ]; then
+  "$repo_root/tools/asan.sh"
+  "$repo_root/tools/tsan.sh"
+fi
+
+echo "ci.sh: all checks passed"
