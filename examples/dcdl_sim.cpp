@@ -10,11 +10,15 @@
 //
 // Scenarios: fig1 (ring), loop, fig3, fig4, fig5, transient, valley,
 // incast. Common flags: --run_ms, --seed, --watchdog, --smart_limit.
-// Observability: --trace <dir> writes <scenario>.trace.json (Perfetto; open
-// in chrome://tracing or ui.perfetto.dev) and <scenario>.telemetry.jsonl;
-// --metrics prints the full metrics snapshot after the run.
+// Observability: --trace <dir> writes <scenario>.trace.json (Perfetto, with
+// pause-cascade flow arrows; open in chrome://tracing or ui.perfetto.dev),
+// <scenario>.telemetry.jsonl (topology-bearing, replayable through
+// dcdl_forensics), <scenario>.forensics.{txt,dot}, and — when a deadlock is
+// confirmed — <scenario>.postmortem.jsonl captured at the confirmation
+// instant. --metrics prints the full metrics snapshot after the run. A
+// forensic post-mortem (initial trigger, cascade shape) is printed after
+// every run.
 #include <cstdio>
-#include <filesystem>
 #include <string>
 
 #include "dcdl/dcdl.hpp"
@@ -119,14 +123,35 @@ int main(int argc, char** argv) {
 
   stats::PauseEventLog pauses(*s.net);
   stats::LatencyMeter latency(*s.net);
+  std::vector<forensics::CausalInput::Drop> drop_log;
+  stats::append_hook(
+      s.net->trace().dropped,
+      [&drop_log](Time t, const Packet&, NodeId node, DropReason reason) {
+        drop_log.push_back({t.ps(), node, static_cast<std::uint8_t>(reason)});
+      });
   telemetry::RunTelemetry run_telemetry(*s.net);
   std::unique_ptr<telemetry::FlightRecorder> recorder;
   if (!trace_dir.empty()) {
-    std::filesystem::create_directories(trace_dir);
+    try {
+      campaign::ensure_output_dir(trace_dir);
+    } catch (const campaign::CampaignError& e) {
+      std::fprintf(stderr, "dcdl_sim: %s\n", e.what());
+      return 2;
+    }
     recorder = std::make_unique<telemetry::FlightRecorder>();
     recorder->attach(*s.net);
   }
-  const RunSummary r = run_and_check(s, run_for, 30_ms);
+  // The confirmed-deadlock hook: snapshot the flight recorder while the
+  // wedged state is live, before stop_and_drain perturbs the queues.
+  std::string post_mortem;
+  const RunSummary r = run_and_check(
+      s, run_for, 30_ms, Time{1'000'000'000},
+      [&](const analysis::DeadlockMonitor& m) {
+        if (recorder != nullptr) {
+          post_mortem = telemetry::post_mortem_jsonl(
+              *s.topo, *recorder, m.cycle(), *m.detected_at());
+        }
+      });
 
   std::printf("\nafter %.0f ms:\n", run_for.ms());
   for (const auto& [flow, bytes] : r.delivered) {
@@ -151,6 +176,16 @@ int main(int argc, char** argv) {
   std::printf(", %lld bytes trapped\n",
               static_cast<long long>(r.trapped_bytes));
 
+  // Forensic post-mortem: the causal pause-propagation DAG over the whole
+  // run, with the initial trigger attributed and classified.
+  forensics::CausalInput causal =
+      forensics::input_from_pause_log(*s.topo, pauses, s.sim->now());
+  causal.drops = std::move(drop_log);
+  causal.deadlock_cycle = r.cycle;
+  if (r.detected_at) causal.deadlock_at_ps = r.detected_at->ps();
+  const forensics::CascadeReport report = forensics::analyze(causal);
+  std::printf("\n%s", forensics::to_text(report).c_str());
+
   if (metrics) {
     std::printf("\nmetrics:\n");
     for (const auto& [name, value] : run_telemetry.snapshot().flatten()) {
@@ -160,10 +195,28 @@ int main(int argc, char** argv) {
   if (recorder) {
     const std::string stem = trace_dir + "/" + which;
     const auto records = recorder->snapshot();
-    campaign::write_text_file(stem + ".trace.json",
-                              telemetry::to_perfetto_json(*s.topo, records));
+    // Flow arrows from the recorded window (not the full pause log), so
+    // every arrow lands on a span the Perfetto export actually shows.
+    forensics::CausalInput win_in =
+        forensics::input_from_records(*s.topo, records);
+    win_in.deadlock_cycle = causal.deadlock_cycle;
+    win_in.deadlock_at_ps = causal.deadlock_at_ps;
+    const forensics::CascadeReport win_report = forensics::analyze(win_in);
+    campaign::write_text_file(
+        stem + ".trace.json",
+        telemetry::to_perfetto_json(*s.topo, records, {},
+                                    forensics::flow_arrows(win_report)));
     campaign::write_text_file(stem + ".telemetry.jsonl",
-                              telemetry::to_jsonl(records));
+                              telemetry::to_jsonl(*s.topo, records));
+    campaign::write_text_file(stem + ".forensics.txt",
+                              forensics::to_text(report));
+    campaign::write_text_file(stem + ".forensics.dot",
+                              forensics::to_dot(report));
+    if (!post_mortem.empty()) {
+      campaign::write_text_file(stem + ".postmortem.jsonl", post_mortem);
+      std::printf("post-mortem: %s.postmortem.jsonl (deadlock window)\n",
+                  stem.c_str());
+    }
     std::printf("trace: %zu of %llu record(s) -> %s.trace.json\n",
                 records.size(),
                 static_cast<unsigned long long>(recorder->total_recorded()),

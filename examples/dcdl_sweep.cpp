@@ -18,7 +18,6 @@
 // dcdl.telemetry.v1 JSONL exports, plus deadlock post-mortems), --metrics
 // (aggregate telemetry summary on stderr after the sweep).
 #include <cstdio>
-#include <filesystem>
 #include <map>
 #include <string>
 
@@ -110,7 +109,7 @@ int main(int argc, char** argv) {
     opts.jobs = jobs;
     opts.run_wall_budget_ms = timeout_ms;
     if (!trace_dir.empty()) {
-      std::filesystem::create_directories(trace_dir);
+      ensure_output_dir(trace_dir);
       opts.trace_dir = trace_dir;
     }
     std::size_t done = 0;

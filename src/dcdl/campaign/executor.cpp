@@ -7,7 +7,9 @@
 
 #include "dcdl/analysis/deadlock.hpp"
 #include "dcdl/common/contract.hpp"
+#include "dcdl/forensics/forensics.hpp"
 #include "dcdl/sim/simulator.hpp"
+#include "dcdl/stats/hooks.hpp"
 #include "dcdl/stats/pause_log.hpp"
 #include "dcdl/telemetry/telemetry.hpp"
 
@@ -68,6 +70,17 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     registry.validate_params(spec.scenario, spec.params);
     scenarios::Scenario s = def.make(spec.params);
     stats::PauseEventLog pauses(*s.net);
+    // Drop log for trigger classification (a cascade seeded by TTL-expired
+    // drops is a routing-loop origin). Rides the same observer mechanism as
+    // PauseEventLog; both may grow their vectors, neither runs on the
+    // zero-alloc packet path itself.
+    std::vector<forensics::CausalInput::Drop> drop_log;
+    stats::append_hook(
+        s.net->trace().dropped,
+        [&drop_log](Time t, const Packet&, NodeId node, DropReason r) {
+          drop_log.push_back(
+              {t.ps(), node, static_cast<std::uint8_t>(r)});
+        });
     telemetry::RunTelemetry run_telemetry(*s.net);
     // With a trace directory configured, a flight recorder rides along and
     // its window is exported after the run (plus a post-mortem at the
@@ -114,10 +127,10 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     std::string post_mortem;
     if (recorder != nullptr) {
       monitor.set_on_confirmed(
-          [&post_mortem, &recorder, &opts](
+          [&post_mortem, &recorder, &opts, &s](
               const analysis::DeadlockMonitor& m) {
             post_mortem = telemetry::post_mortem_jsonl(
-                *recorder, m.cycle(), *m.detected_at(),
+                *s.topo, *recorder, m.cycle(), *m.detected_at(),
                 opts.post_mortem_window);
           });
     }
@@ -161,15 +174,52 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     if (monitor.detected_at()) rec.detect_ms = monitor.detected_at()->ms();
     rec.events = sim->events_executed();
 
+    // Post-hoc forensics over the complete pause history (measured window
+    // plus drain): the causality DAG, trigger attribution, and cascade
+    // shape, appended to the record as forensics.* metrics.
+    forensics::CausalInput causal =
+        forensics::input_from_pause_log(*s.topo, pauses, sim->now());
+    causal.drops = std::move(drop_log);
+    causal.deadlock_cycle = monitor.cycle();
+    if (monitor.detected_at()) {
+      causal.deadlock_at_ps = monitor.detected_at()->ps();
+    }
+    const forensics::CascadeReport cascade = forensics::analyze(causal);
+    {
+      telemetry::MetricsRegistry forensics_reg;
+      const forensics::CascadeMetricIds ids =
+          forensics::register_cascade_metrics(forensics_reg);
+      forensics::record_cascade(forensics_reg, ids, cascade);
+      for (auto& kv : forensics_reg.snapshot().flatten()) {
+        rec.telemetry.push_back(std::move(kv));
+      }
+    }
+
     if (recorder != nullptr) {
       char idx[32];
       std::snprintf(idx, sizeof(idx), "run_%05d", rec.run_index);
       const std::string stem = opts.trace_dir + "/" + idx;
+      const std::vector<telemetry::TraceRecord> window =
+          recorder->snapshot();
+      // Flow arrows come from a records-based analysis of the same window
+      // the Perfetto export renders, so no arrow points at an overwritten
+      // span.
+      forensics::CausalInput win_in =
+          forensics::input_from_records(*s.topo, window);
+      win_in.deadlock_cycle = causal.deadlock_cycle;
+      win_in.deadlock_at_ps = causal.deadlock_at_ps;
+      const forensics::CascadeReport win_report =
+          forensics::analyze(win_in);
       write_text_file(stem + ".trace.json",
-                      telemetry::to_perfetto_json(*s.topo,
-                                                  recorder->snapshot()));
+                      telemetry::to_perfetto_json(
+                          *s.topo, window, {},
+                          forensics::flow_arrows(win_report)));
       write_text_file(stem + ".telemetry.jsonl",
-                      telemetry::to_jsonl(recorder->snapshot()));
+                      telemetry::to_jsonl(*s.topo, window));
+      write_text_file(stem + ".forensics.txt",
+                      forensics::to_text(cascade));
+      write_text_file(stem + ".forensics.dot",
+                      forensics::to_dot(cascade));
       if (!post_mortem.empty()) {
         write_text_file(stem + ".postmortem.jsonl", post_mortem);
       }

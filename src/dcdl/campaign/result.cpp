@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <set>
+#include <system_error>
 
 namespace dcdl::campaign {
 
@@ -241,6 +243,22 @@ void write_text_file(const std::string& path, const std::string& content) {
   if (written != content.size() || rc != 0) {
     throw CampaignError("short write to '" + path + "'");
   }
+}
+
+void ensure_output_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw CampaignError("cannot create output directory '" + dir +
+                        "': " + ec.message());
+  }
+  const std::string probe = dir + "/.dcdl_write_probe";
+  std::FILE* f = std::fopen(probe.c_str(), "w");
+  if (!f) {
+    throw CampaignError("output directory '" + dir + "' is not writable");
+  }
+  std::fclose(f);
+  std::filesystem::remove(probe, ec);
 }
 
 }  // namespace dcdl::campaign

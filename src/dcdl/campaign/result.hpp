@@ -93,4 +93,11 @@ std::string to_csv(const CampaignResult& result);
 /// Overwrites `path` with `content`; throws CampaignError on I/O failure.
 void write_text_file(const std::string& path, const std::string& content);
 
+/// Creates `dir` (and parents) and verifies it is writable by probing a
+/// temporary file; throws CampaignError otherwise. The shared front door
+/// for every CLI `--trace`/output directory, so an unwritable path fails
+/// fast with one clear message instead of a per-artifact I/O error
+/// mid-sweep.
+void ensure_output_dir(const std::string& dir);
+
 }  // namespace dcdl::campaign

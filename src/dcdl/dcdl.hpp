@@ -52,6 +52,8 @@
 
 #include "dcdl/telemetry/telemetry.hpp"
 
+#include "dcdl/forensics/forensics.hpp"
+
 #include "dcdl/scenarios/scenario.hpp"
 
 #include "dcdl/campaign/campaign.hpp"

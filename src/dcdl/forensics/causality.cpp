@@ -1,0 +1,294 @@
+#include "dcdl/forensics/causality.hpp"
+
+#include <algorithm>
+
+#include "dcdl/device/trace.hpp"
+
+namespace dcdl::forensics {
+
+const char* to_string(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kRoutingLoop: return "routing-loop";
+    case TriggerKind::kHostPause: return "host-pause";
+    case TriggerKind::kCongestionCascade: return "congestion-cascade";
+  }
+  return "?";
+}
+
+CausalInput make_input(const Topology& topo) {
+  CausalInput in;
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    const NodeSpec& spec = topo.node(n);
+    in.nodes[n] = {spec.name, spec.kind == NodeKind::kSwitch};
+    const auto& ports = topo.ports(n);
+    for (PortId p = 0; p < ports.size(); ++p) {
+      const PortPeer& pp = ports[p];
+      CausalInput::PortInfo info;
+      info.peer_node = pp.peer_node;
+      info.peer_port = pp.peer_port;
+      info.peer_is_switch = topo.is_switch(pp.peer_node);
+      info.delay_ps = topo.link(pp.link).delay.ps();
+      in.ports[{n, p}] = info;
+    }
+  }
+  return in;
+}
+
+CausalInput input_from_records(
+    const Topology& topo, const std::vector<telemetry::TraceRecord>& records) {
+  CausalInput in = make_input(topo);
+  for (const telemetry::TraceRecord& r : records) {
+    switch (r.kind) {
+      case telemetry::RecordKind::kPfcXoff:
+      case telemetry::RecordKind::kPfcXon:
+        in.pauses.push_back({r.t_ps, r.node, r.port, r.cls,
+                             r.kind == telemetry::RecordKind::kPfcXoff});
+        break;
+      case telemetry::RecordKind::kQueueBytes:
+        in.occupancy.push_back({r.t_ps, r.node, r.port, r.cls, r.bytes});
+        break;
+      case telemetry::RecordKind::kDropped:
+        in.drops.push_back({r.t_ps, r.node, r.reason});
+        break;
+      default:
+        break;
+    }
+    in.window_end_ps = std::max(in.window_end_ps, r.t_ps);
+  }
+  return in;
+}
+
+CausalInput input_from_pause_log(const Topology& topo,
+                                 const stats::PauseEventLog& log,
+                                 Time window_end) {
+  CausalInput in = make_input(topo);
+  for (const stats::PauseEvent& e : log.events()) {
+    in.pauses.push_back({e.t.ps(), e.node, e.port, e.cls, e.paused});
+  }
+  in.window_end_ps = window_end.ps();
+  return in;
+}
+
+namespace {
+
+/// Union-find over span indices (path halving, union by attachment to the
+/// smaller root index so component numbering is stable).
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Smaller index wins: the set id is always its earliest span.
+    if (a < b) parent_[b] = a; else parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::optional<std::uint32_t> CascadeReport::initial_trigger() const {
+  if (deadlock_trigger) return deadlock_trigger;
+  if (components.empty()) return std::nullopt;
+  return components.front().root;
+}
+
+CascadeReport analyze(const CausalInput& in) {
+  CascadeReport out;
+  out.window_end_ps = in.window_end_ps;
+  out.deadlock_cycle = in.deadlock_cycle;
+  out.deadlock_at_ps = in.deadlock_at_ps;
+  out.nodes = in.nodes;
+
+  // Observation streams arrive time-ordered from every builder; a stable
+  // sort makes analyze() total for hand-assembled inputs too.
+  std::vector<CausalInput::Pause> pauses = in.pauses;
+  std::stable_sort(pauses.begin(), pauses.end(),
+                   [](const CausalInput::Pause& a, const CausalInput::Pause& b) {
+                     return a.t_ps < b.t_ps;
+                   });
+  for (const CausalInput::Pause& p : pauses) {
+    out.window_end_ps = std::max(out.window_end_ps, p.t_ps);
+  }
+
+  // Per-node port directory and per-queue occupancy series for the
+  // threshold-crossing annotation.
+  std::map<NodeId, std::vector<std::pair<PortId, CausalInput::PortInfo>>>
+      ports_of;
+  for (const auto& [key, info] : in.ports) {
+    ports_of[key.first].emplace_back(key.second, info);
+  }
+  std::map<QueueKey, std::vector<std::pair<std::int64_t, std::uint32_t>>> occ;
+  for (const CausalInput::Occupancy& o : in.occupancy) {
+    occ[QueueKey{o.node, o.port, o.cls}].emplace_back(o.t_ps, o.bytes);
+  }
+
+  // Single chronological sweep: an Xoff opens a span and links to every
+  // cause still asserted (and physically arrived) at that instant; an Xon
+  // closes its span.
+  std::map<QueueKey, std::uint32_t> active;
+  for (const CausalInput::Pause& p : pauses) {
+    const QueueKey key{p.node, p.port, p.cls};
+    if (!p.paused) {
+      const auto it = active.find(key);
+      if (it != active.end()) {
+        out.spans[it->second].end_ps = p.t_ps;
+        active.erase(it);
+      }
+      continue;
+    }
+    if (active.count(key) != 0) continue;  // duplicate Xoff: already open
+
+    PauseSpan span;
+    span.queue = key;
+    span.start_ps = p.t_ps;
+    if (const auto oit = occ.find(key); oit != occ.end()) {
+      // Last occupancy observation at or before the assertion.
+      const auto& series = oit->second;
+      auto up = std::upper_bound(
+          series.begin(), series.end(), std::make_pair(p.t_ps, UINT32_MAX));
+      if (up != series.begin()) span.bytes_at_assert = std::prev(up)->second;
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(out.spans.size());
+    if (const auto pit = ports_of.find(p.node); pit != ports_of.end()) {
+      for (const auto& [port, info] : pit->second) {
+        (void)port;
+        if (!info.peer_is_switch) continue;
+        const auto cit =
+            active.find(QueueKey{info.peer_node, info.peer_port, p.cls});
+        if (cit == active.end()) continue;
+        PauseSpan& cause = out.spans[cit->second];
+        // The cause's pause frame must have reached this switch already.
+        if (cause.start_ps + info.delay_ps > p.t_ps) continue;
+        span.causes.push_back(cit->second);
+        cause.effects.push_back(idx);
+        span.depth = std::max(span.depth, cause.depth + 1);
+      }
+    }
+    active[key] = idx;
+    out.spans.push_back(std::move(span));
+  }
+
+  // Deadlock-cycle marking: the cycle queues' spans still asserted at the
+  // confirmation instant.
+  if (out.deadlock_at_ps) {
+    const std::int64_t at = *out.deadlock_at_ps;
+    for (const QueueKey& q : out.deadlock_cycle) {
+      for (PauseSpan& s : out.spans) {
+        if (s.queue == q && s.start_ps <= at &&
+            (s.end_ps < 0 || s.end_ps > at)) {
+          s.in_deadlock_cycle = true;
+        }
+      }
+    }
+  }
+
+  // Weakly-connected components over cause edges; ids in order of each
+  // component's earliest span, so numbering is stable and chronological.
+  DisjointSet dsu(out.spans.size());
+  for (std::uint32_t i = 0; i < out.spans.size(); ++i) {
+    for (const std::uint32_t c : out.spans[i].causes) dsu.unite(i, c);
+  }
+  std::map<std::uint32_t, int> component_of_root;  // dsu root -> id
+  for (std::uint32_t i = 0; i < out.spans.size(); ++i) {
+    const std::uint32_t r = dsu.find(i);
+    const auto [it, fresh] = component_of_root.emplace(
+        r, static_cast<int>(out.components.size()));
+    if (fresh) out.components.emplace_back();
+    const int cid = it->second;
+    out.spans[i].component = cid;
+    CascadeComponent& comp = out.components[static_cast<std::size_t>(cid)];
+    comp.span_count += 1;
+    if (comp.span_count == 1) comp.root = i;  // provisional: first span
+    comp.max_depth = std::max(comp.max_depth, out.spans[i].depth);
+    if (out.spans[i].causes.empty()) comp.roots.push_back(i);
+    if (out.spans[i].in_deadlock_cycle) comp.contains_deadlock_cycle = true;
+  }
+  for (CascadeComponent& comp : out.components) {
+    // The trigger is the earliest origin; spans are already in time order,
+    // so the first collected root is it.
+    if (!comp.roots.empty()) comp.root = comp.roots.front();
+  }
+
+  // Width per component: the largest population of any one depth.
+  {
+    std::map<std::pair<int, int>, int> by_comp_depth;
+    for (const PauseSpan& s : out.spans) {
+      const int w = ++by_comp_depth[{s.component, s.depth}];
+      CascadeComponent& comp =
+          out.components[static_cast<std::size_t>(s.component)];
+      comp.max_width = std::max(comp.max_width, w);
+    }
+  }
+
+  // Trigger classification. Routing-loop evidence: TTL-expired drops at
+  // any switch that participates in the cascade — circulating traffic is
+  // what ages out. Host-pause: the trigger queue pauses a host, i.e. the
+  // backlog formed at the fabric edge. Everything else is in-network
+  // congestion.
+  {
+    std::vector<std::map<NodeId, bool>> comp_nodes(out.components.size());
+    for (const PauseSpan& s : out.spans) {
+      comp_nodes[static_cast<std::size_t>(s.component)][s.queue.node] = true;
+    }
+    for (std::size_t c = 0; c < out.components.size(); ++c) {
+      CascadeComponent& comp = out.components[c];
+      bool loop_evidence = false;
+      for (const CausalInput::Drop& d : in.drops) {
+        if (d.reason != static_cast<std::uint8_t>(DropReason::kTtlExpired)) {
+          continue;
+        }
+        if (comp_nodes[c].count(d.node) != 0) {
+          loop_evidence = true;
+          break;
+        }
+      }
+      if (loop_evidence) {
+        comp.trigger = TriggerKind::kRoutingLoop;
+        continue;
+      }
+      const PauseSpan& root = out.spans[comp.root];
+      const auto pit = in.ports.find({root.queue.node, root.queue.port});
+      if (pit != in.ports.end() && !pit->second.peer_is_switch) {
+        comp.trigger = TriggerKind::kHostPause;
+      } else {
+        comp.trigger = TriggerKind::kCongestionCascade;
+      }
+    }
+  }
+
+  // Deadlock attribution: the cascade containing the confirmed cycle, and
+  // the time from its trigger to the confirmation.
+  for (const CascadeComponent& comp : out.components) {
+    if (!comp.contains_deadlock_cycle) continue;
+    out.deadlock_trigger = comp.root;
+    if (out.deadlock_at_ps) {
+      out.time_to_deadlock_ps =
+          *out.deadlock_at_ps - out.spans[comp.root].start_ps;
+    }
+    break;
+  }
+
+  // Pause-storm fan-out histogram: how many downstream pauses each span
+  // directly induced.
+  for (const PauseSpan& s : out.spans) {
+    const std::size_t k = s.effects.size();
+    if (out.fanout_hist.size() <= k) out.fanout_hist.resize(k + 1, 0);
+    out.fanout_hist[k] += 1;
+  }
+  return out;
+}
+
+}  // namespace dcdl::forensics

@@ -1,0 +1,41 @@
+// Renderers for a CascadeReport.
+//
+//  - to_text: the human-readable post-mortem ("deadlock at t=…; initial
+//    trigger: S2 port 1 class 0 at t=…; cascade depth 4").
+//  - to_dot: the causality DAG as Graphviz DOT, wait-for-cycle spans
+//    highlighted, triggers double-bordered.
+//  - flow_arrows: cause->effect edges as telemetry::FlowArrow, ready to be
+//    drawn into the Perfetto export.
+//
+// All output is deterministic: a pure function of the report, fixed field
+// order, fixed-precision times — byte-identical across runs and --jobs
+// levels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dcdl/forensics/causality.hpp"
+#include "dcdl/telemetry/export.hpp"
+
+namespace dcdl::forensics {
+
+struct TextOptions {
+  /// Components listed individually; the rest are summarized in one line.
+  std::size_t max_components = 8;
+};
+
+/// The human-readable post-mortem.
+std::string to_text(const CascadeReport& report, const TextOptions& = {});
+
+/// Graphviz DOT of the causality DAG. One node per pause span (label:
+/// queue, interval, depth), one edge per cause->effect link; spans of the
+/// confirmed deadlock cycle are drawn red and bold, triggers with a double
+/// border.
+std::string to_dot(const CascadeReport& report);
+
+/// One arrow per causality edge, anchored at the cause span's assertion
+/// and the effect span's assertion.
+std::vector<telemetry::FlowArrow> flow_arrows(const CascadeReport& report);
+
+}  // namespace dcdl::forensics

@@ -1,0 +1,43 @@
+// Offline trace loading: parses a `dcdl.telemetry.v1` JSONL dump (regular
+// or post-mortem) back into TraceRecords, and — when the writer embedded
+// the topology in the header (telemetry::to_jsonl(topo, ...), the default
+// for every CLI since the forensics PR) — rebuilds the Topology so the
+// causal analysis can run anywhere, long after the simulation exited.
+//
+// The parser is a focused scanner for the exact machine-generated format
+// the exporters emit (fixed field order per kind, one object per line);
+// it is not a general JSON parser. Malformed input throws
+// std::runtime_error with the offending line number.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dcdl/forensics/causality.hpp"
+
+namespace dcdl::forensics {
+
+struct LoadedTrace {
+  Topology topo;
+  /// The header carried a topology; without it the causal DAG cannot be
+  /// built (input_from_trace throws).
+  bool has_topology = false;
+  std::vector<telemetry::TraceRecord> records;
+
+  // Post-mortem headers additionally carry the monitor's verdict.
+  bool post_mortem = false;
+  std::vector<QueueKey> cycle;
+  std::optional<std::int64_t> detected_at_ps;
+};
+
+/// Parses an in-memory dump (header line + record lines).
+LoadedTrace parse_jsonl(const std::string& content);
+/// Reads and parses a dump file; throws std::runtime_error on I/O failure.
+LoadedTrace load_jsonl_file(const std::string& path);
+
+/// Analysis input from a loaded trace, deadlock verdict included. Throws
+/// std::runtime_error when the dump has no topology header.
+CausalInput input_from_trace(const LoadedTrace& trace);
+
+}  // namespace dcdl::forensics

@@ -427,9 +427,11 @@ Scenario make_incast(const IncastParams& p) {
   return s;
 }
 
-RunSummary run_and_check(Scenario& s, Time run_for, Time drain_grace,
-                         Time monitor_dwell) {
+RunSummary run_and_check(
+    Scenario& s, Time run_for, Time drain_grace, Time monitor_dwell,
+    std::function<void(const analysis::DeadlockMonitor&)> on_confirmed) {
   analysis::DeadlockMonitor monitor(*s.net, Time{50'000'000}, monitor_dwell);
+  if (on_confirmed) monitor.set_on_confirmed(std::move(on_confirmed));
   const Time start = s.sim->now();
   monitor.start(start, start + run_for + drain_grace);
   s.sim->run_until(start + run_for);
@@ -443,6 +445,7 @@ RunSummary run_and_check(Scenario& s, Time run_for, Time drain_grace,
   out.trapped_bytes = drain.trapped_bytes;
   out.deadlocked = drain.deadlocked;
   out.detected_at = monitor.detected_at();
+  out.cycle = monitor.cycle();
   return out;
 }
 

@@ -4,6 +4,7 @@
 // reproduced numbers come from one implementation of each setup.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -180,14 +181,22 @@ struct RunSummary {
   bool deadlocked = false;
   /// When the online monitor confirmed the deadlock (if it did).
   std::optional<Time> detected_at;
+  /// The confirmed wait-for cycle (empty unless detected_at is set).
+  std::vector<stats::QueueKey> cycle;
   std::int64_t trapped_bytes = 0;
   /// Per-flow delivered bytes at the moment flows were stopped.
   std::vector<std::pair<FlowId, std::int64_t>> delivered;
 };
 
 /// Runs the scenario for `run_for`, then stops all flows and drains for
-/// `drain_grace`; reports deadlock per both detectors.
-RunSummary run_and_check(Scenario& s, Time run_for, Time drain_grace,
-                         Time monitor_dwell = Time{1'000'000'000});
+/// `drain_grace`; reports deadlock per both detectors. `on_confirmed`, when
+/// set, fires at the simulated instant the online monitor confirms the
+/// wait-for cycle (cycle()/detected_at() filled in) — the hook the
+/// forensics layer uses to capture a post-mortem before the drain phase
+/// perturbs the queues.
+RunSummary run_and_check(
+    Scenario& s, Time run_for, Time drain_grace,
+    Time monitor_dwell = Time{1'000'000'000},
+    std::function<void(const analysis::DeadlockMonitor&)> on_confirmed = {});
 
 }  // namespace dcdl::scenarios

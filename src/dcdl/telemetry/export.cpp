@@ -49,7 +49,8 @@ std::string node_label(const Topology& topo, NodeId id) {
 
 std::string to_perfetto_json(const Topology& topo,
                              const std::vector<TraceRecord>& records,
-                             const PerfettoOptions& opts) {
+                             const PerfettoOptions& opts,
+                             const std::vector<FlowArrow>& flows) {
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   const auto comma = [&] {
@@ -104,14 +105,24 @@ std::string to_perfetto_json(const Topology& topo,
         }
         break;
       case RecordKind::kPfcXon:
-        if (!opts.pause_spans) break;
-        // A window that starts mid-pause sees an Xon with no open span;
-        // skip it rather than emit an unbalanced E.
-        if (open_pauses.erase({r.node, tid}) > 0) {
+        if (opts.pause_spans) {
+          // A window that starts mid-pause sees an Xon with no open span;
+          // skip it rather than emit an unbalanced E.
+          if (open_pauses.erase({r.node, tid}) > 0) {
+            comma();
+            appendf(out,
+                    "{\"ph\":\"E\",\"pid\":%u,\"tid\":%d,\"ts\":", r.node,
+                    tid);
+            append_ts(out, r.t_ps);
+            out += '}';
+          }
+        }
+        if (opts.xon_instants) {
           comma();
           appendf(out,
-                  "{\"ph\":\"E\",\"pid\":%u,\"tid\":%d,\"ts\":", r.node,
-                  tid);
+                  "{\"name\":\"pfc resume\",\"cat\":\"pfc\",\"ph\":\"i\","
+                  "\"s\":\"t\",\"pid\":%u,\"tid\":%d,\"ts\":",
+                  r.node, tid);
           append_ts(out, r.t_ps);
           out += '}';
         }
@@ -181,6 +192,25 @@ std::string to_perfetto_json(const Topology& topo,
     append_ts(out, last_ts);
     out += '}';
   }
+  // Causality arrows: a legacy flow start inside the cause span bound to a
+  // finish (bt=e: bind to the enclosing slice) inside the effect span.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowArrow& a = flows[i];
+    comma();
+    appendf(out,
+            "{\"name\":\"pause cascade\",\"cat\":\"forensics\",\"ph\":\"s\","
+            "\"id\":%zu,\"pid\":%u,\"tid\":%d,\"ts\":",
+            i + 1, a.from_node, tid_of(a.from_port, a.from_cls));
+    append_ts(out, a.from_ts_ps);
+    out += '}';
+    comma();
+    appendf(out,
+            "{\"name\":\"pause cascade\",\"cat\":\"forensics\",\"ph\":\"f\","
+            "\"bt\":\"e\",\"id\":%zu,\"pid\":%u,\"tid\":%d,\"ts\":",
+            i + 1, a.to_node, tid_of(a.to_port, a.to_cls));
+    append_ts(out, a.to_ts_ps);
+    out += '}';
+  }
   out += "\n]}\n";
   return out;
 }
@@ -223,20 +253,42 @@ void append_record_jsonl(std::string& out, const TraceRecord& r) {
   out += "}\n";
 }
 
-}  // namespace
+/// The header's optional topology field: enough to rebuild adjacency (and
+/// pause-propagation delays) offline. Links are in add order, so replaying
+/// them reproduces the original port numbering exactly.
+void append_topology_field(std::string& out, const Topology& topo) {
+  out += ",\"topology\":{\"nodes\":[";
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    const NodeSpec& spec = topo.node(n);
+    appendf(out, "%s{\"kind\":\"%s\",\"name\":\"%s\"}", n == 0 ? "" : ",",
+            spec.kind == NodeKind::kSwitch ? "switch" : "host",
+            spec.name.c_str());
+  }
+  out += "],\"links\":[";
+  for (std::uint32_t l = 0; l < topo.link_count(); ++l) {
+    const LinkSpec& link = topo.link(l);
+    appendf(out, "%s{\"a\":%u,\"b\":%u,\"delay_ps\":%" PRId64 "}",
+            l == 0 ? "" : ",", link.a, link.b, link.delay.ps());
+  }
+  out += "]}";
+}
 
-std::string to_jsonl(const std::vector<TraceRecord>& records) {
+std::string jsonl_impl(const Topology* topo,
+                       const std::vector<TraceRecord>& records) {
   std::string out;
   out.reserve(records.size() * 80 + 128);
-  appendf(out, "{\"schema\":\"%s\",\"record_count\":%zu}\n",
-          kTelemetrySchema, records.size());
+  appendf(out, "{\"schema\":\"%s\",\"record_count\":%zu", kTelemetrySchema,
+          records.size());
+  if (topo != nullptr) append_topology_field(out, *topo);
+  out += "}\n";
   for (const TraceRecord& r : records) append_record_jsonl(out, r);
   return out;
 }
 
-std::string post_mortem_jsonl(const FlightRecorder& recorder,
-                              const std::vector<stats::QueueKey>& cycle,
-                              Time detected_at, std::size_t window) {
+std::string post_mortem_impl(const Topology* topo,
+                             const FlightRecorder& recorder,
+                             const std::vector<stats::QueueKey>& cycle,
+                             Time detected_at, std::size_t window) {
   const std::vector<TraceRecord> records = recorder.last(window);
   std::string out;
   out.reserve(records.size() * 80 + 256);
@@ -250,9 +302,35 @@ std::string post_mortem_jsonl(const FlightRecorder& recorder,
     appendf(out, "%s{\"node\":%u,\"port\":%u,\"cls\":%u}",
             i == 0 ? "" : ",", cycle[i].node, cycle[i].port, cycle[i].cls);
   }
-  out += "]}\n";
+  out += ']';
+  if (topo != nullptr) append_topology_field(out, *topo);
+  out += "}\n";
   for (const TraceRecord& r : records) append_record_jsonl(out, r);
   return out;
+}
+
+}  // namespace
+
+std::string to_jsonl(const std::vector<TraceRecord>& records) {
+  return jsonl_impl(nullptr, records);
+}
+
+std::string to_jsonl(const Topology& topo,
+                     const std::vector<TraceRecord>& records) {
+  return jsonl_impl(&topo, records);
+}
+
+std::string post_mortem_jsonl(const FlightRecorder& recorder,
+                              const std::vector<stats::QueueKey>& cycle,
+                              Time detected_at, std::size_t window) {
+  return post_mortem_impl(nullptr, recorder, cycle, detected_at, window);
+}
+
+std::string post_mortem_jsonl(const Topology& topo,
+                              const FlightRecorder& recorder,
+                              const std::vector<stats::QueueKey>& cycle,
+                              Time detected_at, std::size_t window) {
+  return post_mortem_impl(&topo, recorder, cycle, detected_at, window);
 }
 
 }  // namespace dcdl::telemetry

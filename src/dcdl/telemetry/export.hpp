@@ -29,26 +29,57 @@ inline constexpr const char* kTelemetrySchema = "dcdl.telemetry.v1";
 struct PerfettoOptions {
   bool pause_spans = true;         ///< PFC Xoff..Xon as B/E span pairs
   bool occupancy_counters = true;  ///< ingress counters as "C" tracks
-  bool drop_instants = true;
+  bool drop_instants = true;       ///< incl. TTL expiry ("drop ttl_expired")
   bool cnp_instants = true;
+  /// Explicit instant marker at every Xon, independent of the B/E span
+  /// bookkeeping — a resume is visible even when the window opened
+  /// mid-pause and the matching span begin was overwritten.
+  bool xon_instants = true;
   /// Per-packet instants; off by default (they dwarf everything else).
   bool delivered_instants = false;
   bool tx_instants = false;
 };
 
+/// A cause -> effect arrow between two pause spans, rendered as a Chrome
+/// trace_event flow (s/f event pair). Produced by forensics::flow_arrows
+/// from the causality DAG; kept a plain struct here so the exporter does
+/// not depend on the forensics layer.
+struct FlowArrow {
+  std::uint32_t from_node = 0;
+  std::uint16_t from_port = 0;
+  std::uint8_t from_cls = 0;
+  std::int64_t from_ts_ps = 0;
+  std::uint32_t to_node = 0;
+  std::uint16_t to_port = 0;
+  std::uint8_t to_cls = 0;
+  std::int64_t to_ts_ps = 0;
+};
+
 /// Renders `records` (oldest first, as returned by FlightRecorder) as a
 /// Chrome trace_event JSON object. `topo` supplies node names and kinds for
-/// the process/thread metadata.
+/// the process/thread metadata. `flows` draws cause->effect arrows between
+/// pause spans (the forensic cascade, interactive).
 std::string to_perfetto_json(const Topology& topo,
                              const std::vector<TraceRecord>& records,
-                             const PerfettoOptions& opts = {});
+                             const PerfettoOptions& opts = {},
+                             const std::vector<FlowArrow>& flows = {});
 
 /// `dcdl.telemetry.v1` JSONL: header line, then one object per record.
 std::string to_jsonl(const std::vector<TraceRecord>& records);
+/// Same, with the topology (nodes + links) embedded in the header so the
+/// dump is self-contained for offline causal analysis (`dcdl_forensics`).
+/// Additive: readers of the bare v1 format ignore the extra header field.
+std::string to_jsonl(const Topology& topo,
+                     const std::vector<TraceRecord>& records);
 
 /// The deadlock post-mortem: the recorder's newest `window` records as
 /// JSONL, with the confirmed cycle and detection time in the header.
 std::string post_mortem_jsonl(const FlightRecorder& recorder,
+                              const std::vector<stats::QueueKey>& cycle,
+                              Time detected_at, std::size_t window = 4096);
+/// Topology-bearing post-mortem (offline-analyzable, like to_jsonl above).
+std::string post_mortem_jsonl(const Topology& topo,
+                              const FlightRecorder& recorder,
                               const std::vector<stats::QueueKey>& cycle,
                               Time detected_at, std::size_t window = 4096);
 

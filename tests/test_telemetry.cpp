@@ -63,6 +63,31 @@ TEST(FlightRecorderTest, WrapKeepsNewestWindowOldestFirst) {
   EXPECT_EQ(rec.last(100).size(), 8u) << "last(n) clamps to size()";
 }
 
+TEST(FlightRecorderTest, FillToExactlyCapacityKeepsEveryRecord) {
+  // Wrap-around boundary, part 1: total == capacity is the last state with
+  // no loss. Every record present, oldest first, no duplicates.
+  FlightRecorder rec(8);
+  ASSERT_EQ(rec.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) rec.record(make_record(i, 0));
+  EXPECT_EQ(rec.total_recorded(), 8u);
+  EXPECT_EQ(rec.size(), 8u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(snap[i].t_ps, i);
+}
+
+TEST(FlightRecorderTest, CapacityPlusOneDropsExactlyTheOldest) {
+  // Wrap-around boundary, part 2: one more record must evict record 0 and
+  // nothing else — still oldest-first, no duplicate, no gap.
+  FlightRecorder rec(8);
+  for (int i = 0; i < 9; ++i) rec.record(make_record(i, 0));
+  EXPECT_EQ(rec.total_recorded(), 9u);
+  EXPECT_EQ(rec.size(), 8u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(snap[i].t_ps, 1 + i);
+}
+
 TEST(FlightRecorderTest, ClearResets) {
   FlightRecorder rec(4);
   rec.record(make_record(1, 0));
@@ -216,6 +241,56 @@ TEST(PerfettoExportTest, SpansNestAndCountersMatchRecords) {
 
   // Deterministic: the same record stream renders to the same bytes.
   EXPECT_EQ(json, to_perfetto_json(*s.topo, records));
+}
+
+TEST(PerfettoExportTest, DropAndResumeInstantsAreEmittedAndDeterministic) {
+  // The routing loop produces both TTL-expiry drops and PFC resumes; the
+  // export must carry an instant marker for each, and stay byte-identical
+  // across renders (the determinism contract covers the instant paths too).
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(7);
+  Scenario s = make_routing_loop(p);
+  FlightRecorder rec;
+  const auto records = fig2_records(s, rec);
+  bool saw_drop = false, saw_xon = false;
+  for (const TraceRecord& r : records) {
+    saw_drop |= r.kind == RecordKind::kDropped;
+    saw_xon |= r.kind == RecordKind::kPfcXon;
+  }
+  ASSERT_TRUE(saw_drop) << "the loop must age packets out by TTL";
+  ASSERT_TRUE(saw_xon);
+
+  const std::string json = to_perfetto_json(*s.topo, records);
+  EXPECT_NE(json.find("\"drop ttl_expired\""), std::string::npos);
+  EXPECT_NE(json.find("\"pfc resume\""), std::string::npos);
+  EXPECT_EQ(json, to_perfetto_json(*s.topo, records));
+
+  // Both families are opt-out.
+  PerfettoOptions off;
+  off.drop_instants = false;
+  off.xon_instants = false;
+  const std::string bare = to_perfetto_json(*s.topo, records, off);
+  EXPECT_EQ(bare.find("\"drop ttl_expired\""), std::string::npos);
+  EXPECT_EQ(bare.find("\"pfc resume\""), std::string::npos);
+}
+
+TEST(JsonlExportTest, TopologyHeaderIsAdditive) {
+  // The topology-bearing overload embeds nodes+links in the header line;
+  // the record lines are identical to the bare format.
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(7);
+  Scenario s = make_routing_loop(p);
+  FlightRecorder rec;
+  const auto records = fig2_records(s, rec);
+  const std::string bare = to_jsonl(records);
+  const std::string with_topo = to_jsonl(*s.topo, records);
+
+  const std::string header = with_topo.substr(0, with_topo.find('\n'));
+  EXPECT_NE(header.find("\"topology\":{"), std::string::npos);
+  EXPECT_NE(header.find("\"links\":["), std::string::npos);
+  EXPECT_EQ(bare.substr(bare.find('\n')),
+            with_topo.substr(with_topo.find('\n')))
+      << "record lines must not change when the header grows";
 }
 
 TEST(JsonlExportTest, HeaderAndRecordCount) {

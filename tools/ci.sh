@@ -5,24 +5,45 @@
 #   tools/ci.sh [build-dir]              # default: build
 #   tools/ci.sh --sanitizers [build-dir] # additionally chain asan.sh and
 #                                        # tsan.sh (their own build dirs)
+#   tools/ci.sh --full [build-dir]       # sanitizers + the bench_perf
+#                                        # regression gate against the
+#                                        # committed BENCH_perf.json
 #
-# A clean exit means the tree is committable: every gtest suite passed, and
-# (with --sanitizers) the ASan+UBSan full suite and the TSan campaign
-# binaries are clean too.
+# A clean exit means the tree is committable: every gtest suite passed;
+# with --sanitizers the ASan+UBSan full suite and the TSan campaign
+# binaries are clean too; with --full the hot path additionally held its
+# events/sec baseline. The perf gate uses its own Release build dir
+# (build-perf) — sanitizer and default builds are not valid timing
+# baselines.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 sanitizers=0
-if [ "${1:-}" = "--sanitizers" ]; then
-  sanitizers=1
-  shift
-fi
+perf=0
+case "${1:-}" in
+  --sanitizers)
+    sanitizers=1
+    shift
+    ;;
+  --full)
+    sanitizers=1
+    perf=1
+    shift
+    ;;
+esac
 build_dir=${1:-"$repo_root/build"}
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j"$(nproc)"
 (cd "$build_dir" && ctest --output-on-failure -j"$(nproc)")
+
+if [ "$perf" = 1 ]; then
+  perf_dir="$repo_root/build-perf"
+  cmake -B "$perf_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$perf_dir" --target bench_perf -j"$(nproc)"
+  "$perf_dir/bench/bench_perf" --baseline "$repo_root/BENCH_perf.json"
+fi
 
 if [ "$sanitizers" = 1 ]; then
   "$repo_root/tools/asan.sh"
