@@ -1,24 +1,35 @@
 // Simulator performance benchmarks.
 //
-// Three modes:
+// Four modes:
 //   bench_perf [google-benchmark flags]   microbenchmark suite (BM_*)
 //   bench_perf --json [PATH]              fixed scenario timings written as
-//                                         dcdl.bench_perf.v2 JSON (default
+//                                         dcdl.bench_perf.v3 JSON (default
 //                                         PATH: BENCH_perf.json)
 //   bench_perf --baseline PATH            rerun the fixed scenarios and
 //                                         compare events/sec against a
-//                                         committed v1/v2 artifact; exits
+//                                         committed v1/v2/v3 artifact; exits
 //                                         non-zero on a >10% regression
+//   bench_perf --shards N [--k K] [--ms M]
+//                                         sharded-scaling probe: run the
+//                                         fat-tree permutation at 1 and N
+//                                         shards and print the speedup (the
+//                                         manual dimension for large-k runs
+//                                         on multi-core machines)
 //
 // The --json mode measures events/sec on the paper's scenarios (Fig. 1
 // ring, Fig. 2 routing loop, fat-tree permutation) plus the pure scheduler
 // churn micro, so the perf trajectory of the hot path is tracked as a
 // committed artifact from PR 3 onward. Each scenario is run once to warm
 // the allocator, then `reps` times; the best run is reported (events/sec is
-// a throughput metric — best-of-N rejects scheduler noise). v2 additionally
-// records the simulator's allocation-shape counters (slab slots/grows, heap
-// high water, cancellations) so accidental arena regressions show up in the
-// diff even when wall time happens to absorb them.
+// a throughput metric — best-of-N rejects scheduler noise). v2 added the
+// simulator's allocation-shape counters (slab slots/grows, heap high water,
+// cancellations); v3 adds sharded fat-tree entries (fat_tree_s2/_s4) with
+// the engine's window statistics — shard count, windows, stalled (idle)
+// windows, cross-shard mailbox deliveries, and per-shard event counts — so
+// both raw throughput and the window protocol's efficiency are tracked.
+// The emission keeps one scenario object per line with "name" before
+// "events_per_sec", so a v3 artifact still parses as a --baseline input for
+// older binaries and vice versa.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -26,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +45,7 @@
 #include "dcdl/device/host.hpp"
 #include "dcdl/routing/compute.hpp"
 #include "dcdl/scenarios/scenario.hpp"
+#include "dcdl/sim/sharded.hpp"
 #include "dcdl/topo/generators.hpp"
 
 using namespace dcdl;
@@ -118,16 +131,30 @@ BENCHMARK(BM_EventQueueChurn)->Unit(benchmark::kMillisecond);
 // ---------------------------------------------------------------------------
 // --json mode: fixed scenario timings as a committed artifact.
 
+/// Everything one timed run yields. Legacy runs fill only `counters`;
+/// sharded runs add the engine's window statistics (counters are summed
+/// over the control plus all shard simulators so slab/heap shapes remain
+/// comparable across engines).
+struct RunOutcome {
+  Simulator::Counters counters{};
+  int shards = 0;  ///< 0 = legacy engine
+  std::uint64_t windows = 0;
+  std::uint64_t device_passes = 0;
+  std::uint64_t stalled_windows = 0;  ///< shard-passes that fired 0 events
+  std::uint64_t cross_shard_events = 0;
+  std::vector<std::uint64_t> shard_events;
+};
+
 struct JsonResult {
   std::string name;
   std::uint64_t events = 0;
   double best_wall_ms = 0;
   double events_per_sec = 0;
-  Simulator::Counters counters{};
+  RunOutcome outcome{};
 };
 
-/// Runs `body` (which returns the simulator counters at completion) once to
-/// warm up, then `reps` times; reports the fastest run.
+/// Runs `body` (which returns the run's outcome) once to warm up, then
+/// `reps` times; reports the fastest run.
 template <typename Body>
 JsonResult measure(const std::string& name, int reps, Body body) {
   JsonResult r;
@@ -135,29 +162,29 @@ JsonResult measure(const std::string& name, int reps, Body body) {
   body();  // warm-up: page in code, size allocator pools
   for (int i = 0; i < reps; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
-    const Simulator::Counters counters = body();
+    const RunOutcome outcome = body();
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
     if (i == 0 || ms < r.best_wall_ms) {
       r.best_wall_ms = ms;
-      r.events = counters.executed;
-      r.counters = counters;
+      r.events = outcome.counters.executed;
+      r.outcome = outcome;
     }
   }
   r.events_per_sec = static_cast<double>(r.events) / (r.best_wall_ms / 1e3);
   return r;
 }
 
-Simulator::Counters run_ring() {
+RunOutcome run_ring() {
   RingDeadlockParams p;
   Scenario s = make_ring_deadlock(p);
   s.sim->run_until(2_ms);
   benchmark::DoNotOptimize(s.net->total_queued_bytes());
-  return s.sim->counters();
+  return RunOutcome{s.sim->counters()};
 }
 
-Simulator::Counters run_routing_loop() {
+RunOutcome run_routing_loop() {
   // Below the Eq. 3 boundary: packets circulate until TTL expiry forever,
   // the sustained per-packet/per-event steady state the refactor targets.
   RoutingLoopParams p;
@@ -165,14 +192,20 @@ Simulator::Counters run_routing_loop() {
   Scenario s = make_routing_loop(p);
   s.sim->run_until(4_ms);
   benchmark::DoNotOptimize(s.net->total_queued_bytes());
-  return s.sim->counters();
+  return RunOutcome{s.sim->counters()};
 }
 
-Simulator::Counters run_fat_tree() {
+/// Fat-tree permutation at `shards` shards (0 = legacy engine). The
+/// scenario is identical for every shard count — so are the delivered
+/// streams; only the wall clock and the window statistics differ.
+RunOutcome run_fat_tree(int shards, int k, Time run_for) {
   Simulator sim;
-  const topo::FatTreeTopo ft = topo::make_fat_tree(4);
+  const topo::FatTreeTopo ft = topo::make_fat_tree(k);
   Topology topo = ft.topo;
+  std::optional<ScopedShardRequest> req;
+  if (shards >= 1) req.emplace(shards);
   Network net(sim, topo, NetConfig{});
+  req.reset();
   routing::install_shortest_paths(net);
   const auto n = ft.all_hosts.size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -183,12 +216,36 @@ Simulator::Counters run_fat_tree() {
     f.packet_bytes = 1000;
     net.host_at(f.src_host).add_flow(f);
   }
-  sim.run_until(500_us);
+  sim.run_until(run_for);
   benchmark::DoNotOptimize(net.total_queued_bytes());
-  return sim.counters();
+
+  RunOutcome out;
+  out.counters = sim.counters();  // executed already includes shard credits
+  if (net.sharded()) {
+    ShardedEngine& eng = net.engine();
+    out.shards = eng.num_shards();
+    const ShardedEngine::Stats& st = eng.stats();
+    out.windows = st.windows;
+    out.device_passes = st.device_passes;
+    out.cross_shard_events = st.cross_shard_events;
+    for (const ShardedEngine::ShardStats& sh : st.shard) {
+      out.shard_events.push_back(sh.executed);
+      out.stalled_windows += sh.idle_windows;
+    }
+    for (int i = 0; i < eng.num_shards(); ++i) {
+      const Simulator::Counters c =
+          eng.shard_sim(static_cast<std::uint32_t>(i)).counters();
+      out.counters.scheduled += c.scheduled;
+      out.counters.cancelled += c.cancelled;
+      out.counters.slab_grows += c.slab_grows;
+      out.counters.slab_slots += c.slab_slots;
+      out.counters.heap_high_water += c.heap_high_water;
+    }
+  }
+  return out;
 }
 
-Simulator::Counters run_event_churn() {
+RunOutcome run_event_churn() {
   Simulator sim;
   std::int64_t fired = 0;
   for (int round = 0; round < 10; ++round) {
@@ -199,7 +256,7 @@ Simulator::Counters run_event_churn() {
     sim.run();
   }
   benchmark::DoNotOptimize(fired);
-  return sim.counters();
+  return RunOutcome{sim.counters()};
 }
 
 std::vector<JsonResult> run_suite() {
@@ -207,7 +264,12 @@ std::vector<JsonResult> run_suite() {
   std::vector<JsonResult> results;
   results.push_back(measure("ring", kReps, run_ring));
   results.push_back(measure("routing_loop", kReps, run_routing_loop));
-  results.push_back(measure("fat_tree", kReps, run_fat_tree));
+  results.push_back(measure("fat_tree", kReps,
+                            [] { return run_fat_tree(0, 4, 500_us); }));
+  results.push_back(measure("fat_tree_s2", kReps,
+                            [] { return run_fat_tree(2, 4, 500_us); }));
+  results.push_back(measure("fat_tree_s4", kReps,
+                            [] { return run_fat_tree(4, 4, 500_us); }));
   results.push_back(measure("event_churn", kReps, run_event_churn));
   return results;
 }
@@ -217,9 +279,19 @@ void print_suite(const std::vector<JsonResult>& results) {
     std::printf("%-14s %10llu events  %8.2f ms  %12.0f events/sec  "
                 "(slab %zu, heap hw %zu, cancelled %llu)\n",
                 r.name.c_str(), static_cast<unsigned long long>(r.events),
-                r.best_wall_ms, r.events_per_sec, r.counters.slab_slots,
-                r.counters.heap_high_water,
-                static_cast<unsigned long long>(r.counters.cancelled));
+                r.best_wall_ms, r.events_per_sec, r.outcome.counters.slab_slots,
+                r.outcome.counters.heap_high_water,
+                static_cast<unsigned long long>(r.outcome.counters.cancelled));
+    if (r.outcome.shards > 0) {
+      std::printf("  %-12s %d shards, %llu windows (%llu passes, %llu "
+                  "stalled), %llu cross-shard events\n",
+                  "", r.outcome.shards,
+                  static_cast<unsigned long long>(r.outcome.windows),
+                  static_cast<unsigned long long>(r.outcome.device_passes),
+                  static_cast<unsigned long long>(r.outcome.stalled_windows),
+                  static_cast<unsigned long long>(
+                      r.outcome.cross_shard_events));
+    }
   }
 }
 
@@ -230,7 +302,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "bench_perf: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v3\",\n");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JsonResult& r = results[i];
@@ -238,15 +310,32 @@ int run_json_mode(const std::string& path) {
                  "    {\"name\": \"%s\", \"events\": %llu, "
                  "\"best_wall_ms\": %.3f, \"events_per_sec\": %.0f, "
                  "\"events_cancelled\": %llu, \"slab_slots\": %zu, "
-                 "\"slab_grows\": %llu, \"heap_high_water\": %zu}%s\n",
+                 "\"slab_grows\": %llu, \"heap_high_water\": %zu",
                  r.name.c_str(),
                  static_cast<unsigned long long>(r.events), r.best_wall_ms,
                  r.events_per_sec,
-                 static_cast<unsigned long long>(r.counters.cancelled),
-                 r.counters.slab_slots,
-                 static_cast<unsigned long long>(r.counters.slab_grows),
-                 r.counters.heap_high_water,
-                 i + 1 < results.size() ? "," : "");
+                 static_cast<unsigned long long>(r.outcome.counters.cancelled),
+                 r.outcome.counters.slab_slots,
+                 static_cast<unsigned long long>(r.outcome.counters.slab_grows),
+                 r.outcome.counters.heap_high_water);
+    if (r.outcome.shards > 0) {
+      std::fprintf(
+          f,
+          ", \"shards\": %d, \"windows\": %llu, \"device_passes\": %llu, "
+          "\"stalled_windows\": %llu, \"cross_shard_events\": %llu, "
+          "\"shard_events\": [",
+          r.outcome.shards, static_cast<unsigned long long>(r.outcome.windows),
+          static_cast<unsigned long long>(r.outcome.device_passes),
+          static_cast<unsigned long long>(r.outcome.stalled_windows),
+          static_cast<unsigned long long>(r.outcome.cross_shard_events));
+      for (std::size_t s = 0; s < r.outcome.shard_events.size(); ++s) {
+        std::fprintf(f, "%s%llu", s > 0 ? ", " : "",
+                     static_cast<unsigned long long>(
+                         r.outcome.shard_events[s]));
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -258,8 +347,8 @@ int run_json_mode(const std::string& path) {
 // ---------------------------------------------------------------------------
 // --baseline mode: regression gate against a committed artifact.
 
-/// Pulls {name -> events_per_sec} out of a dcdl.bench_perf.v1/v2 JSON file
-/// with a purpose-built scan (both schemas emit one scenario object per
+/// Pulls {name -> events_per_sec} out of a dcdl.bench_perf.v1/v2/v3 JSON
+/// file with a purpose-built scan (all schemas emit one scenario object per
 /// line with "name" before "events_per_sec").
 std::vector<std::pair<std::string, double>> parse_baseline(
     const std::string& text) {
@@ -336,9 +425,37 @@ int run_baseline_mode(const std::string& path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --shards mode: sharded-scaling probe.
+
+int run_shards_mode(int shards, int k, double sim_ms) {
+  if (shards < 1 || k < 4 || k % 2 != 0 || sim_ms <= 0) {
+    std::fprintf(stderr,
+                 "bench_perf: --shards needs shards >= 1, even k >= 4, "
+                 "ms > 0\n");
+    return 1;
+  }
+  const Time run_for = Time{static_cast<std::int64_t>(sim_ms * 1e9)};
+  constexpr int kReps = 3;
+  std::printf("fat-tree k=%d, %.1f simulated ms, best of %d:\n", k, sim_ms,
+              kReps);
+  const JsonResult one = measure(
+      "fat_tree_s1", kReps, [k, run_for] { return run_fat_tree(1, k, run_for); });
+  const JsonResult n = measure(
+      "fat_tree_s" + std::to_string(shards), kReps,
+      [shards, k, run_for] { return run_fat_tree(shards, k, run_for); });
+  print_suite({one, n});
+  std::printf("speedup (%d shards vs 1): %.2fx\n", n.outcome.shards,
+              one.best_wall_ms / n.best_wall_ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  int shards = 0, k = 16;
+  double sim_ms = 1.0;
+  bool shards_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       const std::string path =
@@ -355,7 +472,21 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
       return run_baseline_mode(argv[i] + 11);
     }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards_mode = true;
+      shards = std::atoi(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
+      k = std::atoi(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
+      sim_ms = std::atof(argv[++i]);
+      continue;
+    }
   }
+  if (shards_mode) return run_shards_mode(shards, k, sim_ms);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -9,7 +9,9 @@
 //   $ ./dcdl_sim --scenario=valley --watchdog
 //
 // Scenarios: fig1 (ring), loop, fig3, fig4, fig5, transient, valley,
-// incast. Common flags: --run_ms, --seed, --watchdog, --smart_limit.
+// incast. Common flags: --run_ms, --seed, --watchdog, --smart_limit,
+// --shards N (run on the sharded conservative engine with N worker
+// threads — every report byte is identical for all N >= 1).
 // Observability: --trace <dir> writes <scenario>.trace.json (Perfetto, with
 // pause-cascade flow arrows; open in chrome://tracing or ui.perfetto.dev),
 // <scenario>.telemetry.jsonl (topology-bearing, replayable through
@@ -19,6 +21,7 @@
 // forensic post-mortem (initial trigger, cascade shape) is printed after
 // every run.
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "dcdl/dcdl.hpp"
@@ -39,8 +42,14 @@ int main(int argc, char** argv) {
   const double flow3 = flags.get_double("flow3_gbps", 0);
   const std::string trace_dir = flags.get_string("trace", "");
   const bool metrics = flags.get_bool("metrics", false);
+  const int shards = static_cast<int>(flags.get_int("shards", 0));
 
   Scenario s = [&]() -> Scenario {
+    // The request only needs to cover Network construction: the network
+    // latches its engine there, and everything downstream (monitors,
+    // watchdog, run_and_check) drives it through the run delegate.
+    std::optional<ScopedShardRequest> shard_request;
+    if (shards >= 1) shard_request.emplace(shards);
     if (which == "fig1") {
       RingDeadlockParams p;
       p.seed = seed;
@@ -89,6 +98,13 @@ int main(int argc, char** argv) {
   std::printf("scenario: %s (%zu switches, %zu hosts, %zu flows)\n",
               which.c_str(), s.topo->switches().size(),
               s.topo->hosts().size(), s.flows.size());
+  if (s.net->sharded()) {
+    std::printf("engine: sharded, %d shard(s), %zu cut link(s), "
+                "lookahead %.2f us\n",
+                s.net->engine().num_shards(),
+                s.net->shard_plan().cut_links.size(),
+                s.net->engine().lookahead().us());
+  }
 
   // Static analysis before any packet moves.
   const auto bdg = analysis::BufferDependencyGraph::build(*s.net, s.flows);

@@ -11,7 +11,11 @@
 // Flags: --scenario, --grid "a=lo..hi:steps;b=x,y,z", --set "k=v;k2=v2",
 // --seeds, --root_seed, --run_ms, --drain_ms, --dwell_ms, --jobs, --out,
 // --csv, --timeout_ms (0 = off), --timing (include wall-clock in artifacts;
-// breaks byte-stable diffing), --quiet.
+// breaks byte-stable diffing), --quiet, --shards (worker threads *inside*
+// each run via the sharded conservative engine; artifacts are
+// byte-identical for every --shards >= 1, and shard threads multiply with
+// --jobs — shard wide runs with few jobs, or leave at 0 when the campaign
+// already saturates the cores).
 //
 // Observability: --progress (live completed/total counter on stderr —
 // stdout artifacts stay byte-identical), --trace <dir> (per-run Perfetto +
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
   const std::int64_t drain_ms = flags.get_int("drain_ms", run_ms + 10);
   const std::int64_t dwell_ms = flags.get_int("dwell_ms", 1);
   const int jobs = flags.jobs();
+  const int shards = static_cast<int>(flags.get_int("shards", 0));
   const std::string out_json = flags.out();
   const std::string out_csv = flags.get_string("csv", "");
   const double timeout_ms = flags.get_double("timeout_ms", 0);
@@ -107,6 +112,7 @@ int main(int argc, char** argv) {
 
     ExecutorOptions opts;
     opts.jobs = jobs;
+    opts.shards = shards;
     opts.run_wall_budget_ms = timeout_ms;
     if (!trace_dir.empty()) {
       ensure_output_dir(trace_dir);

@@ -5,9 +5,12 @@
 #include <mutex>
 #include <thread>
 
+#include <optional>
+
 #include "dcdl/analysis/deadlock.hpp"
 #include "dcdl/common/contract.hpp"
 #include "dcdl/forensics/forensics.hpp"
+#include "dcdl/sim/sharded.hpp"
 #include "dcdl/sim/simulator.hpp"
 #include "dcdl/stats/hooks.hpp"
 #include "dcdl/stats/pause_log.hpp"
@@ -68,7 +71,13 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
   try {
     const ScenarioDef& def = registry.at(spec.scenario);
     registry.validate_params(spec.scenario, spec.params);
+    // The shard request only needs to cover Network construction — the
+    // network latches its engine there; everything after (monitors, guard,
+    // run_until) drives it transparently via the run delegate.
+    std::optional<ScopedShardRequest> shard_request;
+    if (opts.shards >= 1) shard_request.emplace(opts.shards);
     scenarios::Scenario s = def.make(spec.params);
+    shard_request.reset();
     stats::PauseEventLog pauses(*s.net);
     // Drop log for trigger classification (a cascade seeded by TTL-expired
     // drops is a routing-loop origin). Rides the same observer mechanism as

@@ -31,6 +31,17 @@ struct ExecutorOptions {
   double run_wall_budget_ms = 0;
   /// Simulated-time cadence of the cancellation/timeout guard event.
   Time guard_poll = Time{1'000'000'000};  // 1 ms
+  /// Shards per run: 0 = legacy single-threaded engine; >= 1 = sharded
+  /// conservative engine with (up to) this many worker threads per run.
+  /// Records are byte-identical for every value >= 1 (a --shards 1 run
+  /// exercises the sharded machinery and matches --shards N exactly;
+  /// shards never appear in the campaign JSON). The legacy engine breaks
+  /// same-timestamp ties by insertion order rather than by the canonical
+  /// channel keys, so 0 is its own — equally valid — stream. Composes
+  /// multiplicatively with `jobs` — a campaign at jobs=J, shards=S runs up
+  /// to J*S worker threads, so shard wide runs with few jobs, or keep
+  /// shards=0/1 when the campaign itself saturates the cores.
+  int shards = 0;
   /// Progress callback, invoked under a lock after each run completes.
   std::function<void(const RunRecord&)> on_run_done;
 

@@ -9,6 +9,7 @@
 #include "dcdl/common/rng.hpp"
 #include "dcdl/common/units.hpp"
 
+#include "dcdl/sim/sharded.hpp"
 #include "dcdl/sim/simulator.hpp"
 
 #include "dcdl/net/packet.hpp"

@@ -1,7 +1,9 @@
 // Base class for runtime network elements (switches and hosts).
 #pragma once
 
+#include "dcdl/device/trace.hpp"
 #include "dcdl/net/packet.hpp"
+#include "dcdl/sim/simulator.hpp"
 
 namespace dcdl {
 
@@ -16,6 +18,11 @@ class Device {
 
   NodeId id() const { return id_; }
 
+  /// This device's local clock. Identical to the network simulator's clock
+  /// in single-threaded runs; in sharded runs it is the owning shard's
+  /// clock, which the engine keeps aligned at every window barrier.
+  Time now() const { return sim_->now(); }
+
   /// A data packet finished arriving on `in_port` (store-and-forward).
   virtual void on_receive(PortId in_port, Packet pkt) = 0;
 
@@ -23,9 +30,52 @@ class Device {
   /// device's egress on that port for class `cls`.
   virtual void on_pfc(PortId port, ClassId cls, bool pause) = 0;
 
+  /// Packets dropped by this device, by reason. Kept per-device (not
+  /// globally on the Network) so concurrent shards never share a counter;
+  /// Network::drops() sums across devices.
+  std::uint64_t drop_count(DropReason reason) const {
+    return drop_counts_[static_cast<int>(reason)];
+  }
+
  protected:
+  /// Self-scheduling: timers, transmit-complete callbacks, pause refreshes.
+  /// In sharded runs these go onto the device's own shard under the
+  /// device's private (channel, sequence) key — the key is a pure function
+  /// of this device's deterministic execution, so the global event order
+  /// stays invariant to the shard count. In legacy runs (self_chan_ == 0)
+  /// they use the plain scheduling-order path, bit-identical to history.
+  EventId schedule_at(Time at, EventFn fn) {
+    if (self_chan_ != 0) {
+      return sim_->schedule_keyed(at, self_chan_, ++self_seq_, std::move(fn));
+    }
+    return sim_->schedule_at(at, std::move(fn));
+  }
+  EventId schedule_in(Time delay, EventFn fn) {
+    return schedule_at(sim_->now() + delay, std::move(fn));
+  }
+  void cancel_event(EventId id) { sim_->cancel(id); }
+
+  void count_drop(DropReason reason) {
+    ++drop_counts_[static_cast<int>(reason)];
+  }
+
   Network& net_;
   NodeId id_;
+
+ private:
+  friend class Network;
+  /// Called by the Network right after construction: the simulator this
+  /// device schedules on (the network simulator, or the owning shard's) and
+  /// the device's self-channel (0 = legacy scheduling-order mode).
+  void bind_sim(Simulator* sim, std::uint64_t self_chan) {
+    sim_ = sim;
+    self_chan_ = self_chan;
+  }
+
+  Simulator* sim_ = nullptr;
+  std::uint64_t self_chan_ = 0;
+  std::uint64_t self_seq_ = 0;
+  std::uint64_t drop_counts_[kNumDropReasons] = {};
 };
 
 }  // namespace dcdl

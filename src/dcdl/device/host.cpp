@@ -18,7 +18,7 @@ void Host::add_flow(const FlowSpec& spec, std::unique_ptr<Pacer> pacer) {
   DCDL_EXPECTS(spec.prio < cfg_.num_classes);
   DCDL_EXPECTS(spec.packet_bytes > 0);
   flows_.push_back(FlowState{spec, std::move(pacer)});
-  schedule_wake(std::max(spec.start, net_.sim().now()));
+  schedule_wake(std::max(spec.start, now()));
 }
 
 void Host::stop_flow(FlowId flow) {
@@ -42,9 +42,9 @@ void Host::limit_flow(FlowId flow, Rate rate, std::int64_t burst_bytes) {
 void Host::schedule_wake(Time at) {
   if (busy_) return;  // complete_transmit will call try_send anyway
   if (wake_.valid() && wake_at_ <= at) return;
-  net_.sim().cancel(wake_);
+  cancel_event(wake_);
   wake_at_ = at;
-  wake_ = net_.sim().schedule_at(at, [this] {
+  wake_ = schedule_at(at, [this] {
     wake_ = EventId{};
     wake_at_ = Time::max();
     try_send();
@@ -53,7 +53,7 @@ void Host::schedule_wake(Time at) {
 
 void Host::try_send() {
   if (busy_ || flows_.empty()) return;
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   Time earliest = Time::max();
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     const std::size_t idx = (rr_ + i) % flows_.size();
@@ -75,7 +75,7 @@ void Host::try_send() {
     // Inject one packet of this flow.
     rr_ = (idx + 1) % flows_.size();
     Packet pkt;
-    pkt.id = net_.next_packet_id();
+    pkt.id = net_.next_packet_id(id_);
     pkt.flow = f.spec.id;
     pkt.src = f.spec.src_host;
     pkt.dst = f.spec.dst_host;
@@ -95,7 +95,7 @@ void Host::try_send() {
       hold += Time{static_cast<std::int64_t>(jitter_rng_.uniform(
           static_cast<std::uint64_t>(cfg_.tx_jitter.ps()) + 1))};
     }
-    net_.sim().schedule_in(hold, [this] { complete_transmit(); });
+    schedule_in(hold, [this] { complete_transmit(); });
     net_.transmit(id_, 0, pkt);
     return;
   }
@@ -111,16 +111,15 @@ void Host::on_receive(PortId, Packet pkt) {
   auto& s = delivered_.at_or_insert(pkt.flow);
   s.bytes += pkt.size_bytes;
   s.packets += 1;
-  if (net_.trace().delivered) net_.trace().delivered(net_.sim().now(), pkt);
-  if (pkt.ecn_marked) net_.send_cnp(pkt.flow, pkt.src);
+  if (net_.trace().delivered) net_.trace().delivered(now(), pkt);
+  if (pkt.ecn_marked) net_.send_cnp(id_, pkt.flow, pkt.src);
   if (cfg_.rtt_feedback) {
-    net_.send_rtt_sample(pkt.flow, pkt.src,
-                         net_.sim().now() - pkt.injected_at);
+    net_.send_rtt_sample(id_, pkt.flow, pkt.src, now() - pkt.injected_at);
   }
 }
 
 void Host::on_rtt(FlowId flow, Time rtt) {
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   for (auto& f : flows_) {
     if (f.spec.id == flow && f.pacer) {
       f.pacer->on_rtt(now, rtt);
@@ -134,7 +133,7 @@ void Host::on_rtt(FlowId flow, Time rtt) {
 bool Host::paused_now(ClassId cls) const {
   if (!paused_.at(cls)) return false;
   if (cfg_.pfc.pause_quanta > Time::zero() &&
-      net_.sim().now() >= pause_expiry_.at(cls)) {
+      now() >= pause_expiry_.at(cls)) {
     return false;  // quanta lapsed without refresh
   }
   return true;
@@ -144,14 +143,14 @@ void Host::on_pfc(PortId port, ClassId cls, bool pause) {
   DCDL_EXPECTS(port == 0);
   paused_.at(cls) = pause;
   if (pause && cfg_.pfc.pause_quanta > Time::zero()) {
-    pause_expiry_.at(cls) = net_.sim().now() + cfg_.pfc.pause_quanta;
-    net_.sim().schedule_in(cfg_.pfc.pause_quanta, [this] { try_send(); });
+    pause_expiry_.at(cls) = now() + cfg_.pfc.pause_quanta;
+    schedule_in(cfg_.pfc.pause_quanta, [this] { try_send(); });
   }
   if (!pause) try_send();
 }
 
 void Host::on_cnp(FlowId flow) {
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   for (auto& f : flows_) {
     if (f.spec.id == flow && f.pacer) {
       f.pacer->on_cnp(now);

@@ -1,10 +1,14 @@
 #include "dcdl/device/network.hpp"
 
+#include <algorithm>
+
 #include "dcdl/common/contract.hpp"
 #include "dcdl/device/host.hpp"
 #include "dcdl/device/switch.hpp"
 
 namespace dcdl {
+
+thread_local Trace* Network::tls_trace_ = nullptr;
 
 const char* to_string(DropReason r) {
   switch (r) {
@@ -16,9 +20,27 @@ const char* to_string(DropReason r) {
   return "?";
 }
 
+namespace {
+
+// Canonical channel layout (see network.hpp file comment). Channel 0 is the
+// legacy scheduling-order channel and must never be produced here.
+std::uint64_t wire_channel(std::uint32_t link, std::uint32_t dir) {
+  return 1 + 2ull * link + dir;
+}
+std::uint64_t oob_channel(const Topology& topo, NodeId from) {
+  return 1 + 2ull * topo.link_count() + from;
+}
+std::uint64_t self_channel(const Topology& topo, NodeId id) {
+  return 1 + 2ull * topo.link_count() + topo.node_count() + id;
+}
+
+}  // namespace
+
 Network::Network(Simulator& sim, const Topology& topo, NetConfig cfg)
     : sim_(sim), topo_(topo), cfg_(std::move(cfg)) {
   DCDL_EXPECTS(cfg_.pfc.xon_bytes <= cfg_.pfc.xoff_bytes);
+  const int requested = ScopedShardRequest::active();
+  if (requested >= 1) init_sharding(requested);
   devices_.reserve(topo.node_count());
   for (NodeId id = 0; id < topo.node_count(); ++id) {
     if (topo.is_switch(id)) {
@@ -26,10 +48,164 @@ Network::Network(Simulator& sim, const Topology& topo, NetConfig cfg)
     } else {
       devices_.push_back(std::make_unique<Host>(*this, id, cfg_));
     }
+    if (engine_ != nullptr) {
+      devices_.back()->bind_sim(&engine_->shard_sim(plan_.node_shard[id]),
+                                self_channel(topo_, id));
+    } else {
+      devices_.back()->bind_sim(&sim_, /*self_chan=*/0);
+    }
   }
 }
 
 Network::~Network() = default;
+
+void Network::init_sharding(int requested_shards) {
+  plan_ = topo::assign_shards(topo_, requested_shards);
+  Time lookahead = Time::max();
+  if (plan_.num_shards > 1) {
+    // The conservative horizon: nothing a shard does before time T can
+    // affect another shard before T + lookahead. Wire traffic (data and
+    // PFC frames alike) crosses the cut no faster than the smallest
+    // cut-link propagation delay; out-of-band CNP/RTT feedback — which
+    // skips the wire entirely — is bounded by its configured delay, so it
+    // clamps the horizon whenever the scenario can generate it.
+    lookahead = plan_.min_cut_delay;
+    if (cfg_.ecn.enabled || cfg_.rtt_feedback) {
+      lookahead = std::min(lookahead, cfg_.cnp_feedback_delay);
+    }
+    DCDL_EXPECTS(lookahead > Time::zero());
+  }
+  engine_ = std::make_unique<ShardedEngine>(sim_, plan_.num_shards, lookahead);
+  wire_seq_.assign(2 * static_cast<std::size_t>(topo_.link_count()), 0);
+  oob_seq_.assign(topo_.node_count(), 0);
+  host_pkt_seq_.assign(topo_.node_count(), 0);
+  shard_traces_.resize(static_cast<std::size_t>(plan_.num_shards));
+  engine_->set_on_worker_start(
+      [this](std::uint32_t s) { tls_trace_ = &shard_traces_[s]; });
+  engine_->set_on_run_start([this] { arm_shard_traces(); });
+  engine_->set_replay(
+      [this](const ShardedEngine::TraceRec& rec) { replay_record(rec); });
+}
+
+Trace& Network::trace() {
+  return tls_trace_ != nullptr ? *tls_trace_ : trace_;
+}
+
+ShardedEngine::TraceRec Network::make_rec(std::uint32_t shard,
+                                          ShardedEngine::RecKind kind,
+                                          Time at) {
+  Simulator& sm = engine_->shard_sim(shard);
+  ShardedEngine::TraceRec rec;
+  rec.at = at;
+  rec.chan = sm.current_chan();
+  rec.seq = sm.current_seq();
+  rec.intra = sm.next_intra();
+  rec.kind = kind;
+  return rec;
+}
+
+void Network::arm_shard_traces() {
+  for (std::uint32_t s = 0; s < shard_traces_.size(); ++s) {
+    Trace& st = shard_traces_[s];
+    if (trace_.pfc_state) {
+      st.pfc_state = [this, s](Time t, NodeId n, PortId p, ClassId c,
+                               bool paused) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kPfcState, t);
+        rec.node = n;
+        rec.port = p;
+        rec.cls = c;
+        rec.flag = paused ? 1 : 0;
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.pfc_state = nullptr;
+    }
+    if (trace_.queue_bytes) {
+      st.queue_bytes = [this, s](Time t, NodeId n, PortId p, ClassId c,
+                                 std::int64_t bytes) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kQueueBytes, t);
+        rec.node = n;
+        rec.port = p;
+        rec.cls = c;
+        rec.value = bytes;
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.queue_bytes = nullptr;
+    }
+    if (trace_.delivered) {
+      st.delivered = [this, s](Time t, const Packet& pkt) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kDelivered, t);
+        rec.pkt = pkt;
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.delivered = nullptr;
+    }
+    if (trace_.dropped) {
+      st.dropped = [this, s](Time t, const Packet& pkt, NodeId n,
+                             DropReason r) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kDropped, t);
+        rec.pkt = pkt;
+        rec.node = n;
+        rec.flag = static_cast<std::uint8_t>(r);
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.dropped = nullptr;
+    }
+    if (trace_.tx_start) {
+      st.tx_start = [this, s](Time t, const Packet& pkt, NodeId n, PortId p) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kTxStart, t);
+        rec.pkt = pkt;
+        rec.node = n;
+        rec.port = p;
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.tx_start = nullptr;
+    }
+    if (trace_.cnp) {
+      st.cnp = [this, s](Time t, FlowId f) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kCnp, t);
+        rec.flow = f;
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.cnp = nullptr;
+    }
+  }
+}
+
+void Network::replay_record(const ShardedEngine::TraceRec& rec) {
+  switch (rec.kind) {
+    case ShardedEngine::RecKind::kPfcState:
+      trace_.pfc_state(rec.at, rec.node, rec.port, rec.cls, rec.flag != 0);
+      break;
+    case ShardedEngine::RecKind::kQueueBytes:
+      trace_.queue_bytes(rec.at, rec.node, rec.port, rec.cls, rec.value);
+      break;
+    case ShardedEngine::RecKind::kDelivered:
+      trace_.delivered(rec.at, rec.pkt);
+      break;
+    case ShardedEngine::RecKind::kDropped:
+      trace_.dropped(rec.at, rec.pkt, rec.node,
+                     static_cast<DropReason>(rec.flag));
+      break;
+    case ShardedEngine::RecKind::kTxStart:
+      trace_.tx_start(rec.at, rec.pkt, rec.node, rec.port);
+      break;
+    case ShardedEngine::RecKind::kCnp:
+      trace_.cnp(rec.at, rec.flow);
+      break;
+  }
+}
 
 Switch& Network::switch_at(NodeId id) {
   DCDL_EXPECTS(topo_.is_switch(id));
@@ -58,6 +234,16 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   DCDL_ASSERT(pp.peer_node < devices_.size());
   Device* peer = devices_[pp.peer_node].get();
   const PortId peer_port = pp.peer_port;
+  if (engine_ != nullptr) {
+    const std::uint32_t dir = from == link.a ? 0u : 1u;
+    const Time at = device_sim(from).now() + ser + link.delay;
+    engine_->post(plan_.node_shard[pp.peer_node], at,
+                  wire_channel(pp.link, dir), ++wire_seq_[2 * pp.link + dir],
+                  [peer, peer_port, pkt]() mutable {
+                    peer->on_receive(peer_port, pkt);
+                  });
+    return;
+  }
   sim_.schedule_in(ser + link.delay, [peer, peer_port, pkt]() mutable {
     peer->on_receive(peer_port, pkt);
   });
@@ -70,21 +256,53 @@ void Network::send_pfc(NodeId from, PortId port, ClassId cls, bool pause) {
   DCDL_ASSERT(pp.peer_node < devices_.size());
   Device* peer = devices_[pp.peer_node].get();
   const PortId peer_port = pp.peer_port;
+  if (engine_ != nullptr) {
+    // PFC frames share the wire channel (and its sequence space) with data:
+    // both are emissions of the same directed link, keyed in the order the
+    // sending device produced them.
+    const std::uint32_t dir = from == link.a ? 0u : 1u;
+    const Time at = device_sim(from).now() + ser + link.delay;
+    engine_->post(plan_.node_shard[pp.peer_node], at,
+                  wire_channel(pp.link, dir), ++wire_seq_[2 * pp.link + dir],
+                  [peer, peer_port, cls, pause] {
+                    peer->on_pfc(peer_port, cls, pause);
+                  });
+    return;
+  }
   sim_.schedule_in(ser + link.delay, [peer, peer_port, cls, pause] {
     peer->on_pfc(peer_port, cls, pause);
   });
 }
 
-void Network::send_cnp(FlowId flow, NodeId src_host) {
+void Network::send_cnp(NodeId from, FlowId flow, NodeId src_host) {
   DCDL_EXPECTS(topo_.is_host(src_host));
+  if (engine_ != nullptr) {
+    const Time at = device_sim(from).now() + cfg_.cnp_feedback_delay;
+    engine_->post(plan_.node_shard[src_host], at, oob_channel(topo_, from),
+                  ++oob_seq_[from], [this, flow, src_host] {
+                    Trace& tr = trace();
+                    if (tr.cnp) tr.cnp(device(src_host).now(), flow);
+                    host_at(src_host).on_cnp(flow);
+                  });
+    return;
+  }
   sim_.schedule_in(cfg_.cnp_feedback_delay, [this, flow, src_host] {
     if (trace_.cnp) trace_.cnp(sim_.now(), flow);
     host_at(src_host).on_cnp(flow);
   });
 }
 
-void Network::send_rtt_sample(FlowId flow, NodeId src_host, Time rtt) {
+void Network::send_rtt_sample(NodeId from, FlowId flow, NodeId src_host,
+                              Time rtt) {
   DCDL_EXPECTS(topo_.is_host(src_host));
+  if (engine_ != nullptr) {
+    const Time at = device_sim(from).now() + cfg_.cnp_feedback_delay;
+    engine_->post(plan_.node_shard[src_host], at, oob_channel(topo_, from),
+                  ++oob_seq_[from], [this, flow, src_host, rtt] {
+                    host_at(src_host).on_rtt(flow, rtt);
+                  });
+    return;
+  }
   sim_.schedule_in(cfg_.cnp_feedback_delay, [this, flow, src_host, rtt] {
     host_at(src_host).on_rtt(flow, rtt);
   });
@@ -98,6 +316,14 @@ std::int64_t Network::total_queued_bytes() const {
   std::int64_t total = 0;
   for (NodeId id = 0; id < topo_.node_count(); ++id) {
     if (topo_.is_switch(id)) total += switch_at(id).total_buffered();
+  }
+  return total;
+}
+
+std::uint64_t Network::drops(DropReason reason) const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Device>& d : devices_) {
+    total += d->drop_count(reason);
   }
   return total;
 }

@@ -1,6 +1,25 @@
 // The runtime network: owns the devices built from a Topology, moves packets
 // and PFC frames across wires, and exposes global introspection used by the
 // analysis and statistics layers.
+//
+// Sharded mode: when a ScopedShardRequest is active on the constructing
+// thread, the Network partitions the topology (topo/partition.hpp), builds a
+// ShardedEngine whose lookahead is the minimum cut-link delay (clamped by
+// the out-of-band feedback delay when ECN/TIMELY is enabled), binds every
+// device to its shard's simulator, and routes cross-shard wire/PFC/feedback
+// events through the engine's mailboxes under canonical (time, channel,
+// sequence) keys:
+//
+//   wire channels  1 + 2*link + dir        seq: per directed link
+//   oob channels   1 + 2L + sender          seq: per sending node
+//   self channels  1 + 2L + N + device      seq: per device
+//
+// Every sequence counter has exactly one writer (the sending side's shard),
+// and every key is a pure function of the scenario — so the merged event
+// order, and with it every observable byte, is identical for all shard
+// counts. The externally visible Simulator (`sim()`) becomes the control
+// simulator: run_until() on it drives the sharded engine via its run
+// delegate, and monitors/samplers scheduled on it keep working unchanged.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +31,9 @@
 #include "dcdl/device/device.hpp"
 #include "dcdl/device/trace.hpp"
 #include "dcdl/net/packet.hpp"
+#include "dcdl/sim/sharded.hpp"
 #include "dcdl/sim/simulator.hpp"
+#include "dcdl/topo/partition.hpp"
 #include "dcdl/topo/topology.hpp"
 
 namespace dcdl {
@@ -23,7 +44,8 @@ class Host;
 class Network {
  public:
   /// Builds one device per topology node. The topology and simulator must
-  /// outlive the network.
+  /// outlive the network. Constructing under a ScopedShardRequest opts the
+  /// network into sharded execution (see file comment).
   Network(Simulator& sim, const Topology& topo, NetConfig cfg);
   ~Network();
   Network(const Network&) = delete;
@@ -32,7 +54,20 @@ class Network {
   Simulator& sim() { return sim_; }
   const Topology& topo() const { return topo_; }
   const NetConfig& config() const { return cfg_; }
-  Trace& trace() { return trace_; }
+
+  /// The observation hooks. On shard worker threads this returns the
+  /// shard's buffering trace (records tagged with the executing event's
+  /// key, merged and replayed globally ordered at each window barrier);
+  /// everywhere else — attachment sites, legacy runs, control phases — the
+  /// real hook set.
+  Trace& trace();
+
+  /// True when this network runs on the sharded engine.
+  bool sharded() const { return engine_ != nullptr; }
+  /// The sharded engine (sharded() must be true) — bench/tests introspect
+  /// window and mailbox statistics through this.
+  ShardedEngine& engine() { return *engine_; }
+  const topo::ShardPlan& shard_plan() const { return plan_; }
 
   Device& device(NodeId id) { return *devices_.at(id); }
   Switch& switch_at(NodeId id);
@@ -57,17 +92,28 @@ class Network {
   /// but never queue behind data (modelling simplification; see DESIGN.md).
   void send_pfc(NodeId from, PortId port, ClassId cls, bool pause);
 
-  /// Out-of-band congestion notification to the flow's source host.
-  void send_cnp(FlowId flow, NodeId src_host);
+  /// Out-of-band congestion notification from `from` to the flow's source
+  /// host.
+  void send_cnp(NodeId from, FlowId flow, NodeId src_host);
 
-  /// Out-of-band RTT sample to the flow's source host (TIMELY feedback).
-  void send_rtt_sample(FlowId flow, NodeId src_host, Time rtt);
+  /// Out-of-band RTT sample from `from` to the flow's source host (TIMELY
+  /// feedback).
+  void send_rtt_sample(NodeId from, FlowId flow, NodeId src_host, Time rtt);
 
   /// Tell a switch its route table changed so it can re-resolve queued
   /// packets (used by the BGP / SDN-update substrates).
   void notify_routes_changed(NodeId sw);
 
-  std::uint64_t next_packet_id() { return ++packet_id_; }
+  /// Fresh packet id for a packet injected by `src`. Sharded runs draw from
+  /// a per-host namespace (single writer per shard, and invariant to the
+  /// shard count); legacy runs keep the historical global counter.
+  std::uint64_t next_packet_id(NodeId src) {
+    if (engine_ != nullptr) {
+      return (static_cast<std::uint64_t>(src + 1) << 40) |
+             ++host_pkt_seq_[src];
+    }
+    return ++packet_id_;
+  }
 
   /// Total bytes buffered across all switch ingress queues. After all flows
   /// stop, a non-zero residue once the event queue is quiet means packets
@@ -75,21 +121,43 @@ class Network {
   std::int64_t total_queued_bytes() const;
 
   /// Total packets dropped, by reason (for the lossless-invariant tests).
-  std::uint64_t drops(DropReason reason) const {
-    return drop_counts_[static_cast<int>(reason)];
-  }
-  void count_drop(DropReason reason) {
-    ++drop_counts_[static_cast<int>(reason)];
-  }
+  /// Summed over per-device counters.
+  std::uint64_t drops(DropReason reason) const;
 
  private:
+  void init_sharding(int requested_shards);
+  /// (Re)installs per-shard buffering hooks mirroring whatever is attached
+  /// to the real trace — invoked by the engine at the start of every run.
+  void arm_shard_traces();
+  /// Fires one merged record into the real hooks (engine replay sink).
+  void replay_record(const ShardedEngine::TraceRec& rec);
+  ShardedEngine::TraceRec make_rec(std::uint32_t shard,
+                                   ShardedEngine::RecKind kind, Time at);
+  Simulator& device_sim(NodeId id) {
+    return engine_ != nullptr ? engine_->shard_sim(plan_.node_shard[id])
+                              : sim_;
+  }
+
   Simulator& sim_;
   const Topology& topo_;
   NetConfig cfg_;
   Trace trace_;
+
+  // Sharded-mode state. engine_ is declared before devices_ so worker
+  // threads are joined after devices are gone only via ~Network's explicit
+  // member order: devices never run once the coordinator stops driving
+  // windows, so either order is safe; engine-first keeps the plan and seq
+  // tables alive for the engine's entire lifetime.
+  topo::ShardPlan plan_;
+  std::unique_ptr<ShardedEngine> engine_;
+  std::vector<Trace> shard_traces_;          ///< buffering hooks, per shard
+  std::vector<std::uint64_t> wire_seq_;      ///< per directed link (2L)
+  std::vector<std::uint64_t> oob_seq_;       ///< per sending node
+  std::vector<std::uint64_t> host_pkt_seq_;  ///< per source host
+  static thread_local Trace* tls_trace_;     ///< shard workers' redirection
+
   std::vector<std::unique_ptr<Device>> devices_;
   std::uint64_t packet_id_ = 0;
-  std::uint64_t drop_counts_[kNumDropReasons] = {};
 };
 
 }  // namespace dcdl

@@ -74,7 +74,7 @@ void Switch::update_pause_state(PortId port, ClassId cls) {
   // Every ingress-counter change funnels through here (admission, departure,
   // watchdog flush), so this is the one occupancy observation point.
   if (net_.trace().queue_bytes) {
-    net_.trace().queue_bytes(net_.sim().now(), id_, port, cls,
+    net_.trace().queue_bytes(now(), id_, port, cls,
                              ingress_[port].cls[cls].bytes);
   }
   if (!cfg_.pfc.enabled) return;
@@ -84,13 +84,13 @@ void Switch::update_pause_state(PortId port, ClassId cls) {
     net_.send_pfc(id_, port, cls, /*pause=*/true);
     schedule_pause_refresh(port, cls);
     if (net_.trace().pfc_state) {
-      net_.trace().pfc_state(net_.sim().now(), id_, port, cls, true);
+      net_.trace().pfc_state(now(), id_, port, cls, true);
     }
   } else if (c.pause_asserted && c.bytes < c.xon) {
     c.pause_asserted = false;
     net_.send_pfc(id_, port, cls, /*pause=*/false);
     if (net_.trace().pfc_state) {
-      net_.trace().pfc_state(net_.sim().now(), id_, port, cls, false);
+      net_.trace().pfc_state(now(), id_, port, cls, false);
     }
   }
 }
@@ -109,11 +109,11 @@ std::uint32_t Switch::charge_ingress(IngressCounter& ctr, FlowId flow,
 }
 
 void Switch::on_receive(PortId in_port, Packet pkt) {
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   if (total_buffered_ + pkt.size_bytes > cfg_.switch_buffer_bytes) {
     // Shared buffer exhausted. With sane PFC headroom this cannot happen;
     // the lossless-invariant tests assert the drop counter stays zero.
-    net_.count_drop(DropReason::kBufferOverflow);
+    count_drop(DropReason::kBufferOverflow);
     if (net_.trace().dropped) {
       net_.trace().dropped(now, pkt, id_, DropReason::kBufferOverflow);
     }
@@ -172,10 +172,10 @@ void Switch::clear_flow_shaper(FlowId flow) {
 void Switch::schedule_flow_release(FlowId flow) {
   auto& fs = flow_shapers_.at(flow);
   if (fs.release_scheduled || fs.held.empty()) return;
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   const Time ready = fs.shaper->ready_at(now, fs.held.front().pkt.size_bytes);
   fs.release_scheduled = true;
-  net_.sim().schedule_at(std::max(now, ready), [this, flow] {
+  schedule_at(std::max(now, ready), [this, flow] {
     // The shaper may have been cleared while this release was in flight.
     const auto it = flow_shapers_.find(flow);
     if (it == flow_shapers_.end()) return;
@@ -186,7 +186,7 @@ void Switch::schedule_flow_release(FlowId flow) {
 
 void Switch::release_flow_held(FlowId flow) {
   auto& fs = flow_shapers_.at(flow);
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   while (!fs.held.empty() &&
          fs.shaper->ready_at(now, fs.held.front().pkt.size_bytes) <= now) {
     HeldPacket h = std::move(fs.held.front());
@@ -203,10 +203,10 @@ void Switch::release_flow_held(FlowId flow) {
 void Switch::schedule_shaper_release(PortId in_port) {
   auto& in = ingress_[in_port];
   if (in.release_scheduled || in.held.empty() || !in.shaper) return;
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   const Time ready = in.shaper->ready_at(now, in.held.front().size_bytes);
   in.release_scheduled = true;
-  net_.sim().schedule_at(std::max(now, ready), [this, in_port] {
+  schedule_at(std::max(now, ready), [this, in_port] {
     ingress_[in_port].release_scheduled = false;
     release_held(in_port);
   });
@@ -214,7 +214,7 @@ void Switch::schedule_shaper_release(PortId in_port) {
 
 void Switch::release_held(PortId in_port) {
   auto& in = ingress_[in_port];
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   while (!in.held.empty() && in.shaper &&
          in.shaper->ready_at(now, in.held.front().size_bytes) <= now) {
     Packet pkt = std::move(in.held.front());
@@ -244,11 +244,11 @@ void Switch::dec_ingress(PortId in_port, ClassId in_class,
 
 void Switch::route_and_enqueue(PortId in_port, ClassId in_class,
                                std::uint32_t flow_slot, Packet pkt) {
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   const auto egress = routes_.lookup(pkt.flow, pkt.dst);
   if (!egress) {
     dec_ingress(in_port, in_class, flow_slot, pkt);
-    net_.count_drop(DropReason::kNoRoute);
+    count_drop(DropReason::kNoRoute);
     if (net_.trace().dropped) {
       net_.trace().dropped(now, pkt, id_, DropReason::kNoRoute);
     }
@@ -259,7 +259,7 @@ void Switch::route_and_enqueue(PortId in_port, ClassId in_class,
     // Further switch-to-switch forwarding: TTL check and decrement.
     if (pkt.ttl == 0) {
       dec_ingress(in_port, in_class, flow_slot, pkt);
-      net_.count_drop(DropReason::kTtlExpired);
+      count_drop(DropReason::kTtlExpired);
       if (net_.trace().dropped) {
         net_.trace().dropped(now, pkt, id_, DropReason::kTtlExpired);
       }
@@ -293,7 +293,7 @@ bool Switch::ecn_mark_on_enqueue(EgressPort& eg, PortId port,
     return backlog > cfg_.ecn.mark_threshold_bytes;
   }
   // Phantom queue: drains at a fraction of line speed, marks early.
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   const double drain_bps =
       static_cast<double>(net_.link_rate(id_, port).bps()) *
       cfg_.ecn.phantom_speed_fraction;
@@ -306,7 +306,7 @@ bool Switch::ecn_mark_on_enqueue(EgressPort& eg, PortId port,
 
 bool Switch::effectively_paused(const EgressPort& eg, ClassId cls) const {
   if (!eg.paused[cls]) return false;
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   if (cfg_.pfc.pause_quanta > Time::zero() && now >= eg.pause_expiry[cls]) {
     return false;  // the pause quanta lapsed without a refresh
   }
@@ -320,7 +320,7 @@ void Switch::schedule_pause_refresh(PortId port, ClassId cls) {
   auto& ctr = ingress_[port].cls[cls];
   if (ctr.refresh_scheduled) return;
   ctr.refresh_scheduled = true;
-  net_.sim().schedule_in(cfg_.pfc.pause_quanta / 2, [this, port, cls] {
+  schedule_in(cfg_.pfc.pause_quanta / 2, [this, port, cls] {
     auto& c = ingress_[port].cls[cls];
     c.refresh_scheduled = false;
     if (c.pause_asserted) {
@@ -350,12 +350,11 @@ void Switch::try_transmit(PortId egress) {
     dec_ingress(qp.in_port, qp.in_class, qp.flow_slot, qp.pkt);
 
     if (net_.trace().tx_start) {
-      net_.trace().tx_start(net_.sim().now(), qp.pkt, id_, egress);
+      net_.trace().tx_start(now(), qp.pkt, id_, egress);
     }
     eg.busy = true;
     const Time hold = tx_hold_time(qp.pkt, egress);
-    net_.sim().schedule_in(hold,
-                           [this, egress] { complete_transmit(egress); });
+    schedule_in(hold, [this, egress] { complete_transmit(egress); });
     net_.transmit(id_, egress, std::move(qp.pkt));
     return;
   }
@@ -368,7 +367,7 @@ void Switch::complete_transmit(PortId egress) {
 
 void Switch::on_pfc(PortId port, ClassId cls, bool pause) {
   auto& eg = egress_.at(port);
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   if (pause && !eg.paused.at(cls)) {
     eg.paused_since.at(cls) = now;
   }
@@ -376,8 +375,7 @@ void Switch::on_pfc(PortId port, ClassId cls, bool pause) {
   if (pause && cfg_.pfc.pause_quanta > Time::zero()) {
     eg.pause_expiry.at(cls) = now + cfg_.pfc.pause_quanta;
     // Wake the transmitter when the quanta lapses in case no refresh comes.
-    net_.sim().schedule_in(cfg_.pfc.pause_quanta,
-                           [this, port] { try_transmit(port); });
+    schedule_in(cfg_.pfc.pause_quanta, [this, port] { try_transmit(port); });
   }
   if (!pause) try_transmit(port);
 }
@@ -385,13 +383,13 @@ void Switch::on_pfc(PortId port, ClassId cls, bool pause) {
 Time Switch::egress_paused_for(PortId port, ClassId cls) const {
   const auto& eg = egress_.at(port);
   if (!eg.paused.at(cls)) return Time::zero();
-  return net_.sim().now() - eg.paused_since.at(cls);
+  return now() - eg.paused_since.at(cls);
 }
 
 std::uint64_t Switch::flush_egress_queue(PortId port, ClassId cls) {
   auto& eg = egress_.at(port);
   auto& q = eg.cls.at(cls);
-  const Time now = net_.sim().now();
+  const Time now = this->now();
   std::uint64_t dropped = 0;
   while (!q.q.empty()) {
     QueuedPacket qp = std::move(q.q.front());
@@ -408,7 +406,7 @@ std::uint64_t Switch::flush_egress_queue(PortId port, ClassId cls) {
     ctr.flow_bytes[qp.flow_slot] -= qp.pkt.size_bytes;
     flow_slots_.release(qp.flow_slot, qp.pkt.size_bytes);
     update_pause_state(qp.in_port, qp.in_class);
-    net_.count_drop(DropReason::kWatchdogReset);
+    count_drop(DropReason::kWatchdogReset);
     if (net_.trace().dropped) {
       net_.trace().dropped(now, qp.pkt, id_, DropReason::kWatchdogReset);
     }
@@ -422,7 +420,7 @@ void Switch::ignore_pause_until(PortId port, ClassId cls, Time until) {
   eg.ignore_pause_until.at(cls) = until;
   // Restart the storm clock so the watchdog measures the pause anew after
   // its intervention rather than re-firing every poll.
-  eg.paused_since.at(cls) = net_.sim().now();
+  eg.paused_since.at(cls) = now();
   try_transmit(port);
 }
 

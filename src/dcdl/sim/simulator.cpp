@@ -42,9 +42,8 @@ Simulator::ScopedArenaRecycling::~ScopedArenaRecycling() {
   }
 }
 
-EventId Simulator::schedule_at(Time at, EventFn fn) {
-  DCDL_EXPECTS(at >= now_);
-  DCDL_EXPECTS(static_cast<bool>(fn));
+EventId Simulator::push_entry(Time at, std::uint64_t chan, std::uint64_t seq,
+                              EventFn fn) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -58,10 +57,25 @@ EventId Simulator::schedule_at(Time at, EventFn fn) {
   s.fn = std::move(fn);
   s.live = true;
   ++live_;
-  heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
+  ++scheduled_;
+  heap_.push_back(Entry{at, chan, seq, slot, s.gen});
   if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   return EventId{slot, s.gen};
+}
+
+EventId Simulator::schedule_at(Time at, EventFn fn) {
+  DCDL_EXPECTS(at >= now_);
+  DCDL_EXPECTS(static_cast<bool>(fn));
+  return push_entry(at, /*chan=*/0, next_seq_++, std::move(fn));
+}
+
+EventId Simulator::schedule_keyed(Time at, std::uint64_t chan,
+                                  std::uint64_t seq, EventFn fn) {
+  DCDL_EXPECTS(at >= now_);
+  DCDL_EXPECTS(chan != 0 && chan != kAllChannels);
+  DCDL_EXPECTS(static_cast<bool>(fn));
+  return push_entry(at, chan, seq, std::move(fn));
 }
 
 void Simulator::cancel(EventId id) {
@@ -93,6 +107,9 @@ bool Simulator::step() {
     free_slots_.push_back(top.slot);
     --live_;
     now_ = top.at;
+    cur_chan_ = top.chan;
+    cur_seq_ = top.seq;
+    intra_ = 0;
     ++executed_;
     fn();
     return true;
@@ -110,6 +127,10 @@ void Simulator::skim_husks() {
 }
 
 void Simulator::run() {
+  if (delegate_ != nullptr) {
+    delegate_->delegate_run();
+    return;
+  }
   stopped_ = false;
   while (!stopped_ && step()) {
   }
@@ -117,6 +138,7 @@ void Simulator::run() {
 
 bool Simulator::run_until(Time deadline) {
   DCDL_EXPECTS(deadline >= now_);
+  if (delegate_ != nullptr) return delegate_->delegate_run_until(deadline);
   stopped_ = false;
   while (!stopped_) {
     // Peek past cancelled husks without executing live entries beyond the
@@ -130,6 +152,42 @@ bool Simulator::run_until(Time deadline) {
     return true;
   }
   return false;
+}
+
+std::uint64_t Simulator::run_keyed_window(Time limit_at,
+                                          std::uint64_t limit_chan) {
+  std::uint64_t executed = 0;
+  for (;;) {
+    skim_husks();
+    if (heap_.empty()) break;
+    const Entry& top = heap_.front();
+    if (top.at > limit_at ||
+        (top.at == limit_at && top.chan >= limit_chan)) {
+      break;
+    }
+    step();
+    ++executed;
+  }
+  advance_to(limit_at);
+  return executed;
+}
+
+bool Simulator::drain_through(Time deadline) {
+  while (!stopped_) {
+    skim_husks();
+    if (heap_.empty() || heap_.front().at > deadline) break;
+    step();
+  }
+  if (!stopped_) {
+    advance_to(deadline);
+    return true;
+  }
+  return false;
+}
+
+Time Simulator::next_event_time() {
+  skim_husks();
+  return heap_.empty() ? Time::max() : heap_.front().at;
 }
 
 }  // namespace dcdl

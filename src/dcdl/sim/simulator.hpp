@@ -5,9 +5,18 @@
 // a fixed RNG seed replays identically. The golden-trace tests pin this
 // ordering across engine refactors.
 //
+// Keyed scheduling (sharded mode): schedule_keyed() orders events by an
+// explicit (time, channel, sequence) key instead of the global scheduling
+// sequence. Channel/sequence pairs are assigned by the caller from
+// topology-derived identities (wire, per-node timer, out-of-band path), so
+// the execution order is a pure function of the scenario — independent of
+// how many shard simulators the run is split across. Legacy schedule_at()
+// uses channel 0 with the global sequence, which makes the extended
+// comparator degenerate to the historical (time, seq) order bit-for-bit.
+//
 // Hot-path memory architecture (see DESIGN.md): callbacks live in a
 // generation-tagged slab of fixed-size records recycled through a free
-// list, the time-ordered heap holds only POD (time, seq, slot, gen)
+// list, the time-ordered heap holds only POD (time, chan, seq, slot, gen)
 // entries, and closures are stored inline via InplaceFn — steady-state
 // scheduling, firing, and cancelling perform zero heap allocation and zero
 // hashing.
@@ -38,6 +47,21 @@ struct EventId {
 
 class Simulator {
  public:
+  /// Channel limit meaning "every channel at this timestamp" for
+  /// run_keyed_window (no real channel ever uses this value).
+  static constexpr std::uint64_t kAllChannels = ~std::uint64_t{0};
+
+  /// A run driver substituted for the local event loop: when set, run() /
+  /// run_until() on this simulator delegate to the coordinator (the sharded
+  /// engine), so code holding a Simulator& — scenario helpers, the deadlock
+  /// monitor's stop-and-drain — transparently drives the whole sharded run.
+  class RunDelegate {
+   public:
+    virtual ~RunDelegate() = default;
+    virtual bool delegate_run_until(Time deadline) = 0;
+    virtual void delegate_run() = 0;
+  };
+
   Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;
@@ -52,6 +76,12 @@ class Simulator {
   EventId schedule_in(Time delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
+
+  /// Schedules `fn` under an explicit ordering key (at, chan, seq). Keys
+  /// must be unique per simulator; `chan` must be non-zero (channel 0 is
+  /// the legacy global-sequence channel). Events fire in key order.
+  EventId schedule_keyed(Time at, std::uint64_t chan, std::uint64_t seq,
+                         EventFn fn);
 
   /// Cancels a pending event. Cancelling an already-fired or already
   /// cancelled event is a harmless no-op and never accumulates state: the
@@ -71,6 +101,48 @@ class Simulator {
   /// Stops the current run() / run_until() after the current event returns.
   void stop() { stopped_ = true; }
 
+  // --- sharded-engine interface (see sim/sharded.hpp) -------------------
+  // These never allocate and are harmless on a legacy simulator; they are
+  // grouped so the coordination protocol reads in one place.
+
+  /// Executes every event with key < (limit_at, limit_chan); afterwards
+  /// now() == max(now, limit_at). Returns the number of events executed.
+  /// This is one shard's share of a conservative time window: the limit is
+  /// the window boundary the coordinator proved safe.
+  std::uint64_t run_keyed_window(Time limit_at, std::uint64_t limit_chan);
+
+  /// Like run_until, but never routes through the run delegate and does not
+  /// clear a pending stop() — the engine's internal control-phase drain.
+  bool drain_through(Time deadline);
+
+  /// Timestamp of the earliest live event, or Time::max() when idle.
+  Time next_event_time();
+
+  /// Fast-forwards the clock without executing anything (t < now is a
+  /// no-op). Used to align shard clocks at window barriers so control-phase
+  /// observations carry shard-count-invariant timestamps.
+  void advance_to(Time t) {
+    if (t > now_) now_ = t;
+  }
+
+  void set_run_delegate(RunDelegate* d) { delegate_ = d; }
+  bool stop_requested() const { return stopped_; }
+  void clear_stop() { stopped_ = false; }
+
+  /// Folds events executed elsewhere (on shard simulators) into this
+  /// simulator's executed count, so events_executed() on the control
+  /// simulator reports the whole run — identically for every shard count.
+  void credit_external_events(std::uint64_t n) { executed_ += n; }
+
+  /// Ordering key of the event currently executing (valid inside a
+  /// callback). Used to tag buffered trace records for the global merge.
+  std::uint64_t current_chan() const { return cur_chan_; }
+  std::uint64_t current_seq() const { return cur_seq_; }
+  /// Per-event intra counter: 0, 1, 2, ... for successive calls during one
+  /// callback — orders multiple trace records emitted by a single event.
+  std::uint32_t next_intra() { return intra_++; }
+  // ----------------------------------------------------------------------
+
   std::uint64_t events_executed() const { return executed_; }
   std::size_t pending_events() const { return live_; }
 
@@ -78,7 +150,7 @@ class Simulator {
   /// layer and bench_perf. All are monotonic except `pending`; none cost
   /// more than an integer bump per schedule/cancel to maintain.
   struct Counters {
-    std::uint64_t scheduled = 0;  ///< schedule_at calls
+    std::uint64_t scheduled = 0;  ///< schedule_at/schedule_keyed calls
     std::uint64_t executed = 0;   ///< callbacks fired
     std::uint64_t cancelled = 0;  ///< effective cancels (stale ids excluded)
     /// Times the event slab grew by a slot because the free list was empty —
@@ -90,8 +162,8 @@ class Simulator {
     std::size_t pending = 0;          ///< live events right now
   };
   Counters counters() const {
-    return Counters{next_seq_ - 1, executed_,        cancelled_, slab_grows_,
-                    slab_.size(),  heap_high_water_, live_};
+    return Counters{scheduled_,   executed_,        cancelled_, slab_grows_,
+                    slab_.size(), heap_high_water_, live_};
   }
 
   /// Diagnostic: heap entries including cancelled husks awaiting their pop.
@@ -118,19 +190,22 @@ class Simulator {
   };
 
  private:
-  /// Heap entries are POD: sift operations move 24 bytes, never a closure.
+  /// Heap entries are POD: sift operations move 32 bytes, never a closure.
   struct Entry {
     Time at;
+    std::uint64_t chan;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
   };
 
   /// "a fires after b" — used as the comparator of a std::push_heap /
-  /// std::pop_heap min-heap on (at, seq).
+  /// std::pop_heap min-heap on (at, chan, seq). Legacy events all carry
+  /// chan 0, so their order is the historical (at, seq).
   struct EntryAfter {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.chan != b.chan) return a.chan > b.chan;
       return a.seq > b.seq;
     }
   };
@@ -148,6 +223,8 @@ class Simulator {
     std::vector<std::uint32_t> free_slots;
   };
 
+  EventId push_entry(Time at, std::uint64_t chan, std::uint64_t seq,
+                     EventFn fn);
   bool step();  // pops and runs one live event; false if queue empty
   /// Pops cancelled husks off the heap top; afterwards the top (if any) is
   /// live.
@@ -158,12 +235,17 @@ class Simulator {
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
+  std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t slab_grows_ = 0;
   std::size_t heap_high_water_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
+  std::uint64_t cur_chan_ = 0;
+  std::uint64_t cur_seq_ = 0;
+  std::uint32_t intra_ = 0;
+  RunDelegate* delegate_ = nullptr;
   std::vector<Entry> heap_;
   std::vector<Slot> slab_;
   std::vector<std::uint32_t> free_slots_;

@@ -1,0 +1,52 @@
+// Topology sharding for the parallel (conservative PDES) engine: assign
+// every node to a shard, enumerate the links cut by the partition, and
+// report the minimum cut-link delay — the raw ingredient of the engine's
+// conservative lookahead (a cross-shard packet or PFC frame becomes visible
+// to its destination shard no earlier than one cut-link propagation delay
+// after it was sent).
+//
+// Assignment strategy (deterministic, structure-aware):
+//   1. If the switch graph has a distinguished top tier (fat-tree cores,
+//      leaf-spine spines) *below* which lie at least two connected
+//      components, each component becomes a "pod" — per-pod sharding for
+//      fat-trees, per-leaf for leaf-spine, per-group for dragonfly-likes.
+//      Pods are packed onto shards balancing switch counts; top-tier
+//      switches are then spread across shards the same way.
+//   2. Otherwise (rings, meshes, single-pod fabrics) the fallback splits
+//      the switch id sequence into contiguous blocks — on generator-built
+//      rings this yields arcs with exactly one cut link per boundary.
+// Hosts always join their attached switch's shard, so host<->switch links
+// are never cut and the cut set consists of inter-switch links only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/topo/topology.hpp"
+
+namespace dcdl::topo {
+
+/// A link whose endpoints landed on different shards.
+struct CutLink {
+  std::uint32_t link = 0;  ///< index into Topology::link()
+  std::uint32_t shard_a = 0;
+  std::uint32_t shard_b = 0;
+};
+
+struct ShardPlan {
+  int num_shards = 1;  ///< effective count (<= requested)
+  /// node -> shard, indexed by NodeId over all nodes (switches and hosts).
+  std::vector<std::uint32_t> node_shard;
+  std::vector<CutLink> cut_links;
+  /// Smallest one-way propagation delay across the cut; Time::max() when
+  /// the partition cuts nothing (single shard).
+  Time min_cut_delay = Time::max();
+};
+
+/// Partitions `topo` into at most `requested_shards` shards. The effective
+/// shard count may be lower (never more shards than structural units).
+/// Deterministic: same topology + same request => same plan.
+ShardPlan assign_shards(const Topology& topo, int requested_shards);
+
+}  // namespace dcdl::topo

@@ -81,7 +81,7 @@ TEST(NetworkWire, CnpFeedbackDelay) {
     EXPECT_EQ(flow, 42u);
     cnp_at = t;
   };
-  fx.sim.schedule_at(5_us, [&] { fx.net->send_cnp(42, fx.h0); });
+  fx.sim.schedule_at(5_us, [&] { fx.net->send_cnp(fx.h1, 42, fx.h0); });
   fx.sim.run_until(20_us);
   EXPECT_EQ(cnp_at, 12_us);
 }

@@ -5,16 +5,18 @@
 #   tools/ci.sh [build-dir]              # default: build
 #   tools/ci.sh --sanitizers [build-dir] # additionally chain asan.sh and
 #                                        # tsan.sh (their own build dirs)
-#   tools/ci.sh --full [build-dir]       # sanitizers + the bench_perf
+#   tools/ci.sh --full [build-dir]       # sanitizers + the sharded
+#                                        # determinism leg + the bench_perf
 #                                        # regression gate against the
 #                                        # committed BENCH_perf.json
 #
 # A clean exit means the tree is committable: every gtest suite passed;
-# with --sanitizers the ASan+UBSan full suite and the TSan campaign
-# binaries are clean too; with --full the hot path additionally held its
-# events/sec baseline. The perf gate uses its own Release build dir
-# (build-perf) — sanitizer and default builds are not valid timing
-# baselines.
+# with --sanitizers the ASan+UBSan full suite and the TSan campaign +
+# sharded-engine binaries are clean too; with --full the sharded engine
+# additionally re-proves digest equality at 4 shards under TSan (the
+# release-blocking determinism check) and the hot path held its events/sec
+# baseline. The perf gate uses its own Release build dir (build-perf) —
+# sanitizer and default builds are not valid timing baselines.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -39,6 +41,19 @@ cmake --build "$build_dir" -j"$(nproc)"
 (cd "$build_dir" && ctest --output-on-failure -j"$(nproc)")
 
 if [ "$perf" = 1 ]; then
+  # Sharded determinism leg: the byte-identity suite (digests at 1/2/4/8
+  # shards, summary + forensics equality at 4 shards) under ThreadSanitizer.
+  # tsan.sh below runs the whole binary too; this explicit filtered pass is
+  # the release-blocking check and fails fast before the perf gate.
+  tsan_dir="$repo_root/build-tsan"
+  cmake -B "$tsan_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$tsan_dir" --target test_sharded -j"$(nproc)"
+  "$tsan_dir/tests/test_sharded" \
+    --gtest_filter='ShardedDigest.*:ShardedRun.*'
+
   perf_dir="$repo_root/build-perf"
   cmake -B "$perf_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$perf_dir" --target bench_perf -j"$(nproc)"

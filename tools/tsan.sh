@@ -1,13 +1,24 @@
 #!/usr/bin/env sh
-# Builds the campaign tests with -fsanitize=thread and runs them, proving
-# the executor's worker pool (atomic cursor, pre-assigned record slots,
-# locked progress callback) is race-free under a real data-race detector.
+# Builds the concurrency-bearing tests with -fsanitize=thread and runs
+# them, proving both multi-threaded engines are race-free under a real data
+# race detector:
+#
+#   - test_campaign: the executor's worker pool (atomic cursor,
+#     pre-assigned record slots, locked progress callback); its determinism
+#     test runs the same sweep at jobs=1 and jobs=8 and asserts
+#     byte-identical artifacts.
+#   - test_sharded: the sharded conservative engine — worker threads,
+#     window barriers, mailboxes, per-shard trace buffers. Its digest tests
+#     run the paper scenarios at 1/2/4/8 shards, so every cross-thread edge
+#     of the window protocol executes under TSan. The engine carries no
+#     TSan suppressions or annotations: all cross-thread accesses are
+#     ordered by the two std::barrier arrive_and_wait calls per device pass
+#     (see DESIGN.md "Sharded simulation architecture"), so a clean run is
+#     by construction, not by exclusion.
+#   - test_simulator: the single-threaded core under the same build, as a
+#     control.
 #
 #   tools/tsan.sh [build-dir]          # default: build-tsan
-#
-# The determinism test inside test_campaign runs the same sweep at jobs=1
-# and jobs=8 and asserts byte-identical artifacts, so this one binary
-# exercises every cross-thread edge the campaign engine has.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -18,10 +29,12 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
-cmake --build "$build_dir" --target test_campaign test_simulator -j"$(nproc)"
+cmake --build "$build_dir" --target test_campaign test_sharded test_simulator \
+  -j"$(nproc)"
 
 # gtest binaries run directly (no ctest discovery needed under TSan).
 "$build_dir/tests/test_campaign"
+"$build_dir/tests/test_sharded"
 "$build_dir/tests/test_simulator"
 
-echo "tsan.sh: campaign + simulator tests clean under ThreadSanitizer"
+echo "tsan.sh: campaign + sharded + simulator tests clean under ThreadSanitizer"
