@@ -3,11 +3,11 @@
 // Four modes:
 //   bench_perf [google-benchmark flags]   microbenchmark suite (BM_*)
 //   bench_perf --json [PATH]              fixed scenario timings written as
-//                                         dcdl.bench_perf.v3 JSON (default
+//                                         dcdl.bench_perf.v4 JSON (default
 //                                         PATH: BENCH_perf.json)
 //   bench_perf --baseline PATH            rerun the fixed scenarios and
 //                                         compare events/sec against a
-//                                         committed v1/v2/v3 artifact; exits
+//                                         committed v1-v4 artifact; exits
 //                                         non-zero on a >10% regression
 //   bench_perf --shards N [--k K] [--ms M]
 //                                         sharded-scaling probe: run the
@@ -26,9 +26,12 @@
 // cancellations); v3 adds sharded fat-tree entries (fat_tree_s2/_s4) with
 // the engine's window statistics — shard count, windows, stalled (idle)
 // windows, cross-shard mailbox deliveries, and per-shard event counts — so
-// both raw throughput and the window protocol's efficiency are tracked.
-// The emission keeps one scenario object per line with "name" before
-// "events_per_sec", so a v3 artifact still parses as a --baseline input for
+// both raw throughput and the window protocol's efficiency are tracked;
+// v4 adds routing_loop_dp — the same routing-loop steady state with the
+// in-switch dataplane pipeline armed (policy=detect) — so the per-packet
+// tag-stage overhead rides the same >10% regression gate as everything
+// else. The emission keeps one scenario object per line with "name" before
+// "events_per_sec", so a v4 artifact still parses as a --baseline input for
 // older binaries and vice versa.
 #include <benchmark/benchmark.h>
 
@@ -195,6 +198,20 @@ RunOutcome run_routing_loop() {
   return RunOutcome{s.sim->counters()};
 }
 
+RunOutcome run_routing_loop_dp() {
+  // The same steady state with the dataplane pipeline armed in its
+  // detect-only policy: every forwarded packet takes the tag stage and
+  // every Xoff carries a PauseTag, isolating the pipeline's hot-path cost
+  // (compare against routing_loop, which differs only in this knob).
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(4);
+  p.dataplane.policy = dataplane::RecoveryPolicy::kDetect;
+  Scenario s = make_routing_loop(p);
+  s.sim->run_until(4_ms);
+  benchmark::DoNotOptimize(s.net->total_queued_bytes());
+  return RunOutcome{s.sim->counters()};
+}
+
 /// Fat-tree permutation at `shards` shards (0 = legacy engine). The
 /// scenario is identical for every shard count — so are the delivered
 /// streams; only the wall clock and the window statistics differ.
@@ -264,6 +281,7 @@ std::vector<JsonResult> run_suite() {
   std::vector<JsonResult> results;
   results.push_back(measure("ring", kReps, run_ring));
   results.push_back(measure("routing_loop", kReps, run_routing_loop));
+  results.push_back(measure("routing_loop_dp", kReps, run_routing_loop_dp));
   results.push_back(measure("fat_tree", kReps,
                             [] { return run_fat_tree(0, 4, 500_us); }));
   results.push_back(measure("fat_tree_s2", kReps,
@@ -302,7 +320,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "bench_perf: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v3\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v4\",\n");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JsonResult& r = results[i];

@@ -11,7 +11,10 @@
 // Scenarios: fig1 (ring), loop, fig3, fig4, fig5, transient, valley,
 // incast. Common flags: --run_ms, --seed, --watchdog, --smart_limit,
 // --shards N (run on the sharded conservative engine with N worker
-// threads — every report byte is identical for all N >= 1).
+// threads — every report byte is identical for all N >= 1),
+// --dataplane <off|detect|drop|reroute|pfc_lift> (arm the in-switch DCFIT
+// detection pipeline with the given recovery policy, e.g.
+// `dcdl_sim --scenario=loop --dataplane=reroute`).
 // Observability: --trace <dir> writes <scenario>.trace.json (Perfetto, with
 // pause-cascade flow arrows; open in chrome://tracing or ui.perfetto.dev),
 // <scenario>.telemetry.jsonl (topology-bearing, replayable through
@@ -43,6 +46,14 @@ int main(int argc, char** argv) {
   const std::string trace_dir = flags.get_string("trace", "");
   const bool metrics = flags.get_bool("metrics", false);
   const int shards = static_cast<int>(flags.get_int("shards", 0));
+  const std::string dp_str = flags.get_string("dataplane", "off");
+  dataplane::DataplaneConfig dp_cfg;
+  if (!dataplane::parse_policy(dp_str, &dp_cfg.policy)) {
+    std::fprintf(stderr,
+                 "unknown --dataplane=%s (off|detect|drop|reroute|pfc_lift)\n",
+                 dp_str.c_str());
+    return 2;
+  }
 
   Scenario s = [&]() -> Scenario {
     // The request only needs to cover Network construction: the network
@@ -52,22 +63,26 @@ int main(int argc, char** argv) {
     if (shards >= 1) shard_request.emplace(shards);
     if (which == "fig1") {
       RingDeadlockParams p;
+      p.dataplane = dp_cfg;
       p.seed = seed;
       return make_ring_deadlock(p);
     }
     if (which == "loop") {
       RoutingLoopParams p;
+      p.dataplane = dp_cfg;
       p.inject = Rate::gbps(inject);
       p.ttl = ttl;
       return make_routing_loop(p);
     }
     if (which == "fig3") {
       FourSwitchParams p;
+      p.dataplane = dp_cfg;
       p.seed = seed;
       return make_four_switch(p);
     }
     if (which == "fig4" || which == "fig5") {
       FourSwitchParams p;
+      p.dataplane = dp_cfg;
       p.with_flow3 = true;
       p.seed = seed;
       if (which == "fig5" || flow3 > 0) {
@@ -77,12 +92,14 @@ int main(int argc, char** argv) {
     }
     if (which == "transient") {
       TransientLoopParams p;
+      p.dataplane = dp_cfg;
       p.inject = Rate::gbps(inject);
       p.ttl = ttl;
       return make_transient_loop(p);
     }
     if (which == "valley") {
       ValleyViolationParams p;
+      p.dataplane = dp_cfg;
       p.seed = seed;
       return make_valley_violation(p);
     }
@@ -191,6 +208,25 @@ int main(int argc, char** argv) {
                                  r.detected_at->ms());
   std::printf(", %lld bytes trapped\n",
               static_cast<long long>(r.trapped_bytes));
+
+  if (s.net->config().dataplane.enabled()) {
+    std::printf("dataplane (%s): %llu candidate(s), %llu confirm(s), %llu "
+                "recover(ies), %llu false alarm(s)\n",
+                dataplane::to_string(s.net->config().dataplane.policy),
+                static_cast<unsigned long long>(r.dp_candidates),
+                static_cast<unsigned long long>(r.dp_confirms),
+                static_cast<unsigned long long>(r.dp_recoveries),
+                static_cast<unsigned long long>(r.dp_false_alarms));
+    if (r.dp_detected_at) {
+      std::printf("  in-band detection at %.3f ms, trigger switch %s\n",
+                  r.dp_detected_at->ms(),
+                  s.topo->node(*r.dp_trigger).name.c_str());
+    }
+    if (r.dp_recovered_at && r.dp_detected_at) {
+      std::printf("  recovery %.1f us after detection\n",
+                  (*r.dp_recovered_at - *r.dp_detected_at).us());
+    }
+  }
 
   // Forensic post-mortem: the causal pause-propagation DAG over the whole
   // run, with the initial trigger attributed and classified.

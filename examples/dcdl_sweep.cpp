@@ -6,6 +6,9 @@
 //   $ ./dcdl_sweep --scenario four_switch
 //         --grid "with_flow3=true;flow3_limit=1..8gbps:15" --seeds 5
 //         --run_ms=20 --out fig5.json --csv fig5.csv
+//   $ ./dcdl_sweep --scenario valley --set "dataplane=reroute" --seeds 3
+//         --out recovery.json   # in-switch DCFIT pipeline; v3 artifacts
+//         # carry detection_latency_ns / recovery_time_ns / false_positive
 //   $ ./dcdl_sweep --list
 //
 // Flags: --scenario, --grid "a=lo..hi:steps;b=x,y,z", --set "k=v;k2=v2",

@@ -109,7 +109,20 @@ DeadlockMonitor::DeadlockMonitor(Network& net, Time poll, Time dwell)
 
 void DeadlockMonitor::start(Time from, Time until) {
   until_ = until;
+  polling_ = true;
   net_.sim().schedule_at(from, [this] { poll_once(); });
+}
+
+void DeadlockMonitor::rearm() {
+  deadlocked_ = false;
+  cycle_.clear();
+  candidate_.clear();
+  candidate_departures_.clear();
+  const Time now = net_.sim().now();
+  if (!polling_ && now + poll_ <= until_) {
+    polling_ = true;
+    net_.sim().schedule_in(poll_, [this] { poll_once(); });
+  }
 }
 
 std::vector<std::uint64_t> DeadlockMonitor::departures_of(
@@ -123,7 +136,10 @@ std::vector<std::uint64_t> DeadlockMonitor::departures_of(
 }
 
 void DeadlockMonitor::poll_once() {
-  if (deadlocked_) return;
+  if (deadlocked_) {
+    polling_ = false;
+    return;
+  }
   const Time now = net_.sim().now();
   WaitForSnapshot snap = snapshot_wait_for(net_);
   if (!snap.has_cycle) {
@@ -138,8 +154,10 @@ void DeadlockMonitor::poll_once() {
     } else if (now - candidate_since_ >= dwell_) {
       if (departures_of(candidate_) == candidate_departures_) {
         deadlocked_ = true;
+        polling_ = false;  // rearm() restarts the chain if wanted
         detected_at_ = now;
         cycle_ = candidate_;
+        ++confirmations_;
         if (on_confirmed_) on_confirmed_(*this);
         return;
       }
@@ -150,6 +168,8 @@ void DeadlockMonitor::poll_once() {
   }
   if (now + poll_ <= until_) {
     net_.sim().schedule_in(poll_, [this] { poll_once(); });
+  } else {
+    polling_ = false;
   }
 }
 

@@ -48,8 +48,22 @@ class DeadlockMonitor {
   void start(Time from, Time until);
 
   bool deadlocked() const { return deadlocked_; }
+  /// Instant of the most recent confirmation (the first, unless rearm()
+  /// was called and a second deadlock was confirmed). Survives rearm() so
+  /// post-run reporting still sees that a deadlock was confirmed even
+  /// after a data-plane recovery cleared it.
   std::optional<Time> detected_at() const { return detected_at_; }
   const std::vector<QueueKey>& cycle() const { return cycle_; }
+  /// Total confirmations in this run (> 1 only with rearm()).
+  std::uint64_t confirmations() const { return confirmations_; }
+
+  /// Re-arms the monitor after a confirmation — the data-plane recovery
+  /// path: once the pipeline clears the cycle, call this so a *second*
+  /// deadlock in the same run can be confirmed (firing on_confirmed once
+  /// per confirmation, never twice for the same one). Clears the confirmed
+  /// cycle and candidate state and resumes the poll chain if it had
+  /// stopped; never double-schedules polls. A no-op on an idle monitor.
+  void rearm();
 
   /// Invoked (at most once) at the simulated instant a cycle is confirmed,
   /// with cycle()/detected_at() already filled in. The flight-recorder
@@ -67,6 +81,8 @@ class DeadlockMonitor {
   Time poll_, dwell_, until_ = Time::zero();
   std::function<void(const DeadlockMonitor&)> on_confirmed_;
   bool deadlocked_ = false;
+  bool polling_ = false;  ///< a poll event is pending on the simulator
+  std::uint64_t confirmations_ = 0;
   std::optional<Time> detected_at_;
   std::vector<QueueKey> cycle_;
   // Pending candidate awaiting confirmation.

@@ -4,7 +4,7 @@
 //   ScenarioRegistry  — names + typed params -> scenarios::make_* factories
 //   SweepSpec/expand  — cartesian grids + deterministic seed streams
 //   CampaignExecutor  — thread pool, per-run guard rails, failure capture
-//   CampaignResult    — JSON/CSV artifacts (schema dcdl.campaign.v2)
+//   CampaignResult    — JSON/CSV artifacts (schema dcdl.campaign.v3)
 #pragma once
 
 #include "dcdl/campaign/executor.hpp"

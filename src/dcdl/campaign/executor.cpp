@@ -9,6 +9,7 @@
 
 #include "dcdl/analysis/deadlock.hpp"
 #include "dcdl/common/contract.hpp"
+#include "dcdl/dataplane/dataplane.hpp"
 #include "dcdl/forensics/forensics.hpp"
 #include "dcdl/sim/sharded.hpp"
 #include "dcdl/sim/simulator.hpp"
@@ -133,6 +134,35 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     // metric capture interposed between the measured run and the drain.
     analysis::DeadlockMonitor monitor(*s.net, Time{50'000'000},
                                       spec.monitor_dwell);
+    // In-band dataplane pipeline capture (schema v3 columns). Every
+    // recovery re-arms the centralized monitor so a second deadlock in the
+    // same run is still confirmed. Under --shards the hook fires during
+    // replay at window barriers on the control thread, where re-arming the
+    // monitor (scheduling its next poll) is safe.
+    std::optional<Time> dp_first_confirm;
+    std::optional<Time> dp_first_recover;
+    std::uint64_t dp_confirms = 0;
+    std::uint64_t dp_recoveries = 0;
+    if (s.net->config().dataplane.enabled()) {
+      stats::append_hook(
+          s.net->trace().dataplane,
+          [&](Time t, NodeId, dataplane::DataplaneEvent ev, ClassId,
+              std::uint64_t) {
+            switch (ev) {
+              case dataplane::DataplaneEvent::kConfirmed:
+                ++dp_confirms;
+                if (!dp_first_confirm) dp_first_confirm = t;
+                break;
+              case dataplane::DataplaneEvent::kRecovered:
+                ++dp_recoveries;
+                if (!dp_first_recover) dp_first_recover = t;
+                monitor.rearm();
+                break;
+              default:
+                break;
+            }
+          });
+    }
     std::string post_mortem;
     if (recorder != nullptr) {
       monitor.set_on_confirmed(
@@ -182,6 +212,12 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     rec.deadlocked = drain.deadlocked;
     if (monitor.detected_at()) rec.detect_ms = monitor.detected_at()->ms();
     rec.events = sim->events_executed();
+    if (dp_first_confirm) rec.detection_latency_ns = dp_first_confirm->ns();
+    if (dp_first_confirm && dp_first_recover) {
+      rec.recovery_time_ns = (*dp_first_recover - *dp_first_confirm).ns();
+    }
+    rec.false_positive =
+        dp_confirms > 0 && !rec.deadlocked && dp_recoveries == 0;
 
     // Post-hoc forensics over the complete pause history (measured window
     // plus drain): the causality DAG, trigger attribution, and cascade

@@ -1,6 +1,7 @@
 #include "dcdl/campaign/registry.hpp"
 
 #include "dcdl/analysis/boundary.hpp"
+#include "dcdl/dataplane/dataplane.hpp"
 
 namespace dcdl::campaign {
 
@@ -74,6 +75,22 @@ Time time_us(const ParamMap& pm, const char* name, Time fallback) {
                                         1e6)};
 }
 
+/// Shared "dataplane" knob: the in-switch DCFIT pipeline's recovery policy.
+ParamSpec dataplane_param_spec() {
+  return {"dataplane", ParamKind::kString, "",
+          "in-switch pipeline policy: off|detect|drop|reroute|pfc_lift"};
+}
+
+dataplane::DataplaneConfig dataplane_cfg(const ParamMap& pm) {
+  dataplane::DataplaneConfig cfg;
+  const std::string s = pm.get_string("dataplane", "off");
+  if (!dataplane::parse_policy(s, &cfg.policy)) {
+    throw CampaignError("unknown dataplane policy '" + s +
+                        "' (off|detect|drop|reroute|pfc_lift)");
+  }
+  return cfg;
+}
+
 ScenarioDef::Finisher loop_threshold_metrics(int loop_len, Rate bandwidth,
                                              int ttl, Rate inject) {
   return [=](const RunRecord&, MetricSink& out) {
@@ -104,6 +121,7 @@ scenarios::RoutingLoopParams loop_params(const ParamMap& pm) {
   p.num_classes = static_cast<int>(pm.get_int("num_classes", p.num_classes));
   p.ttl_class_band =
       static_cast<int>(pm.get_int("ttl_class_band", p.ttl_class_band));
+  p.dataplane = dataplane_cfg(pm);
   return p;
 }
 
@@ -118,6 +136,7 @@ std::vector<ParamSpec> loop_param_specs() {
       {"xoff_bytes", ParamKind::kInt, "", "static PFC threshold"},
       {"num_classes", ParamKind::kInt, "", "lossless priority classes"},
       {"ttl_class_band", ParamKind::kInt, "", "TTL band width; 0 = off"},
+      dataplane_param_spec(),
   };
 }
 
@@ -155,6 +174,7 @@ void register_four_switch(ScenarioRegistry& reg) {
       {"buffer_bytes", ParamKind::kInt, "", "switch buffer"},
       {"ttl", ParamKind::kInt, "", "initial packet TTL"},
       {"tx_jitter_ns", ParamKind::kDouble, "ns", "inter-frame jitter"},
+      dataplane_param_spec(),
   };
   def.make = [](const ParamMap& pm) {
     scenarios::FourSwitchParams p;
@@ -171,6 +191,7 @@ void register_four_switch(ScenarioRegistry& reg) {
     p.tx_jitter = Time{static_cast<std::int64_t>(
         pm.get_double("tx_jitter_ns", p.tx_jitter.ns()) * 1e3)};
     p.seed = static_cast<std::uint64_t>(pm.get_int("seed", 1));
+    p.dataplane = dataplane_cfg(pm);
     return scenarios::make_four_switch(p);
   };
   reg.add(std::move(def));
@@ -192,6 +213,7 @@ void register_ring(ScenarioRegistry& reg) {
       {"num_classes", ParamKind::kInt, "", "lossless priority classes"},
       {"hop_classes", ParamKind::kBool, "", "hop-count buffer classes"},
       {"tx_jitter_ns", ParamKind::kDouble, "ns", "inter-frame jitter"},
+      dataplane_param_spec(),
   };
   def.make = [](const ParamMap& pm) {
     scenarios::RingDeadlockParams p;
@@ -209,6 +231,7 @@ void register_ring(ScenarioRegistry& reg) {
     p.tx_jitter = Time{static_cast<std::int64_t>(
         pm.get_double("tx_jitter_ns", p.tx_jitter.ns()) * 1e3)};
     p.seed = static_cast<std::uint64_t>(pm.get_int("seed", 1));
+    p.dataplane = dataplane_cfg(pm);
     return scenarios::make_ring_deadlock(p);
   };
   reg.add(std::move(def));
@@ -232,6 +255,7 @@ void register_transient_loop(ScenarioRegistry& reg) {
       {"loop_duration_us", ParamKind::kDouble, "us", "loop lifetime"},
       {"num_classes", ParamKind::kInt, "", "lossless priority classes"},
       {"ttl_class_band", ParamKind::kInt, "", "TTL band width; 0 = off"},
+      dataplane_param_spec(),
   };
   def.make = [](const ParamMap& pm) {
     scenarios::TransientLoopParams p;
@@ -248,6 +272,7 @@ void register_transient_loop(ScenarioRegistry& reg) {
     p.num_classes = static_cast<int>(pm.get_int("num_classes", p.num_classes));
     p.ttl_class_band =
         static_cast<int>(pm.get_int("ttl_class_band", p.ttl_class_band));
+    p.dataplane = dataplane_cfg(pm);
     return scenarios::make_transient_loop(p);
   };
   def.instrument = [](Scenario&, const ParamMap& pm) {
@@ -276,6 +301,7 @@ void register_valley(ScenarioRegistry& reg) {
       {"xoff_bytes", ParamKind::kInt, "", "static PFC threshold"},
       {"ttl", ParamKind::kInt, "", "initial packet TTL"},
       {"tx_jitter_ns", ParamKind::kDouble, "ns", "inter-frame jitter"},
+      dataplane_param_spec(),
   };
   def.make = [](const ParamMap& pm) {
     scenarios::ValleyViolationParams p;
@@ -290,6 +316,7 @@ void register_valley(ScenarioRegistry& reg) {
     p.tx_jitter = Time{static_cast<std::int64_t>(
         pm.get_double("tx_jitter_ns", p.tx_jitter.ns()) * 1e3)};
     p.seed = static_cast<std::uint64_t>(pm.get_int("seed", 1));
+    p.dataplane = dataplane_cfg(pm);
     return scenarios::make_valley_violation(p);
   };
   reg.add(std::move(def));

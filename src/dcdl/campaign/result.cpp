@@ -121,6 +121,9 @@ void emit_run(Json& j, const RunRecord& r, const WriteOptions& opts) {
     j.key("trapped_bytes"); j.value(r.trapped_bytes);
     j.key("goodput_gbps"); j.value(r.goodput_gbps);
     j.key("pause_assertions"); j.value(r.pause_assertions);
+    j.key("detection_latency_ns"); j.value(r.detection_latency_ns);
+    j.key("recovery_time_ns"); j.value(r.recovery_time_ns);
+    j.key("false_positive"); j.value(r.false_positive);
     j.key("delivered");
     j.begin_array();
     for (const auto& [flow, bytes] : r.delivered) {
@@ -197,7 +200,8 @@ std::string to_csv(const CampaignResult& result) {
 
   std::string out =
       "run,cell,seed_index,scenario,seed,status,deadlocked,detect_ms,"
-      "trapped_bytes,goodput_gbps,pause_assertions,events";
+      "trapped_bytes,goodput_gbps,pause_assertions,events,"
+      "detection_latency_ns,recovery_time_ns,false_positive";
   for (const std::string& n : param_names) out += ",param." + n;
   for (const std::string& n : metric_names) out += ",metric." + n;
   out += '\n';
@@ -217,6 +221,9 @@ std::string to_csv(const CampaignResult& result) {
     out += ',' + (ok ? format_double(r.goodput_gbps) : "");
     out += ',' + (ok ? std::to_string(r.pause_assertions) : "");
     out += ',' + (ok ? std::to_string(r.events) : "");
+    out += ',' + (ok ? format_double(r.detection_latency_ns) : "");
+    out += ',' + (ok ? format_double(r.recovery_time_ns) : "");
+    out += ',' + std::string(ok ? (r.false_positive ? "1" : "0") : "");
     for (const std::string& n : param_names) {
       out += ',';
       if (r.params.has(n)) out += r.params.get_string(n, "");

@@ -23,7 +23,11 @@ namespace dcdl::campaign {
 /// backwards-incompatible field change and document in DESIGN.md.
 /// v2: every ok run carries a "telemetry" object — the uniform metrics
 /// snapshot (net.* counters, sim.* engine gauges) taken at stop time.
-inline constexpr const char* kResultSchema = "dcdl.campaign.v2";
+/// v3: ok runs additionally carry the in-band dataplane columns
+/// "detection_latency_ns", "recovery_time_ns" (-1 = no such event) and
+/// "false_positive". Additive: v1/v2 readers keying on known field names
+/// parse v3 artifacts unchanged.
+inline constexpr const char* kResultSchema = "dcdl.campaign.v3";
 
 enum class RunStatus {
   kOk,         ///< ran to completion
@@ -50,6 +54,12 @@ struct RunRecord {
   std::int64_t trapped_bytes = 0;
   double goodput_gbps = 0;  ///< aggregate delivered*8/run_for at stop time
   std::uint64_t pause_assertions = 0;  ///< Xoff count up to stop time
+  /// In-band dataplane pipeline (schema v3; all -1/false when it is off).
+  double detection_latency_ns = -1;  ///< first in-band confirm; -1 = none
+  double recovery_time_ns = -1;  ///< first recovery minus confirm; -1 = none
+  /// The pipeline confirmed a cycle in a run that did not deadlock and
+  /// took no recovery action — the confirmation itself was spurious.
+  bool false_positive = false;
   std::vector<std::pair<FlowId, std::int64_t>> delivered;  ///< per flow
   /// Scenario-specific metrics from the ScenarioDef instrument hook.
   MetricSink metrics;

@@ -1,0 +1,39 @@
+#include "dcdl/dataplane/dataplane.hpp"
+
+namespace dcdl::dataplane {
+
+const char* to_string(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::kOff: return "off";
+    case RecoveryPolicy::kDetect: return "detect";
+    case RecoveryPolicy::kDrop: return "drop";
+    case RecoveryPolicy::kReroute: return "reroute";
+    case RecoveryPolicy::kPfcLift: return "pfc_lift";
+  }
+  return "?";
+}
+
+bool parse_policy(const std::string& s, RecoveryPolicy* out) {
+  if (s == "off") { *out = RecoveryPolicy::kOff; return true; }
+  if (s == "detect") { *out = RecoveryPolicy::kDetect; return true; }
+  if (s == "drop") { *out = RecoveryPolicy::kDrop; return true; }
+  if (s == "reroute") { *out = RecoveryPolicy::kReroute; return true; }
+  if (s == "pfc_lift" || s == "lift") {
+    *out = RecoveryPolicy::kPfcLift;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(DataplaneEvent e) {
+  switch (e) {
+    case DataplaneEvent::kCandidate: return "candidate";
+    case DataplaneEvent::kConfirmed: return "confirmed";
+    case DataplaneEvent::kRecovered: return "recovered";
+    case DataplaneEvent::kFalseAlarm: return "false_alarm";
+    case DataplaneEvent::kRearmed: return "rearmed";
+  }
+  return "?";
+}
+
+}  // namespace dcdl::dataplane

@@ -36,6 +36,8 @@
 #include "dcdl/analysis/fluid.hpp"
 #include "dcdl/analysis/risk.hpp"
 
+#include "dcdl/dataplane/dataplane.hpp"
+
 #include "dcdl/mitigation/class_policy.hpp"
 #include "dcdl/mitigation/dcqcn.hpp"
 #include "dcdl/mitigation/smart_limiter.hpp"

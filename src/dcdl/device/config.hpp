@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "dcdl/common/units.hpp"
+#include "dcdl/dataplane/dataplane.hpp"
 #include "dcdl/net/packet.hpp"
 
 namespace dcdl {
@@ -59,6 +60,11 @@ struct NetConfig {
   std::int64_t switch_buffer_bytes = 12 * kMiB;
   PfcConfig pfc;
   EcnConfig ecn;
+  /// In-switch DCFIT detection/recovery pipeline (dcdl::dataplane). Off by
+  /// default: with `policy == kOff` no per-switch pipeline state is even
+  /// allocated and every PFC frame takes the historical untagged path, so
+  /// golden traces are byte-identical to a build without the subsystem.
+  dataplane::DataplaneConfig dataplane;
   /// Delay from a receiver spotting an ECN mark to the sender's rate
   /// controller reacting (models the CNP path out of band).
   Time cnp_feedback_delay = Time{5'000'000};  // 5 us

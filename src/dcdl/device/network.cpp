@@ -16,6 +16,7 @@ const char* to_string(DropReason r) {
     case DropReason::kNoRoute: return "no_route";
     case DropReason::kBufferOverflow: return "buffer_overflow";
     case DropReason::kWatchdogReset: return "watchdog_reset";
+    case DropReason::kDataplaneReset: return "dataplane_reset";
   }
   return "?";
 }
@@ -180,6 +181,20 @@ void Network::arm_shard_traces() {
     } else {
       st.cnp = nullptr;
     }
+    if (trace_.dataplane) {
+      st.dataplane = [this, s](Time t, NodeId n, dataplane::DataplaneEvent e,
+                               ClassId c, std::uint64_t detail) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kDataplane, t);
+        rec.node = n;
+        rec.cls = c;
+        rec.flag = static_cast<std::uint8_t>(e);
+        rec.value = static_cast<std::int64_t>(detail);
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.dataplane = nullptr;
+    }
   }
 }
 
@@ -203,6 +218,11 @@ void Network::replay_record(const ShardedEngine::TraceRec& rec) {
       break;
     case ShardedEngine::RecKind::kCnp:
       trace_.cnp(rec.at, rec.flow);
+      break;
+    case ShardedEngine::RecKind::kDataplane:
+      trace_.dataplane(rec.at, rec.node,
+                       static_cast<dataplane::DataplaneEvent>(rec.flag),
+                       rec.cls, static_cast<std::uint64_t>(rec.value));
       break;
   }
 }
@@ -271,6 +291,33 @@ void Network::send_pfc(NodeId from, PortId port, ClassId cls, bool pause) {
   }
   sim_.schedule_in(ser + link.delay, [peer, peer_port, cls, pause] {
     peer->on_pfc(peer_port, cls, pause);
+  });
+}
+
+void Network::send_pfc(NodeId from, PortId port, ClassId cls, bool pause,
+                       const dataplane::PauseTag& tag) {
+  const PortPeer& pp = topo_.peer(from, port);
+  if (!topo_.is_switch(pp.peer_node)) {
+    // Hosts have no pipeline; the tag is meaningful only switch-to-switch.
+    send_pfc(from, port, cls, pause);
+    return;
+  }
+  const LinkSpec& link = topo_.link(pp.link);
+  const Time ser = serialization_time(cfg_.pfc.control_frame_bytes, link.rate);
+  auto* peer = static_cast<Switch*>(devices_[pp.peer_node].get());
+  const PortId peer_port = pp.peer_port;
+  if (engine_ != nullptr) {
+    const std::uint32_t dir = from == link.a ? 0u : 1u;
+    const Time at = device_sim(from).now() + ser + link.delay;
+    engine_->post(plan_.node_shard[pp.peer_node], at,
+                  wire_channel(pp.link, dir), ++wire_seq_[2 * pp.link + dir],
+                  [peer, peer_port, cls, pause, tag] {
+                    peer->on_pfc_tagged(peer_port, cls, pause, tag);
+                  });
+    return;
+  }
+  sim_.schedule_in(ser + link.delay, [peer, peer_port, cls, pause, tag] {
+    peer->on_pfc_tagged(peer_port, cls, pause, tag);
   });
 }
 

@@ -92,6 +92,14 @@ class Network {
   /// but never queue behind data (modelling simplification; see DESIGN.md).
   void send_pfc(NodeId from, PortId port, ClassId cls, bool pause);
 
+  /// Tag-carrying variant (dataplane pipeline enabled): the PauseTag rides
+  /// with the PFC frame and is delivered through Switch::on_pfc_tagged when
+  /// the peer is a switch (hosts receive the plain frame — the tag is
+  /// switch-to-switch metadata). Same wire channel and sequence space as
+  /// the untagged path, so shard determinism is unchanged.
+  void send_pfc(NodeId from, PortId port, ClassId cls, bool pause,
+                const dataplane::PauseTag& tag);
+
   /// Out-of-band congestion notification from `from` to the flow's source
   /// host.
   void send_cnp(NodeId from, FlowId flow, NodeId src_host);

@@ -1,9 +1,11 @@
 #include "dcdl/device/switch.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "dcdl/common/contract.hpp"
 #include "dcdl/device/network.hpp"
+#include "dcdl/routing/compute.hpp"
 
 namespace dcdl {
 
@@ -32,6 +34,10 @@ Switch::Switch(Network& net, NodeId id, const NetConfig& cfg)
   }
   routes_.set_ecmp_salt(0x5DEECE66DULL * (id + 1));
   jitter_rng_.reseed(cfg.jitter_seed * 0x9E3779B97F4A7C15ULL + id);
+  if (cfg.dataplane.enabled()) {
+    dp_ = std::make_unique<dataplane::Pipeline>(cfg.dataplane, id, ports,
+                                                num_classes_);
+  }
 }
 
 void Switch::set_thresholds(PortId port, ClassId cls, std::int64_t xoff_bytes,
@@ -81,14 +87,28 @@ void Switch::update_pause_state(PortId port, ClassId cls) {
   auto& c = ingress_[port].cls[cls];
   if (!c.pause_asserted && c.bytes >= c.xoff) {
     c.pause_asserted = true;
-    net_.send_pfc(id_, port, cls, /*pause=*/true);
+    if (dp_ != nullptr) {
+      // Tag stage: the outgoing Xoff carries the pause-chain metadata.
+      const dataplane::PauseTag tag = dp_tag_for_xoff(port, cls);
+      dp_->remember_sent(port, cls, tag);
+      net_.send_pfc(id_, port, cls, /*pause=*/true, tag);
+    } else {
+      net_.send_pfc(id_, port, cls, /*pause=*/true);
+    }
     schedule_pause_refresh(port, cls);
     if (net_.trace().pfc_state) {
       net_.trace().pfc_state(now(), id_, port, cls, true);
     }
   } else if (c.pause_asserted && c.bytes < c.xon) {
     c.pause_asserted = false;
-    net_.send_pfc(id_, port, cls, /*pause=*/false);
+    if (dp_ != nullptr) {
+      // The resume travels the tagged path so the upstream switch clears
+      // its stored rx-tag for the thawing egress.
+      dp_->clear_sent(port, cls);
+      net_.send_pfc(id_, port, cls, /*pause=*/false, dataplane::PauseTag{});
+    } else {
+      net_.send_pfc(id_, port, cls, /*pause=*/false);
+    }
     if (net_.trace().pfc_state) {
       net_.trace().pfc_state(now(), id_, port, cls, false);
     }
@@ -245,6 +265,18 @@ void Switch::dec_ingress(PortId in_port, ClassId in_class,
 void Switch::route_and_enqueue(PortId in_port, ClassId in_class,
                                std::uint32_t flow_slot, Packet pkt) {
   const Time now = this->now();
+  if (dp_ != nullptr) {
+    // Packet-side tag stage: stamp at fabric entry, note a revisit at the
+    // stamping switch (direct forwarding-loop evidence, e.g. Fig. 2).
+    if (pkt.tag_origin == 0xFFFF) {
+      pkt.tag_origin = static_cast<std::uint16_t>(id_);
+      dp_->note_packet_tagged();
+    } else if (pkt.tag_origin == static_cast<std::uint16_t>(id_) &&
+               pkt.hops > 0) {
+      dp_->note_packet_loop();
+    }
+    pkt.tag_visited |= 1u << (id_ % 32);
+  }
   const auto egress = routes_.lookup(pkt.flow, pkt.dst);
   if (!egress) {
     dec_ingress(in_port, in_class, flow_slot, pkt);
@@ -324,7 +356,12 @@ void Switch::schedule_pause_refresh(PortId port, ClassId cls) {
     auto& c = ingress_[port].cls[cls];
     c.refresh_scheduled = false;
     if (c.pause_asserted) {
-      net_.send_pfc(id_, port, cls, /*pause=*/true);
+      if (dp_ != nullptr) {
+        net_.send_pfc(id_, port, cls, /*pause=*/true,
+                      dp_->last_sent(port, cls));
+      } else {
+        net_.send_pfc(id_, port, cls, /*pause=*/true);
+      }
       schedule_pause_refresh(port, cls);
     }
   });
@@ -365,6 +402,225 @@ void Switch::complete_transmit(PortId egress) {
   try_transmit(egress);
 }
 
+void Switch::on_pfc_tagged(PortId port, ClassId cls, bool pause,
+                           const dataplane::PauseTag& tag) {
+  on_pfc(port, cls, pause);
+  if (dp_ == nullptr) return;
+  if (!pause) {
+    dp_->clear_rx(port, cls);
+    return;
+  }
+  dp_->store_rx(port, cls, tag);
+  if (!tag.valid()) return;
+  if (dp_->is_own(tag)) {
+    dp_on_own_tag(port, cls, tag);
+    return;
+  }
+  dp_late_propagate(port, cls, tag);
+}
+
+dataplane::PauseTag Switch::dp_tag_for_xoff(PortId port, ClassId cls) {
+  // Propagate when the backlog behind this counter traces to an egress
+  // queue frozen by a tagged downstream PAUSE — the chain grows upstream.
+  // Deterministic scan order: lowest (egress, class) wins ties.
+  const std::uint32_t key_in = from_key(port, cls);
+  for (PortId e = 0; e < static_cast<PortId>(egress_.size()); ++e) {
+    const auto& eg = egress_[e];
+    for (std::size_t c2 = 0; c2 < num_classes_; ++c2) {
+      const auto c2id = static_cast<ClassId>(c2);
+      if (!effectively_paused(eg, c2id)) continue;
+      if (eg.cls[c2].from[key_in] <= 0) continue;
+      const dataplane::PauseTag& rx = dp_->rx(e, c2id);
+      if (!rx.valid() || dp_->is_own(rx)) continue;
+      return dp_->propagate(rx);
+    }
+  }
+  return dp_->originate(port, cls);
+}
+
+void Switch::dp_late_propagate(PortId port, ClassId cls,
+                               const dataplane::PauseTag& tag) {
+  // Ingress counters that crossed Xoff before this tag arrived originated
+  // their own chains; re-send their PAUSE with the fresher upstream tag so
+  // the true chain keeps growing. remember_sent() is the loop guard: a tag
+  // stabilizes after one trip around a cycle, so re-sends terminate.
+  bool have = false;
+  dataplane::PauseTag prop;
+  const auto& q = egress_[port].cls[cls];
+  for (PortId p = 0; p < static_cast<PortId>(ingress_.size()); ++p) {
+    for (std::size_t c2 = 0; c2 < num_classes_; ++c2) {
+      const auto c2id = static_cast<ClassId>(c2);
+      if (!ingress_[p].cls[c2].pause_asserted) continue;
+      if (q.from[from_key(p, c2id)] <= 0) continue;
+      if (!have) {
+        prop = dp_->propagate(tag);
+        have = true;
+      }
+      if (!dp_->remember_sent(p, c2id, prop)) continue;
+      net_.send_pfc(id_, p, c2id, /*pause=*/true, prop);
+    }
+  }
+}
+
+void Switch::dp_on_own_tag(PortId port, ClassId cls,
+                           const dataplane::PauseTag& tag) {
+  // Local proof of a cyclic buffer dependency: the chain we started at
+  // ingress (origin_port, origin_cls) came back to freeze our egress
+  // (port, cls), and that egress holds bytes charged to exactly that
+  // ingress counter — the dependency bites its own tail here.
+  const auto& ctr = ingress_[tag.origin_port].cls[tag.origin_cls];
+  if (!ctr.pause_asserted) return;
+  if (egress_bytes_from(port, cls, tag.origin_port, tag.origin_cls) <= 0) {
+    return;
+  }
+  if (!dp_->arm_candidate(tag, ctr.departure_count, now())) return;
+  if (net_.trace().dataplane) {
+    net_.trace().dataplane(now(), id_, dataplane::DataplaneEvent::kCandidate,
+                           tag.origin_cls, tag.hops);
+  }
+  schedule_in(dp_->config().confirm_dwell, [this] { dp_resolve_candidate(); });
+}
+
+void Switch::dp_resolve_candidate() {
+  if (dp_ == nullptr || !dp_->candidate_pending()) return;
+  const dataplane::PauseTag tag = dp_->candidate_tag();
+  const auto& ctr = ingress_[tag.origin_port].cls[tag.origin_cls];
+  using Verdict = dataplane::Pipeline::Verdict;
+  switch (dp_->resolve_candidate(ctr.pause_asserted, ctr.departure_count)) {
+    case Verdict::kFalseAlarm:
+      // The origin counter resumed during the dwell — a transient
+      // (TTL-expiry loop, self-resolving cascade), not a deadlock.
+      if (net_.trace().dataplane) {
+        net_.trace().dataplane(now(), id_,
+                               dataplane::DataplaneEvent::kFalseAlarm,
+                               tag.origin_cls, 0);
+      }
+      return;
+    case Verdict::kRetry:
+      // Still asserted, still draining: the cycle may be hardening with no
+      // new pause edge to bring the tag back — keep watching this one.
+      schedule_in(dp_->config().confirm_dwell,
+                  [this] { dp_resolve_candidate(); });
+      return;
+    case Verdict::kConfirmed:
+      break;
+  }
+  if (net_.trace().dataplane) {
+    net_.trace().dataplane(now(), id_, dataplane::DataplaneEvent::kConfirmed,
+                           tag.origin_cls, tag.hops);
+  }
+  dp_recover(tag);
+}
+
+void Switch::dp_recover(const dataplane::PauseTag& tag) {
+  using dataplane::RecoveryPolicy;
+  const RecoveryPolicy policy = dp_->config().policy;
+  if (policy == RecoveryPolicy::kDetect) return;  // observe only, stay armed
+  const Time now = this->now();
+  std::uint64_t acted = 0;
+  for (PortId e = 0; e < static_cast<PortId>(egress_.size()); ++e) {
+    for (std::size_t c2 = 0; c2 < num_classes_; ++c2) {
+      const auto c2id = static_cast<ClassId>(c2);
+      if (!effectively_paused(egress_[e], c2id)) continue;
+      if (egress_[e].cls[c2].bytes <= 0) continue;
+      switch (policy) {
+        case RecoveryPolicy::kDrop:
+          acted += flush_egress_queue(e, c2id, DropReason::kDataplaneReset);
+          break;
+        case RecoveryPolicy::kReroute:
+          acted += dp_reroute_queue(e, c2id);
+          break;
+        case RecoveryPolicy::kPfcLift:
+          ignore_pause_until(e, c2id, now + dp_->config().pfc_lift);
+          ++acted;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  dp_->note_recovery();
+  if (net_.trace().dataplane) {
+    net_.trace().dataplane(now, id_, dataplane::DataplaneEvent::kRecovered,
+                           tag.origin_cls, acted);
+  }
+  schedule_in(dp_->config().cooldown, [this] {
+    if (dp_ == nullptr || dp_->armed()) return;
+    dp_->rearm();
+    if (net_.trace().dataplane) {
+      net_.trace().dataplane(this->now(), id_,
+                             dataplane::DataplaneEvent::kRearmed, 0, 0);
+    }
+    dp_rescan_own_tags();
+  });
+}
+
+void Switch::dp_rescan_own_tags() {
+  // Stored rx-tags survive the cooldown. If our own tag is still parked on
+  // a frozen egress — the wedge re-formed while the stage was disarmed and
+  // the returning tag was ignored — restart the detect stage from the
+  // stored state rather than waiting for a pause edge that may never come
+  // (a re-hardened cycle generates none).
+  for (PortId e = 0; e < static_cast<PortId>(egress_.size()); ++e) {
+    for (std::size_t c2 = 0; c2 < num_classes_; ++c2) {
+      const auto c2id = static_cast<ClassId>(c2);
+      const dataplane::PauseTag& rx = dp_->rx(e, c2id);
+      if (!rx.valid() || !dp_->is_own(rx)) continue;
+      dp_on_own_tag(e, c2id, rx);
+    }
+  }
+}
+
+std::uint64_t Switch::dp_reroute_queue(PortId port, ClassId cls) {
+  auto& q = egress_[port].cls[cls];
+  std::uint64_t moved = 0;
+  // Drain the frozen queue into scratch first: re-queue may legitimately
+  // re-select the same egress when no detour exists, and must not then be
+  // popped again. Heap allocation is fine here — recovery is rare and off
+  // the steady-state path.
+  std::vector<QueuedPacket> scratch;
+  scratch.reserve(q.q.size());
+  while (!q.q.empty()) {
+    QueuedPacket qp = std::move(q.q.front());
+    q.q.pop_front();
+    q.bytes -= qp.pkt.size_bytes;
+    q.from[from_key(qp.in_port, qp.in_class)] -= qp.pkt.size_bytes;
+    scratch.push_back(std::move(qp));
+  }
+  for (QueuedPacket& qp : scratch) {
+    dp_install_detour(qp.pkt, port);
+    ++moved;
+    // Re-route with ingress attribution intact (the packet never left the
+    // switch, so its counter charge stands); TTL is re-checked like any
+    // forward, so a detour that cannot escape eventually self-limits.
+    route_and_enqueue(qp.in_port, qp.in_class, qp.flow_slot,
+                      std::move(qp.pkt));
+  }
+  return moved;
+}
+
+void Switch::dp_install_detour(const Packet& pkt, PortId avoid) {
+  const std::vector<int> dist = routing::hop_distances(net_.topo(), pkt.dst);
+  constexpr int kUnreachable = std::numeric_limits<int>::max() / 4;
+  PortId best = kInvalidPort;
+  int best_dist = kUnreachable;
+  for (PortId p = 0; p < static_cast<PortId>(egress_.size()); ++p) {
+    if (p == avoid) continue;
+    const NodeId peer = net_.topo().peer(id_, p).peer_node;
+    if (net_.topo().is_host(peer) && peer != pkt.dst) continue;
+    if (dist[peer] < best_dist) {
+      best_dist = dist[peer];
+      best = p;
+    }
+  }
+  if (best == kInvalidPort) return;
+  if (routes_.flow_route(pkt.flow).has_value()) {
+    routes_.set_flow_route(pkt.flow, best);
+  } else {
+    routes_.set_dst_route(pkt.dst, best);
+  }
+}
+
 void Switch::on_pfc(PortId port, ClassId cls, bool pause) {
   auto& eg = egress_.at(port);
   const Time now = this->now();
@@ -386,7 +642,8 @@ Time Switch::egress_paused_for(PortId port, ClassId cls) const {
   return now() - eg.paused_since.at(cls);
 }
 
-std::uint64_t Switch::flush_egress_queue(PortId port, ClassId cls) {
+std::uint64_t Switch::flush_egress_queue(PortId port, ClassId cls,
+                                         DropReason reason) {
   auto& eg = egress_.at(port);
   auto& q = eg.cls.at(cls);
   const Time now = this->now();
@@ -406,9 +663,9 @@ std::uint64_t Switch::flush_egress_queue(PortId port, ClassId cls) {
     ctr.flow_bytes[qp.flow_slot] -= qp.pkt.size_bytes;
     flow_slots_.release(qp.flow_slot, qp.pkt.size_bytes);
     update_pause_state(qp.in_port, qp.in_class);
-    count_drop(DropReason::kWatchdogReset);
+    count_drop(reason);
     if (net_.trace().dropped) {
-      net_.trace().dropped(now, qp.pkt, id_, DropReason::kWatchdogReset);
+      net_.trace().dropped(now, qp.pkt, id_, reason);
     }
     ++dropped;
   }

@@ -94,6 +94,18 @@ class Switch final : public Device {
   void on_receive(PortId in_port, Packet pkt) override;
   void on_pfc(PortId port, ClassId cls, bool pause) override;
 
+  /// PFC delivery with dataplane path metadata (Network routes tagged
+  /// frames here for switch peers). Applies the plain on_pfc transition,
+  /// then runs the pipeline's detect stage: store/clear the egress rx-tag,
+  /// recognize a returning own-tag (cycle candidate), or re-propagate a
+  /// fresher upstream tag to already-asserted ingress counters.
+  void on_pfc_tagged(PortId port, ClassId cls, bool pause,
+                     const dataplane::PauseTag& tag);
+
+  /// The in-switch detection pipeline, or nullptr when the dataplane is
+  /// off (the default — no state is allocated).
+  const dataplane::Pipeline* pipeline() const { return dp_.get(); }
+
   // --- Introspection (analysis & statistics) ---
   std::size_t num_ports() const { return ingress_.size(); }
   /// Ingress counter value (the quantity PFC thresholds act on).
@@ -128,9 +140,12 @@ class Switch final : public Device {
   /// its downstream (zero if not currently paused).
   Time egress_paused_for(PortId port, ClassId cls) const;
   /// Flushes every packet queued in egress (port, class), releasing the
-  /// ingress counters they were charged to (traced as kWatchdogReset
-  /// drops). Returns the number of packets dropped.
-  std::uint64_t flush_egress_queue(PortId port, ClassId cls);
+  /// ingress counters they were charged to (traced as `reason` drops —
+  /// kWatchdogReset for the watchdog, kDataplaneReset for the dataplane
+  /// kDrop recovery). Returns the number of packets dropped.
+  std::uint64_t flush_egress_queue(PortId port, ClassId cls,
+                                   DropReason reason =
+                                       DropReason::kWatchdogReset);
   /// Ignores the received pause state of (port, class) until `until`
   /// (transmission proceeds as if unpaused; late RESUMEs re-arm normally).
   void ignore_pause_until(PortId port, ClassId cls, Time until);
@@ -230,6 +245,33 @@ class Switch final : public Device {
     return static_cast<std::uint32_t>(in_port) * from_stride_ + in_cls;
   }
 
+  // --- Dataplane pipeline stages (all no-ops unless dp_ is allocated) ---
+  /// Tag stage, PFC side: the tag to send with the Xoff of ingress counter
+  /// (port, cls) — a propagated upstream tag when the backlog traces to a
+  /// frozen tagged egress, else a fresh origin tag.
+  dataplane::PauseTag dp_tag_for_xoff(PortId port, ClassId cls);
+  /// A tagged PAUSE just froze egress (port, cls): forward the chain to
+  /// ingress counters that asserted Xoff *before* the tag arrived.
+  void dp_late_propagate(PortId port, ClassId cls,
+                         const dataplane::PauseTag& tag);
+  /// Detect stage: our own tag returned with a PAUSE on egress (port, cls).
+  void dp_on_own_tag(PortId port, ClassId cls,
+                     const dataplane::PauseTag& tag);
+  /// Confirm-dwell expiry: confirmed cycle -> recovery, else false alarm.
+  void dp_resolve_candidate();
+  /// Recovery stage: apply the configured policy, disarm, schedule re-arm.
+  void dp_recover(const dataplane::PauseTag& tag);
+
+  /// Post-cooldown sweep: restart detection from stored rx-tags (an own
+  /// tag that returned while the stage was disarmed would otherwise be
+  /// lost — a re-hardened wedge sends no fresh pause edge to re-carry it).
+  void dp_rescan_own_tags();
+  /// kReroute: pop the frozen egress queue, install detours, re-queue.
+  std::uint64_t dp_reroute_queue(PortId port, ClassId cls);
+  /// Installs a detour route for `pkt` avoiding egress `avoid` (no-op when
+  /// no alternative next hop reaches the destination).
+  void dp_install_detour(const Packet& pkt, PortId avoid);
+
   const NetConfig& cfg_;
   RouteTable routes_;
   /// Hoisted per-packet constants (avoid re-deriving from cfg_ per packet).
@@ -241,6 +283,8 @@ class Switch final : public Device {
   std::unordered_map<FlowId, FlowShaper> flow_shapers_;
   std::int64_t total_buffered_ = 0;
   Rng jitter_rng_;
+  /// In-switch DCFIT pipeline; allocated only when cfg.dataplane.enabled().
+  std::unique_ptr<dataplane::Pipeline> dp_;
 };
 
 }  // namespace dcdl

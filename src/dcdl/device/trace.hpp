@@ -16,6 +16,7 @@
 #include "dcdl/common/inplace_fn.hpp"
 #include "dcdl/common/small_vec.hpp"
 #include "dcdl/common/units.hpp"
+#include "dcdl/dataplane/dataplane.hpp"
 #include "dcdl/net/packet.hpp"
 
 namespace dcdl {
@@ -25,8 +26,9 @@ enum class DropReason : std::uint8_t {
   kNoRoute,         ///< no forwarding entry (transient blackhole)
   kBufferOverflow,  ///< shared buffer exhausted (must not happen under PFC)
   kWatchdogReset,   ///< reactive recovery flushed a storm-paused queue (§1)
+  kDataplaneReset,  ///< dataplane kDrop recovery flushed a deadlocked queue
 };
-constexpr int kNumDropReasons = 4;
+constexpr int kNumDropReasons = 5;
 
 const char* to_string(DropReason r);
 
@@ -95,6 +97,13 @@ struct Trace {
 
   /// Sender-side congestion notification delivered for a flow.
   HookSlot<Time, FlowId> cnp;
+
+  /// Data-plane detection pipeline event at a switch (candidate, confirm,
+  /// recovery, false alarm, re-arm); `detail` is event-specific (tag hops
+  /// for candidate/confirmed, packets acted on for recovered). Never fired
+  /// when the pipeline is off.
+  HookSlot<Time, NodeId, dataplane::DataplaneEvent, ClassId, std::uint64_t>
+      dataplane;
 };
 
 }  // namespace dcdl

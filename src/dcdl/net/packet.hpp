@@ -31,6 +31,13 @@ struct Packet {
   std::uint8_t hops = 0;      ///< switch-to-switch hops traversed so far
   bool ecn_capable = false;
   bool ecn_marked = false;
+  /// Data-plane path metadata (dcdl::dataplane tag stage). Stamped by the
+  /// first switch the packet traverses when the pipeline is enabled;
+  /// 0xFFFF means untagged. Kept narrow on purpose: the packet must stay
+  /// small enough that a transmit closure [device*, port, Packet] fits a
+  /// simulator event's 64-byte inline budget.
+  std::uint16_t tag_origin = 0xFFFF;  ///< fabric-entry switch (id mod 2^16)
+  std::uint32_t tag_visited = 0;      ///< node bitmap, bit = id mod 32
   Time injected_at = Time::zero();
 };
 

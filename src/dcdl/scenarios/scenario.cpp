@@ -4,6 +4,7 @@
 #include "dcdl/mitigation/class_policy.hpp"
 #include "dcdl/mitigation/dcqcn.hpp"
 #include "dcdl/routing/compute.hpp"
+#include "dcdl/stats/hooks.hpp"
 #include "dcdl/topo/generators.hpp"
 
 namespace dcdl::scenarios {
@@ -33,6 +34,7 @@ Scenario make_routing_loop(const RoutingLoopParams& p) {
   cfg.mtu_bytes = p.packet_bytes;
   cfg.pfc.xoff_bytes = p.xoff_bytes;
   cfg.pfc.xon_bytes = p.xoff_bytes - 2 * p.packet_bytes;
+  cfg.dataplane = p.dataplane;
   if (p.ttl_class_band > 0) {
     cfg.reclass =
         mitigation::ttl_class_mapper(p.ttl_class_band, p.num_classes);
@@ -108,6 +110,7 @@ Scenario make_four_switch(const FourSwitchParams& p) {
   cfg.switch_buffer_bytes = p.buffer_bytes;
   cfg.pfc.xoff_bytes = p.xoff_bytes;
   cfg.pfc.xon_bytes = p.xoff_bytes - 2 * p.packet_bytes;
+  cfg.dataplane = p.dataplane;
   cfg.tx_jitter = p.tx_jitter;
   cfg.jitter_seed = p.seed;
   s.net = std::make_unique<Network>(*s.sim, t, cfg);
@@ -177,6 +180,7 @@ Scenario make_ring_deadlock(const RingDeadlockParams& p) {
   cfg.mtu_bytes = p.packet_bytes;
   cfg.pfc.xoff_bytes = p.xoff_bytes;
   cfg.pfc.xon_bytes = p.xoff_bytes - 2 * p.packet_bytes;
+  cfg.dataplane = p.dataplane;
   cfg.tx_jitter = p.tx_jitter;
   cfg.jitter_seed = p.seed;
   if (p.hop_classes) {
@@ -227,6 +231,7 @@ Scenario make_transient_loop(const TransientLoopParams& p) {
   cfg.mtu_bytes = p.packet_bytes;
   cfg.pfc.xoff_bytes = p.xoff_bytes;
   cfg.pfc.xon_bytes = p.xoff_bytes - 2 * p.packet_bytes;
+  cfg.dataplane = p.dataplane;
   if (p.ttl_class_band > 0) {
     cfg.reclass =
         mitigation::ttl_class_mapper(p.ttl_class_band, p.num_classes);
@@ -330,6 +335,7 @@ Scenario make_valley_violation(const ValleyViolationParams& p) {
   cfg.mtu_bytes = p.packet_bytes;
   cfg.pfc.xoff_bytes = p.xoff_bytes;
   cfg.pfc.xon_bytes = p.xoff_bytes - 2 * p.packet_bytes;
+  cfg.dataplane = p.dataplane;
   cfg.tx_jitter = p.tx_jitter;
   cfg.jitter_seed = p.seed;
   s.net = std::make_unique<Network>(*s.sim, t, cfg);
@@ -432,11 +438,44 @@ RunSummary run_and_check(
     std::function<void(const analysis::DeadlockMonitor&)> on_confirmed) {
   analysis::DeadlockMonitor monitor(*s.net, Time{50'000'000}, monitor_dwell);
   if (on_confirmed) monitor.set_on_confirmed(std::move(on_confirmed));
+  RunSummary out;
+  if (s.net->config().dataplane.enabled()) {
+    // Capture the pipeline's instants/counts and re-arm the centralized
+    // monitor after every in-band recovery so a second deadlock in the
+    // same run is still confirmed. `out` and `monitor` outlive the run and
+    // the drain, the only phases in which this hook can fire.
+    stats::append_hook(
+        s.net->trace().dataplane,
+        [&out, &monitor](Time t, NodeId n, dataplane::DataplaneEvent e,
+                         ClassId, std::uint64_t) {
+          switch (e) {
+            case dataplane::DataplaneEvent::kCandidate:
+              ++out.dp_candidates;
+              break;
+            case dataplane::DataplaneEvent::kConfirmed:
+              ++out.dp_confirms;
+              if (!out.dp_detected_at) {
+                out.dp_detected_at = t;
+                out.dp_trigger = n;
+              }
+              break;
+            case dataplane::DataplaneEvent::kRecovered:
+              ++out.dp_recoveries;
+              if (!out.dp_recovered_at) out.dp_recovered_at = t;
+              monitor.rearm();
+              break;
+            case dataplane::DataplaneEvent::kFalseAlarm:
+              ++out.dp_false_alarms;
+              break;
+            case dataplane::DataplaneEvent::kRearmed:
+              break;
+          }
+        });
+  }
   const Time start = s.sim->now();
   monitor.start(start, start + run_for + drain_grace);
   s.sim->run_until(start + run_for);
 
-  RunSummary out;
   for (const FlowSpec& f : s.flows) {
     out.delivered.emplace_back(
         f.id, s.net->host_at(f.dst_host).delivered_bytes(f.id));

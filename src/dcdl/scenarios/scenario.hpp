@@ -54,6 +54,8 @@ struct RoutingLoopParams {
   /// Optional TTL-band class mitigation (0 = off): see
   /// mitigation::ttl_class_mapper.
   int ttl_class_band = 0;
+  /// In-switch DCFIT detection/recovery pipeline (off by default).
+  dataplane::DataplaneConfig dataplane;
 };
 Scenario make_routing_loop(const RoutingLoopParams& params);
 
@@ -76,6 +78,8 @@ struct FourSwitchParams {
   /// 1000-byte serialization at 40 Gbps.
   Time tx_jitter = Time{10'000};
   std::uint64_t seed = 1;
+  /// In-switch DCFIT detection/recovery pipeline (off by default).
+  dataplane::DataplaneConfig dataplane;
 };
 Scenario make_four_switch(const FourSwitchParams& params);
 
@@ -101,6 +105,8 @@ struct RingDeadlockParams {
   bool hop_classes = false;
   Time tx_jitter = Time{10'000};
   std::uint64_t seed = 1;
+  /// In-switch DCFIT detection/recovery pipeline (off by default).
+  dataplane::DataplaneConfig dataplane;
 };
 Scenario make_ring_deadlock(const RingDeadlockParams& params);
 
@@ -143,6 +149,10 @@ struct TransientLoopParams {
   Time loop_duration = Time{2'000'000'000};  // 2 ms
   int num_classes = 1;
   int ttl_class_band = 0;  ///< optional TTL-class mitigation
+  /// In-switch DCFIT detection/recovery pipeline (off by default). The
+  /// false-positive experiments run this scenario below the Eq. 3 boundary
+  /// — the loop drains by itself and the pipeline must stay silent.
+  dataplane::DataplaneConfig dataplane;
 };
 Scenario make_transient_loop(const TransientLoopParams& params);
 
@@ -172,6 +182,8 @@ struct ValleyViolationParams {
   /// Route the same endpoint pairs with strict up*/down* instead of the
   /// valley paths (the fix): no cycle, no deadlock.
   bool strict_up_down = false;
+  /// In-switch DCFIT detection/recovery pipeline (off by default).
+  dataplane::DataplaneConfig dataplane;
 };
 Scenario make_valley_violation(const ValleyViolationParams& params);
 
@@ -186,6 +198,20 @@ struct RunSummary {
   std::int64_t trapped_bytes = 0;
   /// Per-flow delivered bytes at the moment flows were stopped.
   std::vector<std::pair<FlowId, std::int64_t>> delivered;
+
+  // --- In-band dataplane pipeline (all empty/zero when it is off) ---
+  /// First in-band confirmation instant and the switch that confirmed (the
+  /// pipeline's initial-trigger attribution — cross-check it against the
+  /// offline forensics report).
+  std::optional<Time> dp_detected_at;
+  std::optional<NodeId> dp_trigger;
+  /// First recovery-action instant (recovery latency = this minus
+  /// dp_detected_at).
+  std::optional<Time> dp_recovered_at;
+  std::uint64_t dp_candidates = 0;
+  std::uint64_t dp_confirms = 0;
+  std::uint64_t dp_recoveries = 0;
+  std::uint64_t dp_false_alarms = 0;
 };
 
 /// Runs the scenario for `run_for`, then stops all flows and drains for
@@ -193,7 +219,10 @@ struct RunSummary {
 /// set, fires at the simulated instant the online monitor confirms the
 /// wait-for cycle (cycle()/detected_at() filled in) — the hook the
 /// forensics layer uses to capture a post-mortem before the drain phase
-/// perturbs the queues.
+/// perturbs the queues. When the scenario's dataplane pipeline is enabled,
+/// its events are captured into the summary's dp_* fields and every
+/// recovery re-arms the centralized monitor, so a later second deadlock in
+/// the same run is still confirmed.
 RunSummary run_and_check(
     Scenario& s, Time run_for, Time drain_grace,
     Time monitor_dwell = Time{1'000'000'000},

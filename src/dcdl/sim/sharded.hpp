@@ -90,6 +90,7 @@ class ShardedEngine final : public Simulator::RunDelegate {
     kDropped,
     kTxStart,
     kCnp,
+    kDataplane,
   };
   struct TraceRec {
     Time at = Time::zero();
@@ -101,8 +102,8 @@ class ShardedEngine final : public Simulator::RunDelegate {
     NodeId node = 0;
     PortId port = 0;
     ClassId cls = 0;
-    std::uint8_t flag = 0;    ///< pfc pause bit / drop reason
-    std::int64_t value = 0;   ///< queue_bytes
+    std::uint8_t flag = 0;    ///< pfc pause bit / drop reason / dp event
+    std::int64_t value = 0;   ///< queue_bytes / dataplane detail
     FlowId flow = 0;          ///< kCnp
   };
 

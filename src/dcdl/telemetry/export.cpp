@@ -180,6 +180,19 @@ std::string to_perfetto_json(const Topology& topo,
         appendf(out, ",\"args\":{\"flow\":%u,\"bytes\":%u}}", r.flow,
                 r.bytes);
         break;
+      case RecordKind::kDataplaneDetect:
+      case RecordKind::kDataplaneRecover:
+        if (!opts.dataplane_instants) break;
+        comma();
+        appendf(out,
+                "{\"name\":\"dataplane %s\",\"cat\":\"dataplane\","
+                "\"ph\":\"i\",\"s\":\"p\",\"pid\":%u,\"tid\":0,\"ts\":",
+                to_string(static_cast<dataplane::DataplaneEvent>(r.reason)),
+                r.node);
+        append_ts(out, r.t_ps);
+        appendf(out, ",\"args\":{\"cls\":%u,\"detail\":%u}}", r.cls,
+                r.bytes);
+        break;
     }
   }
   // Close spans still open at the window's end (a deadlocked cycle's whole
@@ -248,6 +261,13 @@ void append_record_jsonl(std::string& out, const TraceRecord& r) {
       break;
     case RecordKind::kCnp:
       appendf(out, ",\"flow\":%u", r.flow);
+      break;
+    case RecordKind::kDataplaneDetect:
+    case RecordKind::kDataplaneRecover:
+      appendf(out, ",\"node\":%u,\"cls\":%u,\"event\":\"%s\",\"detail\":%u",
+              r.node, r.cls,
+              to_string(static_cast<dataplane::DataplaneEvent>(r.reason)),
+              r.bytes);
       break;
   }
   out += "}\n";

@@ -38,6 +38,8 @@ struct PerfettoOptions {
   /// Per-packet instants; off by default (they dwarf everything else).
   bool delivered_instants = false;
   bool tx_instants = false;
+  /// In-switch pipeline milestones (candidate/confirmed/recovered/...).
+  bool dataplane_instants = true;
 };
 
 /// A cause -> effect arrow between two pause spans, rendered as a Chrome

@@ -25,8 +25,13 @@ enum class RecordKind : std::uint8_t {
   kDropped = 4,     ///< packet dropped at node; `reason` holds DropReason
   kCnp = 5,         ///< congestion notification delivered to flow's source
   kQueueBytes = 6,  ///< ingress counter (node, port, cls) now holds `bytes`
+  /// Data-plane pipeline milestone at `node`; `reason` holds the
+  /// dataplane::DataplaneEvent and `bytes` its detail word (tag hop count
+  /// for candidates, queues acted on for recoveries).
+  kDataplaneDetect = 7,
+  kDataplaneRecover = 8,  ///< recovery action / re-arm at `node`
 };
-constexpr int kNumRecordKinds = 7;
+constexpr int kNumRecordKinds = 9;
 
 const char* to_string(RecordKind kind);
 

@@ -14,6 +14,8 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kDropped: return "dropped";
     case RecordKind::kCnp: return "cnp";
     case RecordKind::kQueueBytes: return "queue_bytes";
+    case RecordKind::kDataplaneDetect: return "dataplane_detect";
+    case RecordKind::kDataplaneRecover: return "dataplane_recover";
   }
   return "?";
 }
@@ -115,6 +117,25 @@ void FlightRecorder::attach(Network& net, const AttachOptions& opts) {
           r.port = port;
           r.cls = cls;
           r.kind = RecordKind::kQueueBytes;
+          record(r);
+        });
+  }
+  if (opts.dataplane) {
+    stats::append_hook(
+        t.dataplane,
+        [this](Time at, NodeId node, dataplane::DataplaneEvent ev,
+               ClassId cls, std::uint64_t detail) {
+          TraceRecord r;
+          r.t_ps = at.ps();
+          r.node = node;
+          r.bytes = static_cast<std::uint32_t>(detail);
+          r.port = kInvalidPort;
+          r.cls = cls;
+          r.kind = (ev == dataplane::DataplaneEvent::kRecovered ||
+                    ev == dataplane::DataplaneEvent::kRearmed)
+                       ? RecordKind::kDataplaneRecover
+                       : RecordKind::kDataplaneDetect;
+          r.reason = static_cast<std::uint8_t>(ev);
           record(r);
         });
   }

@@ -31,6 +31,7 @@ class FlightRecorder {
     bool dropped = true;
     bool cnp = true;
     bool queue_bytes = true;
+    bool dataplane = true;  ///< in-switch detection/recovery milestones
   };
 
   /// Preallocates storage for `capacity` records (rounded up to a power of

@@ -283,7 +283,7 @@ TEST(CampaignResultSink, JsonAndCsvCarrySchemaParamsAndMetrics) {
       CampaignExecutor(reg).run(expand(spec), spec.root_seed);
 
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v3\""), std::string::npos);
   EXPECT_NE(json.find("\"inject\":4.5"), std::string::npos);
   EXPECT_NE(json.find("\"r_threshold_gbps\":5"), std::string::npos);
   EXPECT_EQ(json.find("\"timing\""), std::string::npos) << "wall clock leaked";
@@ -301,6 +301,12 @@ TEST(CampaignResultSink, JsonAndCsvCarrySchemaParamsAndMetrics) {
   EXPECT_NE(header.find("param.inject"), std::string::npos);
   EXPECT_NE(header.find("metric.r_threshold_gbps"), std::string::npos);
   EXPECT_NE(header.find("goodput_gbps"), std::string::npos);
+  // v3: the dataplane columns are always present (pipeline off -> -1/0).
+  EXPECT_NE(header.find("detection_latency_ns"), std::string::npos);
+  EXPECT_NE(header.find("recovery_time_ns"), std::string::npos);
+  EXPECT_NE(header.find("false_positive"), std::string::npos);
+  EXPECT_NE(json.find("\"detection_latency_ns\":-1"), std::string::npos);
+  EXPECT_NE(json.find("\"false_positive\":false"), std::string::npos);
 }
 
 }  // namespace

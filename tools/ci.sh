@@ -12,11 +12,14 @@
 #
 # A clean exit means the tree is committable: every gtest suite passed;
 # with --sanitizers the ASan+UBSan full suite and the TSan campaign +
-# sharded-engine binaries are clean too; with --full the sharded engine
-# additionally re-proves digest equality at 4 shards under TSan (the
-# release-blocking determinism check) and the hot path held its events/sec
-# baseline. The perf gate uses its own Release build dir (build-perf) —
-# sanitizer and default builds are not valid timing baselines.
+# sharded-engine + dataplane binaries are clean too; with --full the
+# sharded engine additionally re-proves digest equality at 4 shards under
+# TSan (the release-blocking determinism check), the in-switch dataplane
+# pipeline re-proves its recovery timeline byte-identical across shard
+# counts and across campaign --jobs under TSan, and the hot path held its
+# events/sec baseline. The perf gate uses its own Release build dir
+# (build-perf) — sanitizer and default builds are not valid timing
+# baselines.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -53,6 +56,30 @@ if [ "$perf" = 1 ]; then
   cmake --build "$tsan_dir" --target test_sharded -j"$(nproc)"
   "$tsan_dir/tests/test_sharded" \
     --gtest_filter='ShardedDigest.*:ShardedRun.*'
+
+  # Dataplane determinism leg: the in-switch detection/recovery pipeline
+  # must produce the same detection/recovery timeline whatever the thread
+  # layout. Two angles, both under TSan: the gtest shard-invariance suite
+  # (legacy engine vs 1/2/4 shards inside one run), and a dcdl_sweep
+  # recovery campaign whose JSON artifact must be byte-identical across
+  # --jobs x --shards combinations.
+  cmake --build "$tsan_dir" --target test_dataplane dcdl_sweep -j"$(nproc)"
+  "$tsan_dir/tests/test_dataplane" --gtest_filter='DataplaneSharded.*'
+  dp_sweep() {
+    "$tsan_dir/examples/dcdl_sweep" --scenario valley \
+      --set "dataplane=reroute" --seeds 2 --run_ms 6 --jobs "$1" \
+      --shards "$2" --quiet --out "$3"
+  }
+  # Two identity classes (telemetry carries engine-internal counters, so
+  # legacy shards=0 and sharded shards>=1 artifacts differ by design):
+  # --jobs must not matter within either engine, --shards must not matter
+  # within the sharded engine.
+  dp_sweep 1 0 "$tsan_dir/dp_j1.json"
+  dp_sweep 4 0 "$tsan_dir/dp_j4.json"
+  dp_sweep 1 1 "$tsan_dir/dp_s1.json"
+  dp_sweep 4 2 "$tsan_dir/dp_s2.json"
+  cmp "$tsan_dir/dp_j1.json" "$tsan_dir/dp_j4.json"
+  cmp "$tsan_dir/dp_s1.json" "$tsan_dir/dp_s2.json"
 
   perf_dir="$repo_root/build-perf"
   cmake -B "$perf_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release

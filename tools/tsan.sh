@@ -15,6 +15,10 @@
 #     ordered by the two std::barrier arrive_and_wait calls per device pass
 #     (see DESIGN.md "Sharded simulation architecture"), so a clean run is
 #     by construction, not by exclusion.
+#   - test_dataplane: the in-switch detection/recovery pipeline, whose
+#     tagged PFC frames and recovery timers cross shard boundaries; its
+#     shard-invariance test runs the valley recovery scenario on the legacy
+#     engine and at 1/2/4 shards and asserts identical summaries.
 #   - test_simulator: the single-threaded core under the same build, as a
 #     control.
 #
@@ -29,12 +33,14 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
-cmake --build "$build_dir" --target test_campaign test_sharded test_simulator \
+cmake --build "$build_dir" \
+  --target test_campaign test_sharded test_dataplane test_simulator \
   -j"$(nproc)"
 
 # gtest binaries run directly (no ctest discovery needed under TSan).
 "$build_dir/tests/test_campaign"
 "$build_dir/tests/test_sharded"
+"$build_dir/tests/test_dataplane"
 "$build_dir/tests/test_simulator"
 
-echo "tsan.sh: campaign + sharded + simulator tests clean under ThreadSanitizer"
+echo "tsan.sh: campaign + sharded + dataplane + simulator tests clean under ThreadSanitizer"
