@@ -30,9 +30,22 @@
 // v4 adds routing_loop_dp — the same routing-loop steady state with the
 // in-switch dataplane pipeline armed (policy=detect) — so the per-packet
 // tag-stage overhead rides the same >10% regression gate as everything
-// else. The emission keeps one scenario object per line with "name" before
-// "events_per_sec", so a v4 artifact still parses as a --baseline input for
-// older binaries and vice versa.
+// else; v5 adds the hybrid fluid/packet pair fat_tree_local /
+// fat_tree_local_hy — a k=8 fat-tree with congestion localized to pod 0
+// (intra-pod incast) and CBR background inside every other pod, run pure
+// packet and under the risk-guided hybrid engine — with sim_ms /
+// sim_ms_per_sec so the speedup is measured as simulated-time per wall
+// second (the event streams intentionally differ). The emission keeps one
+// scenario object per line with "name" before "events_per_sec", so a v5
+// artifact still parses as a --baseline input for older binaries and vice
+// versa.
+//
+//   bench_perf --hybrid [--k K] [--ms M]  hybrid-speedup probe: run the
+//                                         localized-congestion fat-tree
+//                                         (default k=16) pure packet and
+//                                         under --hybrid risk, print the
+//                                         simulated-time/sec speedup and
+//                                         the fluid-time fraction
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -40,16 +53,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dcdl/device/host.hpp"
+#include "dcdl/hybrid/hybrid.hpp"
 #include "dcdl/routing/compute.hpp"
 #include "dcdl/scenarios/scenario.hpp"
 #include "dcdl/sim/sharded.hpp"
 #include "dcdl/topo/generators.hpp"
+#include "dcdl/traffic/flow.hpp"
 
 using namespace dcdl;
 using namespace dcdl::literals;
@@ -146,6 +162,11 @@ struct RunOutcome {
   std::uint64_t stalled_windows = 0;  ///< shard-passes that fired 0 events
   std::uint64_t cross_shard_events = 0;
   std::vector<std::uint64_t> shard_events;
+  /// Hybrid fluid/packet engine (v5 scenarios only).
+  bool hybrid = false;
+  double fluid_fraction = 0;
+  std::uint64_t zoom_events = 0;
+  std::uint64_t credited_packets = 0;
 };
 
 struct JsonResult {
@@ -153,6 +174,9 @@ struct JsonResult {
   std::uint64_t events = 0;
   double best_wall_ms = 0;
   double events_per_sec = 0;
+  /// Simulated horizon (0 = not tracked for this scenario); with
+  /// best_wall_ms this yields sim_ms_per_sec, the hybrid speedup metric.
+  double sim_ms = 0;
   RunOutcome outcome{};
 };
 
@@ -262,6 +286,76 @@ RunOutcome run_fat_tree(int shards, int k, Time run_for) {
   return out;
 }
 
+/// Localized congestion on a k-ary fat-tree: pod 0 runs a greedy intra-pod
+/// incast (every pod-0 host blasts host 0, crossing the aggregation layer),
+/// while pods 1..k-1 carry a steady intra-pod CBR permutation at ~10% line
+/// rate. The hot traffic never leaves pod 0 and the background never touches
+/// it, so under the risk-guided hybrid engine the background pods fluidize
+/// (token-bucket pacers, unsaturated paths, link-disjoint from every packet
+/// flow) while pod 0 stays packet-accurate — the workload the zoom was built
+/// for. The event streams differ between modes by design; compare
+/// simulated-time per wall second, not events/sec.
+RunOutcome run_fat_tree_localized(int k, Time run_for, hybrid::Mode mode) {
+  Simulator sim;
+  const topo::FatTreeTopo ft = topo::make_fat_tree(k);
+  Topology topo = ft.topo;
+  Network net(sim, topo, NetConfig{});
+  routing::install_shortest_paths(net);
+
+  const int half = k / 2;
+  const int hp = half * half;  // hosts per pod
+  std::vector<FlowSpec> flows;
+  FlowId next_id = 1;
+  // Hot pod: every pod-0 host except the victim sends greedy (no pacer) to
+  // pod-0 host 0. Greedy flows are never fluidization-eligible.
+  for (int i = 1; i < hp; ++i) {
+    FlowSpec f;
+    f.id = next_id++;
+    f.src_host = ft.all_hosts[static_cast<std::size_t>(i)];
+    f.dst_host = ft.all_hosts[0];
+    f.packet_bytes = 1000;
+    net.host_at(f.src_host).add_flow(f);
+    flows.push_back(f);
+  }
+  // Background pods: host i -> host (i + half) % hp inside the same pod — a
+  // bijection that always crosses to the next edge switch, exercising the
+  // pod's aggregation layer without ever reaching the core tier.
+  for (int pod = 1; pod < k; ++pod) {
+    for (int i = 0; i < hp; ++i) {
+      FlowSpec f;
+      f.id = next_id++;
+      f.src_host = ft.all_hosts[static_cast<std::size_t>(pod * hp + i)];
+      f.dst_host =
+          ft.all_hosts[static_cast<std::size_t>(pod * hp + (i + half) % hp)];
+      f.packet_bytes = 1000;
+      net.host_at(f.src_host).add_flow(
+          f, std::make_unique<TokenBucketPacer>(Rate::gbps(4),
+                                                2 * f.packet_bytes));
+      flows.push_back(f);
+    }
+  }
+
+  std::optional<hybrid::HybridController> ctl;
+  if (mode != hybrid::Mode::kOff) {
+    hybrid::HybridConfig hc;
+    hc.mode = mode;
+    ctl.emplace(net, flows, hc);
+  }
+  sim.run_until(run_for);
+  benchmark::DoNotOptimize(net.total_queued_bytes());
+
+  RunOutcome out;
+  if (ctl) {
+    ctl->finalize();
+    out.hybrid = true;
+    out.fluid_fraction = ctl->stats().fluid_fraction;
+    out.zoom_events = ctl->stats().zoom_events;
+    out.credited_packets = ctl->stats().credited_packets;
+  }
+  out.counters = sim.counters();
+  return out;
+}
+
 RunOutcome run_event_churn() {
   Simulator sim;
   std::int64_t fired = 0;
@@ -288,6 +382,18 @@ std::vector<JsonResult> run_suite() {
                             [] { return run_fat_tree(2, 4, 500_us); }));
   results.push_back(measure("fat_tree_s4", kReps,
                             [] { return run_fat_tree(4, 4, 500_us); }));
+  {
+    JsonResult r = measure("fat_tree_local", kReps, [] {
+      return run_fat_tree_localized(8, 500_us, hybrid::Mode::kOff);
+    });
+    r.sim_ms = 0.5;
+    results.push_back(std::move(r));
+    r = measure("fat_tree_local_hy", kReps, [] {
+      return run_fat_tree_localized(8, 500_us, hybrid::Mode::kRisk);
+    });
+    r.sim_ms = 0.5;
+    results.push_back(std::move(r));
+  }
   results.push_back(measure("event_churn", kReps, run_event_churn));
   return results;
 }
@@ -310,6 +416,19 @@ void print_suite(const std::vector<JsonResult>& results) {
                   static_cast<unsigned long long>(
                       r.outcome.cross_shard_events));
     }
+    if (r.sim_ms > 0) {
+      std::printf("  %-12s %.1f sim ms (%.2f sim-ms/sec)", "", r.sim_ms,
+                  r.sim_ms / (r.best_wall_ms / 1e3));
+      if (r.outcome.hybrid) {
+        std::printf(", fluid fraction %.3f, %llu zoom event(s), %llu "
+                    "credited pkt(s)",
+                    r.outcome.fluid_fraction,
+                    static_cast<unsigned long long>(r.outcome.zoom_events),
+                    static_cast<unsigned long long>(
+                        r.outcome.credited_packets));
+      }
+      std::printf("\n");
+    }
   }
 }
 
@@ -320,7 +439,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "bench_perf: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v4\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v5\",\n");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JsonResult& r = results[i];
@@ -352,6 +471,19 @@ int run_json_mode(const std::string& path) {
                          r.outcome.shard_events[s]));
       }
       std::fprintf(f, "]");
+    }
+    if (r.sim_ms > 0) {
+      std::fprintf(f, ", \"sim_ms\": %.3f, \"sim_ms_per_sec\": %.2f",
+                   r.sim_ms, r.sim_ms / (r.best_wall_ms / 1e3));
+    }
+    if (r.outcome.hybrid) {
+      std::fprintf(f,
+                   ", \"hybrid\": true, \"fluid_fraction\": %.4f, "
+                   "\"zoom_events\": %llu, \"credited_packets\": %llu",
+                   r.outcome.fluid_fraction,
+                   static_cast<unsigned long long>(r.outcome.zoom_events),
+                   static_cast<unsigned long long>(
+                       r.outcome.credited_packets));
     }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -468,12 +600,39 @@ int run_shards_mode(int shards, int k, double sim_ms) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --hybrid mode: fluid/packet zoom speedup probe.
+
+int run_hybrid_mode(int k, double sim_ms) {
+  if (k < 4 || k % 2 != 0 || sim_ms <= 0) {
+    std::fprintf(stderr, "bench_perf: --hybrid needs even k >= 4, ms > 0\n");
+    return 1;
+  }
+  const Time run_for = Time{static_cast<std::int64_t>(sim_ms * 1e9)};
+  constexpr int kReps = 3;
+  std::printf(
+      "fat-tree k=%d localized congestion, %.1f simulated ms, best of %d:\n",
+      k, sim_ms, kReps);
+  JsonResult off = measure("local_packet", kReps, [k, run_for] {
+    return run_fat_tree_localized(k, run_for, hybrid::Mode::kOff);
+  });
+  off.sim_ms = sim_ms;
+  JsonResult hy = measure("local_hybrid", kReps, [k, run_for] {
+    return run_fat_tree_localized(k, run_for, hybrid::Mode::kRisk);
+  });
+  hy.sim_ms = sim_ms;
+  print_suite({off, hy});
+  std::printf("simulated-time/sec speedup (hybrid risk vs packet): %.2fx\n",
+              off.best_wall_ms / hy.best_wall_ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int shards = 0, k = 16;
   double sim_ms = 1.0;
-  bool shards_mode = false;
+  bool shards_mode = false, hybrid_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       const std::string path =
@@ -495,6 +654,10 @@ int main(int argc, char** argv) {
       shards = std::atoi(argv[++i]);
       continue;
     }
+    if (std::strcmp(argv[i], "--hybrid") == 0) {
+      hybrid_mode = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
       k = std::atoi(argv[++i]);
       continue;
@@ -505,6 +668,7 @@ int main(int argc, char** argv) {
     }
   }
   if (shards_mode) return run_shards_mode(shards, k, sim_ms);
+  if (hybrid_mode) return run_hybrid_mode(k, sim_ms);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -14,7 +14,12 @@
 // threads — every report byte is identical for all N >= 1),
 // --dataplane <off|detect|drop|reroute|pfc_lift> (arm the in-switch DCFIT
 // detection pipeline with the given recovery policy, e.g.
-// `dcdl_sim --scenario=loop --dataplane=reroute`).
+// `dcdl_sim --scenario=loop --dataplane=reroute`),
+// --hybrid <off|static|risk> (run under the hybrid fluid/packet engine:
+// uncongested regions integrate as fluid flows, deadlock-capable ones stay
+// packet — the verdict is identical by construction), --fluid (also run the
+// scenario's pure-fluid twin and print its verdict next to the packet one;
+// fig4 is the paper's §3.2 case where the two disagree).
 // Observability: --trace <dir> writes <scenario>.trace.json (Perfetto, with
 // pause-cascade flow arrows; open in chrome://tracing or ui.perfetto.dev),
 // <scenario>.telemetry.jsonl (topology-bearing, replayable through
@@ -54,6 +59,15 @@ int main(int argc, char** argv) {
                  dp_str.c_str());
     return 2;
   }
+  const std::string hybrid_str = flags.get_string("hybrid", "off");
+  const std::optional<hybrid::Mode> hybrid_mode =
+      hybrid::parse_mode(hybrid_str);
+  if (!hybrid_mode) {
+    std::fprintf(stderr, "unknown --hybrid=%s (off|static|risk)\n",
+                 hybrid_str.c_str());
+    return 2;
+  }
+  const bool fluid_twin = flags.get_bool("fluid", false);
 
   Scenario s = [&]() -> Scenario {
     // The request only needs to cover Network construction: the network
@@ -154,6 +168,19 @@ int main(int argc, char** argv) {
     std::printf("PFC watchdog armed (storm threshold 2 ms)\n");
   }
 
+  // The hybrid controller reads the live pacers, so it must come after any
+  // mitigation rewiring (smart_limit swaps pacers at the source NICs).
+  std::unique_ptr<hybrid::HybridController> hyb;
+  if (*hybrid_mode != hybrid::Mode::kOff) {
+    hybrid::HybridConfig hcfg;
+    hcfg.mode = *hybrid_mode;
+    hyb = std::make_unique<hybrid::HybridController>(*s.net, s.flows, hcfg);
+    std::printf("hybrid: %s mode, %d region(s), %zu of %zu flow(s) fluid "
+                "at t=0\n",
+                hybrid::to_string(hcfg.mode), hyb->num_regions(),
+                hyb->fluid_flows(), s.flows.size());
+  }
+
   stats::PauseEventLog pauses(*s.net);
   stats::LatencyMeter latency(*s.net);
   std::vector<forensics::CausalInput::Drop> drop_log;
@@ -208,6 +235,56 @@ int main(int argc, char** argv) {
                                  r.detected_at->ms());
   std::printf(", %lld bytes trapped\n",
               static_cast<long long>(r.trapped_bytes));
+
+  if (hyb) {
+    hyb->finalize();
+    const hybrid::HybridStats& hs = hyb->stats();
+    std::printf("hybrid: %llu zoom event(s) (%llu escalation(s), %llu "
+                "de-escalation(s)), fluid fraction %.3f, %llu packet(s) "
+                "credited via the fluid adapter\n",
+                static_cast<unsigned long long>(hs.zoom_events),
+                static_cast<unsigned long long>(hs.escalations),
+                static_cast<unsigned long long>(hs.deescalations),
+                hs.fluid_fraction,
+                static_cast<unsigned long long>(hs.credited_packets));
+  }
+
+  // --fluid: run the scenario's fluid twin over the same horizon and print
+  // its verdict next to the packet one (the paper's §3.2 gap, on demand).
+  if (fluid_twin) {
+    std::optional<analysis::FluidResult> fr;
+    if (which == "loop") {
+      RoutingLoopParams p;
+      analysis::FluidModel fm = analysis::make_fluid_routing_loop(
+          p.loop_len, p.bandwidth, ttl, Rate::gbps(inject));
+      fr = fm.run(run_for);
+    } else if (which == "fig3" || which == "fig4" || which == "fig5") {
+      const bool with_flow3 = which != "fig3";
+      // The fluid model needs an explicit demand; greedy = line rate.
+      Rate flow3_rate = Rate::gbps(40);
+      if (which == "fig5" || flow3 > 0) {
+        flow3_rate = Rate::gbps(flow3 > 0 ? flow3 : 2.0);
+      }
+      analysis::FluidFourSwitch fs2 =
+          analysis::make_fluid_four_switch(with_flow3, flow3_rate);
+      fr = fs2.model.run(run_for);
+    }
+    if (fr) {
+      std::printf("fluid twin: deadlock %s", fr->deadlocked ? "YES" : "no");
+      if (fr->deadlocked) {
+        std::printf(" at %.2f ms, frozen cycle of %zu queue(s):",
+                    fr->deadlock_at.ms(), fr->deadlock_queues.size());
+        for (const int q : fr->deadlock_queues) std::printf(" q%d", q);
+      }
+      std::printf("%s\n", fr->deadlocked != r.deadlocked
+                              ? "  << disagrees with the packet level"
+                              : "");
+    } else {
+      std::printf("fluid twin: none for scenario '%s' (loop, fig3, fig4, "
+                  "fig5 have twins)\n",
+                  which.c_str());
+    }
+  }
 
   if (s.net->config().dataplane.enabled()) {
     std::printf("dataplane (%s): %llu candidate(s), %llu confirm(s), %llu "

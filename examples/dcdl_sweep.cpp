@@ -18,7 +18,10 @@
 // each run via the sharded conservative engine; artifacts are
 // byte-identical for every --shards >= 1, and shard threads multiply with
 // --jobs — shard wide runs with few jobs, or leave at 0 when the campaign
-// already saturates the cores).
+// already saturates the cores), --hybrid <off|static|risk> (run every run
+// under the hybrid fluid/packet engine; v4 artifacts carry hybrid_mode /
+// zoom_events / fluid_fraction, and verdicts are identical to --hybrid off
+// by construction).
 //
 // Observability: --progress (live completed/total counter on stderr —
 // stdout artifacts stay byte-identical), --trace <dir> (per-run Perfetto +
@@ -72,6 +75,14 @@ int main(int argc, char** argv) {
   const bool progress = flags.get_bool("progress", false);
   const std::string trace_dir = flags.get_string("trace", "");
   const bool metrics = flags.get_bool("metrics", false);
+  const std::string hybrid_str = flags.get_string("hybrid", "off");
+  const std::optional<hybrid::Mode> hybrid_mode =
+      hybrid::parse_mode(hybrid_str);
+  if (!hybrid_mode) {
+    std::fprintf(stderr, "dcdl_sweep: unknown --hybrid=%s (off|static|risk)\n",
+                 hybrid_str.c_str());
+    return 2;
+  }
   flags.check_unused();
 
   ScenarioRegistry& reg = ScenarioRegistry::global();
@@ -116,6 +127,7 @@ int main(int argc, char** argv) {
     ExecutorOptions opts;
     opts.jobs = jobs;
     opts.shards = shards;
+    opts.hybrid.mode = *hybrid_mode;
     opts.run_wall_budget_ms = timeout_ms;
     if (!trace_dir.empty()) {
       ensure_output_dir(trace_dir);

@@ -67,38 +67,44 @@ int FluidModel::add_flow(FluidFlow f) {
   return static_cast<int>(flows_.size()) - 1;
 }
 
-FluidResult FluidModel::run(Time horizon, Time dt, Time warmup, Time dwell) {
+void FluidModel::begin(Time dt) {
+  DCDL_EXPECTS(dt > Time::zero());
+  st_ = State{};
+  st_.dt = dt;
+  st_.dt_s = dt.sec();
+  st_.occupancy.assign(queues_.size(), 0.0);
+  st_.queue_asserted.assign(queues_.size(), 0);
+  st_.link_paused.assign(links_.size(), 0);
+  st_.loop_fluid.assign(flows_.size(), 0.0);
+  st_.step_delivered.assign(flows_.size(), 0.0);
+}
+
+double FluidModel::occupancy(int q) const {
+  return st_.occupancy.at(static_cast<std::size_t>(q));
+}
+
+bool FluidModel::queue_asserted(int q) const {
+  return st_.queue_asserted.at(static_cast<std::size_t>(q)) != 0;
+}
+
+double FluidModel::step_delivered(int f) const {
+  return st_.step_delivered.at(static_cast<std::size_t>(f));
+}
+
+void FluidModel::step() {
   const std::size_t nq = queues_.size();
   const std::size_t nl = links_.size();
   const std::size_t nf = flows_.size();
-  const double dt_s = dt.sec();
+  const double dt_s = st_.dt_s;
+  std::vector<double>& occupancy = st_.occupancy;
+  std::vector<char>& queue_asserted = st_.queue_asserted;
+  std::vector<char>& link_paused = st_.link_paused;
+  std::deque<Transition>& pending = st_.pending;
+  std::vector<double>& loop_fluid = st_.loop_fluid;
+  const Time now = st_.now;
+  st_.step_delivered.assign(nf, 0.0);
 
-  // State.
-  std::vector<double> occupancy(nq, 0.0);  // bytes per queue
-  std::vector<char> queue_asserted(nq, 0); // hysteresis state
-  std::vector<char> link_paused(nl, 0);    // effective at the sender
-  struct Transition {
-    Time at;
-    int link;
-    bool paused;
-  };
-  std::deque<Transition> pending;
-  std::vector<double> loop_fluid(nf, 0.0); // aggregate loop occupancy
-  std::vector<double> delivered(nf, 0.0);  // bytes delivered after warmup
-
-  FluidResult res;
-  res.min_bytes.assign(nq, std::numeric_limits<std::int64_t>::max());
-  res.max_bytes.assign(nq, 0);
-  res.paused_fraction.assign(nq, 0.0);
-  res.mean_goodput_bps.assign(nf, 0.0);
-
-  // hop -> (flow, hop index). Hop j of flow f crosses the upstream link of
-  // queue f.queues[j] into that queue. For loop flows, hops < loop_from are
-  // the injection path; the loop itself is handled in aggregate.
-  Time frozen_since = Time::max();
-  Time now = Time::zero();
-
-  while (now < horizon) {
+  {
     // 1. Apply due pause/resume transitions.
     while (!pending.empty() && pending.front().at <= now) {
       link_paused[static_cast<std::size_t>(pending.front().link)] =
@@ -201,8 +207,8 @@ FluidResult FluidModel::run(Time horizon, Time dt, Time warmup, Time dwell) {
           occupancy[q] += (in - out) * dt_s;
           if (occupancy[q] < 0) occupancy[q] = 0;
         }
-        if (fl.loop_from < 0 && j + 1 == hops && now >= warmup) {
-          delivered[f] += out * dt_s;
+        if (fl.loop_from < 0 && j + 1 == hops) {
+          st_.step_delivered[f] += out * dt_s;
         }
       }
       if (fl.loop_from >= 0) {
@@ -243,35 +249,70 @@ FluidResult FluidModel::run(Time horizon, Time dt, Time warmup, Time dwell) {
       }
     }
 
-    // 5. Freeze detection: fluid present but nothing moves anywhere.
+    // 5. Freeze ingredients: fluid present but nothing moves anywhere.
     double total_fluid = 0, total_motion = 0;
     for (std::size_t q = 0; q < nq; ++q) total_fluid += occupancy[q];
     for (std::size_t f = 0; f < nf; ++f) {
       for (const double r : rate[f]) total_motion += r;
       total_motion += loop_flux[f];
     }
-    if (total_fluid > 10 * kEpsBytes && total_motion < 1.0) {
+    st_.total_fluid = total_fluid;
+    st_.total_motion = total_motion;
+  }
+
+  st_.now = now + st_.dt;
+}
+
+FluidResult FluidModel::run(Time horizon, Time dt, Time warmup, Time dwell) {
+  const std::size_t nq = queues_.size();
+  const std::size_t nf = flows_.size();
+  const double dt_s = dt.sec();
+  std::vector<double> delivered(nf, 0.0);  // bytes delivered after warmup
+
+  FluidResult res;
+  res.min_bytes.assign(nq, std::numeric_limits<std::int64_t>::max());
+  res.max_bytes.assign(nq, 0);
+  res.paused_fraction.assign(nq, 0.0);
+  res.mean_goodput_bps.assign(nf, 0.0);
+
+  begin(dt);
+  Time frozen_since = Time::max();
+  while (st_.now < horizon) {
+    const Time now = st_.now;  // start of this step
+    step();
+
+    // Freeze detection over the dwell window.
+    if (st_.total_fluid > 10 * kEpsBytes && st_.total_motion < 1.0) {
       if (frozen_since == Time::max()) frozen_since = now;
       if (now - frozen_since >= dwell && !res.deadlocked) {
         res.deadlocked = true;
         res.deadlock_at = frozen_since;
+        // The frozen cycle's membership: queues still occupied while
+        // holding their upstream paused at the confirmation instant.
+        for (std::size_t q = 0; q < nq; ++q) {
+          if (st_.queue_asserted[q] && st_.occupancy[q] > kEpsBytes) {
+            res.deadlock_queues.push_back(static_cast<int>(q));
+          }
+        }
       }
     } else {
       frozen_since = Time::max();
     }
 
-    // 6. Statistics.
+    // Statistics.
     if (now >= warmup) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        delivered[f] += st_.step_delivered[f];
+      }
       for (std::size_t q = 0; q < nq; ++q) {
-        const auto bytes = static_cast<std::int64_t>(occupancy[q]);
+        const auto bytes = static_cast<std::int64_t>(st_.occupancy[q]);
         res.min_bytes[q] = std::min(res.min_bytes[q], bytes);
         res.max_bytes[q] = std::max(res.max_bytes[q], bytes);
-        if (queue_asserted[q]) {
+        if (st_.queue_asserted[q]) {
           res.paused_fraction[q] += dt_s;
         }
       }
     }
-    now += dt;
   }
 
   const double window_s = (horizon - warmup).sec();

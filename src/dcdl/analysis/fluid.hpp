@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,6 +74,10 @@ struct FluidFlow {
 struct FluidResult {
   bool deadlocked = false;
   Time deadlock_at = Time::zero();
+  /// Queue membership of the frozen pause cycle at the confirmation
+  /// instant: every queue that was holding its upstream paused while still
+  /// occupied. Empty unless `deadlocked`.
+  std::vector<int> deadlock_queues;
   /// Occupancy extrema per queue over the sampled window.
   std::vector<std::int64_t> min_bytes, max_bytes;
   /// Fraction of time each queue held its upstream paused.
@@ -89,17 +94,58 @@ class FluidModel {
 
   /// Integrates for `horizon` with step `dt`; statistics are collected
   /// after `warmup`. Deadlock = every queue of some pause cycle saturated
-  /// with zero outflow for `dwell`.
+  /// with zero outflow for `dwell`. Implemented on top of begin()/step(),
+  /// so batch results and incremental stepping are arithmetically
+  /// identical.
   FluidResult run(Time horizon, Time dt = Time{100'000},
                   Time warmup = Time{1'000'000'000},
                   Time dwell = Time{1'000'000'000});
 
+  /// Incremental stepping — the hybrid engine's integration mode. begin()
+  /// resets all dynamic state and fixes the step; each step() then
+  /// advances the model by one dt using exactly the per-iteration
+  /// arithmetic of run(). After step() returns, now() is the end of the
+  /// step and the observers below describe the step just taken.
+  void begin(Time dt);
+  void step();
+  Time now() const { return st_.now; }
+  double occupancy(int q) const;
+  bool queue_asserted(int q) const;
+  /// Bytes delivered by flow `f` during the most recent step() (zero for
+  /// loop flows — they drain by TTL, not delivery).
+  double step_delivered(int f) const;
+  /// Total resident fluid (bytes) and total motion (bytes/s) after the
+  /// last step — the ingredients of the freeze predicate.
+  double total_fluid() const { return st_.total_fluid; }
+  double total_motion() const { return st_.total_motion; }
+
   const std::vector<FluidQueue>& queues() const { return queues_; }
+  const std::vector<FluidFlow>& flows() const { return flows_; }
 
  private:
+  /// Dynamic integration state between begin() and the last step().
+  struct Transition {
+    Time at;
+    int link;
+    bool paused;
+  };
+  struct State {
+    Time dt = Time::zero();
+    double dt_s = 0;
+    Time now = Time::zero();
+    std::vector<double> occupancy;
+    std::vector<char> queue_asserted;
+    std::vector<char> link_paused;
+    std::deque<Transition> pending;
+    std::vector<double> loop_fluid;
+    std::vector<double> step_delivered;
+    double total_fluid = 0, total_motion = 0;
+  };
+
   std::vector<FluidQueue> queues_;
   std::vector<FluidLink> links_;
   std::vector<FluidFlow> flows_;
+  State st_;
 };
 
 /// Canonical fluid instances mirroring the packet-level scenarios, so the

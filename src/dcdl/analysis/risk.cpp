@@ -63,6 +63,29 @@ double channel_capacity_Bps(const Network& net, const Channel& c) {
   return static_cast<double>(net.link_rate(c.first, c.second).bps()) / 8.0;
 }
 
+// Offered load (bytes/s) per directed channel: fair-share rates on acyclic
+// paths, plus the circulating flux r*TTL/n of looping flows on their loop
+// channels (Eq. 2), capped at line rate.
+std::map<Channel, double> offered_load(const Network& net,
+                                       const std::vector<FlowSpec>& flows,
+                                       const std::vector<Rate>& stable) {
+  std::map<Channel, double> load;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowPath path = walk_path(net, flows[i]);
+    const double r = static_cast<double>(stable[i].bps()) / 8.0;
+    for (const Channel& c : path.channels) load[c] += r;
+    if (path.looping && !path.loop.empty()) {
+      const int ttl = path.ttl_at_loop;
+      const double flux =
+          r * static_cast<double>(ttl) / static_cast<double>(path.loop.size());
+      for (const Channel& c : path.loop) {
+        load[c] += std::min(flux, channel_capacity_Bps(net, c));
+      }
+    }
+  }
+  return load;
+}
+
 }  // namespace
 
 std::vector<Rate> stable_flow_rates(const Network& net,
@@ -191,25 +214,11 @@ RiskReport assess_deadlock_risk(const Network& net,
   const auto bdg = BufferDependencyGraph::build(net, flows);
   report.cbd_present = bdg.has_cycle();
   report.stable_rates = stable_flow_rates(net, flows, demands);
+  report.looping_flows = bdg.looping_flows();
   if (!report.cbd_present) return report;
 
-  // Offered load per channel: fair-share rates on acyclic paths, plus the
-  // circulating flux r*TTL/n of looping flows on their loop channels
-  // (Eq. 2), capped at line rate.
-  std::map<Channel, double> load;
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    const FlowPath path = walk_path(net, flows[i]);
-    const double r = static_cast<double>(report.stable_rates[i].bps()) / 8.0;
-    for (const Channel& c : path.channels) load[c] += r;
-    if (path.looping && !path.loop.empty()) {
-      const int ttl = path.ttl_at_loop;
-      const double flux =
-          r * static_cast<double>(ttl) / static_cast<double>(path.loop.size());
-      for (const Channel& c : path.loop) {
-        load[c] += std::min(flux, channel_capacity_Bps(net, c));
-      }
-    }
-  }
+  const std::map<Channel, double> load =
+      offered_load(net, flows, report.stable_rates);
 
   constexpr double kSaturated = 0.95;
   const std::set<FlowId> looping(bdg.looping_flows().begin(),
@@ -242,6 +251,29 @@ RiskReport assess_deadlock_risk(const Network& net,
     report.cycles.push_back(std::move(risk));
   }
   return report;
+}
+
+std::map<std::pair<NodeId, PortId>, double> channel_utilization(
+    const Network& net, const std::vector<FlowSpec>& flows,
+    const std::vector<Rate>& demands) {
+  const std::vector<Rate> stable = stable_flow_rates(net, flows, demands);
+  const std::map<Channel, double> load = offered_load(net, flows, stable);
+  std::map<Channel, double> util;
+  for (const auto& [chan, bytes_per_s] : load) {
+    util[chan] = bytes_per_s / channel_capacity_Bps(net, chan);
+  }
+  return util;
+}
+
+OnlineRiskAssessor::OnlineRiskAssessor(const Network& net,
+                                       std::vector<FlowSpec> flows)
+    : net_(net), flows_(std::move(flows)) {}
+
+const RiskReport& OnlineRiskAssessor::reassess(
+    const std::vector<Rate>& measured) {
+  report_ = assess_deadlock_risk(net_, flows_, measured);
+  ++assessments_;
+  return report_;
 }
 
 }  // namespace dcdl::analysis

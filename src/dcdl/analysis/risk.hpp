@@ -32,6 +32,9 @@
 // honestly against simulation outcomes.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "dcdl/analysis/bdg.hpp"
@@ -65,6 +68,10 @@ struct RiskReport {
   double max_risk = 0;
   /// Max-min stable rate per flow (parallel to the input flow list).
   std::vector<Rate> stable_rates;
+  /// Flows whose installed routes revisit a queue state (routing loops) —
+  /// surfaced from the dependency-graph walk so online consumers (the
+  /// hybrid zoom) need not rebuild the graph themselves.
+  std::vector<FlowId> looping_flows;
 
   /// True if any dependency cycle passes the slack-link rule.
   bool deadlock_reachable() const {
@@ -95,5 +102,36 @@ std::vector<Rate> stable_flow_rates(const Network& net,
 /// the acyclic prefix. Used by the intelligent rate-limiting planner.
 std::vector<std::vector<std::pair<NodeId, PortId>>> flow_channels(
     const Network& net, const std::vector<FlowSpec>& flows);
+
+/// Stable-state utilization of every directed channel the flows cross:
+/// offered load (fair-share rates on acyclic paths, circulating loop flux
+/// on loop channels) over capacity. The hybrid engine's fluidization rule
+/// reads this: a flow is only safe to integrate at flow level while every
+/// channel it crosses stays clear of saturation.
+std::map<std::pair<NodeId, PortId>, double> channel_utilization(
+    const Network& net, const std::vector<FlowSpec>& flows,
+    const std::vector<Rate>& demands = {});
+
+/// Online risk mode (hybrid engine): periodically re-assesses the *live*
+/// network — route tables are re-walked on every call, so loops that form
+/// mid-run (BGP churn, SDN updates) surface here — with measured per-flow
+/// rates standing in for demands. Holds the flow list by value; the
+/// network must outlive the assessor.
+class OnlineRiskAssessor {
+ public:
+  OnlineRiskAssessor(const Network& net, std::vector<FlowSpec> flows);
+
+  /// `measured[i]` is flow i's observed rate (zero = treat as greedy).
+  const RiskReport& reassess(const std::vector<Rate>& measured);
+
+  const RiskReport& report() const { return report_; }
+  std::uint64_t assessments() const { return assessments_; }
+
+ private:
+  const Network& net_;
+  std::vector<FlowSpec> flows_;
+  RiskReport report_;
+  std::uint64_t assessments_ = 0;
+};
 
 }  // namespace dcdl::analysis

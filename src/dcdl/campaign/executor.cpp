@@ -104,6 +104,16 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     ScenarioDef::Finisher finish;
     if (def.instrument) finish = def.instrument(s, spec.params);
 
+    // Hybrid fluid/packet engine: the controller partitions the topology,
+    // fluidizes eligible flows, and keeps its zoom decisions inside control
+    // events — so with mode=off this block is a no-op and the event stream
+    // is bit-for-bit the historical one.
+    std::unique_ptr<hybrid::HybridController> hybrid_ctl;
+    if (opts.hybrid.mode != hybrid::Mode::kOff) {
+      hybrid_ctl = std::make_unique<hybrid::HybridController>(
+          *s.net, s.flows, opts.hybrid);
+    }
+
     // Cooperative guard: a recurring simulator event — always scheduled, so
     // the event stream (and events_executed) is identical whether a run
     // executes inside a campaign or standalone. `guard_active` ends the
@@ -186,6 +196,15 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
       rec.status = RunStatus::kTimeout;
       rec.error = "per-run wall-clock budget exceeded";
       return rec;
+    }
+
+    // Close the hybrid accounting before the delivered capture so the tail
+    // fluid credits are included in goodput exactly once.
+    if (hybrid_ctl != nullptr) {
+      hybrid_ctl->finalize();
+      rec.hybrid_mode = hybrid::to_string(opts.hybrid.mode);
+      rec.zoom_events = hybrid_ctl->stats().zoom_events;
+      rec.fluid_fraction = hybrid_ctl->stats().fluid_fraction;
     }
 
     std::int64_t total = 0;

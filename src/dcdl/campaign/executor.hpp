@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "dcdl/campaign/result.hpp"
+#include "dcdl/hybrid/hybrid.hpp"
 
 namespace dcdl::campaign {
 
@@ -42,6 +43,12 @@ struct ExecutorOptions {
   /// to J*S worker threads, so shard wide runs with few jobs, or keep
   /// shards=0/1 when the campaign itself saturates the cores.
   int shards = 0;
+  /// Hybrid fluid/packet engine configuration applied to every run
+  /// (mode kOff — the default — is pure packet simulation and leaves the
+  /// event stream untouched). When on, each run gets its own
+  /// HybridController and the record carries the schema-v4 columns
+  /// hybrid_mode / zoom_events / fluid_fraction.
+  hybrid::HybridConfig hybrid;
   /// Progress callback, invoked under a lock after each run completes.
   std::function<void(const RunRecord&)> on_run_done;
 

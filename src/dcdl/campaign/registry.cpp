@@ -1,6 +1,8 @@
 #include "dcdl/campaign/registry.hpp"
 
 #include "dcdl/analysis/boundary.hpp"
+#include "dcdl/analysis/fluid.hpp"
+#include "dcdl/analysis/risk.hpp"
 #include "dcdl/dataplane/dataplane.hpp"
 
 namespace dcdl::campaign {
@@ -362,6 +364,190 @@ void register_incast(ScenarioRegistry& reg) {
   reg.add(std::move(def));
 }
 
+// bench_fluid_model as a campaign scenario: the packet run fills the main
+// columns (deadlocked, detect_ms, goodput); the fluid twin of the same
+// configuration is integrated inside the finisher and lands in the metrics,
+// so one CSV row holds both verdicts and the §3.2 gap is a column diff.
+void register_fluid_gap(ScenarioRegistry& reg) {
+  ScenarioDef def;
+  def.name = "fluid_gap";
+  def.description =
+      "fluid-vs-packet twin run (paper §3.2/§3.3): packet verdict in the "
+      "core columns, fluid twin verdict + Eq.3 analytics in the metrics";
+  def.params = {
+      {"family", ParamKind::kString, "", "loop | four_switch"},
+      {"loop_len", ParamKind::kInt, "", "loop: switches in the routing loop"},
+      {"inject", ParamKind::kDouble, "gbps", "loop: injection rate"},
+      {"ttl", ParamKind::kInt, "", "loop: initial packet TTL"},
+      {"bw_gbps", ParamKind::kDouble, "gbps", "link bandwidth"},
+      {"with_flow3", ParamKind::kBool, "", "four_switch: add the Fig.4 flow"},
+      {"flow3_limit", ParamKind::kDouble, "gbps",
+       "four_switch: flow-3 ingress limit; 0 = greedy"},
+      {"fluid_run_ms", ParamKind::kDouble, "ms", "fluid integration horizon"},
+  };
+  def.make = [](const ParamMap& pm) {
+    const std::string family = pm.get_string("family", "loop");
+    if (family == "loop") {
+      scenarios::RoutingLoopParams p;
+      p.loop_len = static_cast<int>(pm.get_int("loop_len", p.loop_len));
+      p.bandwidth =
+          Rate::gbps(pm.get_double("bw_gbps", p.bandwidth.as_gbps()));
+      p.ttl = static_cast<int>(pm.get_int("ttl", p.ttl));
+      p.inject = Rate::gbps(pm.get_double("inject", p.inject.as_gbps()));
+      return scenarios::make_routing_loop(p);
+    }
+    if (family == "four_switch") {
+      scenarios::FourSwitchParams p;
+      p.with_flow3 = pm.get_bool("with_flow3", true);
+      p.flow3_limit =
+          Rate::gbps(pm.get_double("flow3_limit", p.flow3_limit.as_gbps()));
+      p.bandwidth =
+          Rate::gbps(pm.get_double("bw_gbps", p.bandwidth.as_gbps()));
+      p.seed = static_cast<std::uint64_t>(pm.get_int("seed", 1));
+      return scenarios::make_four_switch(p);
+    }
+    throw CampaignError("fluid_gap: unknown family '" + family +
+                        "' (loop | four_switch)");
+  };
+  def.instrument = [](Scenario&, const ParamMap& pm) -> ScenarioDef::Finisher {
+    return [pm](const RunRecord&, MetricSink& out) {
+      const std::string family = pm.get_string("family", "loop");
+      const Time horizon{static_cast<std::int64_t>(
+          pm.get_double("fluid_run_ms", 10.0) * 1e9)};
+      analysis::FluidResult fr;
+      if (family == "loop") {
+        scenarios::RoutingLoopParams p;
+        const int loop_len =
+            static_cast<int>(pm.get_int("loop_len", p.loop_len));
+        const Rate bw =
+            Rate::gbps(pm.get_double("bw_gbps", p.bandwidth.as_gbps()));
+        const int ttl = static_cast<int>(pm.get_int("ttl", p.ttl));
+        const Rate inject =
+            Rate::gbps(pm.get_double("inject", p.inject.as_gbps()));
+        analysis::FluidModel fm =
+            analysis::make_fluid_routing_loop(loop_len, bw, ttl, inject);
+        fr = fm.run(horizon);
+        out.emplace_back("r_threshold_gbps",
+                         analysis::BoundaryModel::deadlock_threshold(
+                             loop_len, bw, ttl)
+                             .as_gbps());
+        out.emplace_back("analytic_deadlock",
+                         analysis::BoundaryModel::predicts_deadlock(
+                             loop_len, bw, ttl, inject)
+                             ? 1
+                             : 0);
+      } else {
+        const bool with_flow3 = pm.get_bool("with_flow3", true);
+        const double limit = pm.get_double("flow3_limit", 0.0);
+        // The fluid model needs an explicit demand; greedy = line rate.
+        const Rate flow3 = Rate::gbps(
+            limit > 0 ? limit : pm.get_double("bw_gbps", 40.0));
+        analysis::FluidFourSwitch fs =
+            analysis::make_fluid_four_switch(with_flow3, flow3);
+        fr = fs.model.run(horizon);
+      }
+      out.emplace_back("fluid_deadlocked", fr.deadlocked ? 1 : 0);
+      out.emplace_back("fluid_deadlock_at_ms",
+                       fr.deadlocked ? fr.deadlock_at.ms() : -1.0);
+      out.emplace_back("fluid_cycle_queues",
+                       static_cast<double>(fr.deadlock_queues.size()));
+      double goodput = 0;
+      for (const double bps : fr.mean_goodput_bps) goodput += bps;
+      out.emplace_back("fluid_goodput_gbps", goodput / 1e9);
+    };
+  };
+  reg.add(std::move(def));
+}
+
+// bench_risk_score as a campaign scenario: the slack-link rule is scored at
+// t=0 over the live network, the packet outcome lands in `deadlocked`, and
+// prediction-vs-outcome agreement is a per-row comparison in the sweep CSV.
+void register_risk_probe(ScenarioRegistry& reg) {
+  ScenarioDef def;
+  def.name = "risk_probe";
+  def.description =
+      "tighter-than-CBD risk scoring: slack-link rule prediction in the "
+      "metrics, packet outcome in the core columns";
+  def.params = {
+      {"family", ParamKind::kString, "",
+       "four_switch | loop | ring | incast | valley"},
+      {"with_flow3", ParamKind::kBool, "", "four_switch: add the Fig.4 flow"},
+      {"flow3_limit", ParamKind::kDouble, "gbps",
+       "four_switch: flow-3 ingress limit; 0 = greedy"},
+      {"with_extra_flow", ParamKind::kBool, "", "valley: add the tipping flow"},
+      {"inject", ParamKind::kDouble, "gbps", "loop: injection rate"},
+  };
+  def.make = [](const ParamMap& pm) {
+    const std::string family = pm.get_string("family", "four_switch");
+    const auto seed = static_cast<std::uint64_t>(pm.get_int("seed", 1));
+    if (family == "four_switch") {
+      scenarios::FourSwitchParams p;
+      p.with_flow3 = pm.get_bool("with_flow3", p.with_flow3);
+      p.flow3_limit =
+          Rate::gbps(pm.get_double("flow3_limit", p.flow3_limit.as_gbps()));
+      p.seed = seed;
+      return scenarios::make_four_switch(p);
+    }
+    if (family == "loop") {
+      scenarios::RoutingLoopParams p;
+      p.inject = Rate::gbps(pm.get_double("inject", p.inject.as_gbps()));
+      return scenarios::make_routing_loop(p);
+    }
+    if (family == "ring") {
+      scenarios::RingDeadlockParams p;
+      p.seed = seed;
+      return scenarios::make_ring_deadlock(p);
+    }
+    if (family == "incast") {
+      return scenarios::make_incast(scenarios::IncastParams{});
+    }
+    if (family == "valley") {
+      scenarios::ValleyViolationParams p;
+      p.with_extra_flow = pm.get_bool("with_extra_flow", p.with_extra_flow);
+      p.seed = seed;
+      return scenarios::make_valley_violation(p);
+    }
+    throw CampaignError("risk_probe: unknown family '" + family +
+                        "' (four_switch | loop | ring | incast | valley)");
+  };
+  def.instrument = [](Scenario& s, const ParamMap& pm) {
+    // Assess at t=0, before any packet moves — the same vantage point the
+    // standalone bench uses. Demands mirror the knobs that cap flows.
+    const std::string family = pm.get_string("family", "four_switch");
+    std::vector<Rate> demands;
+    if (family == "loop") {
+      demands = {Rate::gbps(pm.get_double(
+          "inject", scenarios::RoutingLoopParams{}.inject.as_gbps()))};
+    } else if (family == "four_switch") {
+      const double limit = pm.get_double("flow3_limit", 0.0);
+      if (pm.get_bool("with_flow3", false) && limit > 0) {
+        demands = {Rate::zero(), Rate::zero(), Rate::gbps(limit)};
+      }
+    }
+    const analysis::RiskReport risk =
+        analysis::assess_deadlock_risk(*s.net, s.flows, demands);
+    const double cbd = risk.cbd_present ? 1 : 0;
+    const double predicted = risk.deadlock_reachable() ? 1 : 0;
+    const double max_risk = risk.max_risk;
+    const auto cycles = static_cast<double>(risk.cycles.size());
+    double min_util = 0;
+    double slack = -1;
+    if (!risk.cycles.empty()) {
+      min_util = risk.cycles[0].min_utilization;
+      slack = risk.cycles[0].slack_links;
+    }
+    return [=](const RunRecord&, MetricSink& out) {
+      out.emplace_back("cbd_present", cbd);
+      out.emplace_back("predicted_lockable", predicted);
+      out.emplace_back("max_risk", max_risk);
+      out.emplace_back("cycles", cycles);
+      out.emplace_back("min_cycle_util", min_util);
+      out.emplace_back("slack_links", slack);
+    };
+  };
+  reg.add(std::move(def));
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& reg) {
@@ -371,6 +557,8 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
   register_transient_loop(reg);
   register_valley(reg);
   register_incast(reg);
+  register_fluid_gap(reg);
+  register_risk_probe(reg);
 }
 
 }  // namespace dcdl::campaign

@@ -41,7 +41,8 @@ struct ScenarioDef {
 class ScenarioRegistry {
  public:
   /// Process-wide registry preloaded with the built-in scenarios
-  /// (routing_loop, four_switch, ring, transient_loop, valley, incast).
+  /// (routing_loop, four_switch, ring, transient_loop, valley, incast,
+  /// fluid_gap, risk_probe).
   /// Register extensions before launching an executor; the executor's
   /// worker threads only read.
   static ScenarioRegistry& global();

@@ -124,6 +124,9 @@ void emit_run(Json& j, const RunRecord& r, const WriteOptions& opts) {
     j.key("detection_latency_ns"); j.value(r.detection_latency_ns);
     j.key("recovery_time_ns"); j.value(r.recovery_time_ns);
     j.key("false_positive"); j.value(r.false_positive);
+    j.key("hybrid_mode"); j.value(r.hybrid_mode);
+    j.key("zoom_events"); j.value(r.zoom_events);
+    j.key("fluid_fraction"); j.value(r.fluid_fraction);
     j.key("delivered");
     j.begin_array();
     for (const auto& [flow, bytes] : r.delivered) {
@@ -201,7 +204,8 @@ std::string to_csv(const CampaignResult& result) {
   std::string out =
       "run,cell,seed_index,scenario,seed,status,deadlocked,detect_ms,"
       "trapped_bytes,goodput_gbps,pause_assertions,events,"
-      "detection_latency_ns,recovery_time_ns,false_positive";
+      "detection_latency_ns,recovery_time_ns,false_positive,hybrid_mode,"
+      "zoom_events,fluid_fraction";
   for (const std::string& n : param_names) out += ",param." + n;
   for (const std::string& n : metric_names) out += ",metric." + n;
   out += '\n';
@@ -224,6 +228,9 @@ std::string to_csv(const CampaignResult& result) {
     out += ',' + (ok ? format_double(r.detection_latency_ns) : "");
     out += ',' + (ok ? format_double(r.recovery_time_ns) : "");
     out += ',' + std::string(ok ? (r.false_positive ? "1" : "0") : "");
+    out += ',' + std::string(ok ? r.hybrid_mode : "");
+    out += ',' + (ok ? std::to_string(r.zoom_events) : "");
+    out += ',' + (ok ? format_double(r.fluid_fraction) : "");
     for (const std::string& n : param_names) {
       out += ',';
       if (r.params.has(n)) out += r.params.get_string(n, "");

@@ -27,7 +27,11 @@ namespace dcdl::campaign {
 /// "detection_latency_ns", "recovery_time_ns" (-1 = no such event) and
 /// "false_positive". Additive: v1/v2 readers keying on known field names
 /// parse v3 artifacts unchanged.
-inline constexpr const char* kResultSchema = "dcdl.campaign.v3";
+/// v4: ok runs carry the hybrid-engine columns "hybrid_mode" ("off" /
+/// "static" / "risk"), "zoom_events" (region escalations + de-escalations)
+/// and "fluid_fraction" (share of flow-time integrated at fluid level).
+/// Additive over v3 in the same way.
+inline constexpr const char* kResultSchema = "dcdl.campaign.v4";
 
 enum class RunStatus {
   kOk,         ///< ran to completion
@@ -60,6 +64,10 @@ struct RunRecord {
   /// The pipeline confirmed a cycle in a run that did not deadlock and
   /// took no recovery action — the confirmation itself was spurious.
   bool false_positive = false;
+  /// Hybrid fluid/packet engine (schema v4; "off"/0/0 when it is off).
+  std::string hybrid_mode = "off";
+  std::uint64_t zoom_events = 0;   ///< region escalations + de-escalations
+  double fluid_fraction = 0;       ///< flow-time share at fluid level
   std::vector<std::pair<FlowId, std::int64_t>> delivered;  ///< per flow
   /// Scenario-specific metrics from the ScenarioDef instrument hook.
   MetricSink metrics;

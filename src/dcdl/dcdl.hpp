@@ -38,6 +38,8 @@
 
 #include "dcdl/dataplane/dataplane.hpp"
 
+#include "dcdl/hybrid/hybrid.hpp"
+
 #include "dcdl/mitigation/class_policy.hpp"
 #include "dcdl/mitigation/dcqcn.hpp"
 #include "dcdl/mitigation/smart_limiter.hpp"

@@ -39,6 +39,30 @@ void Host::limit_flow(FlowId flow, Rate rate, std::int64_t burst_bytes) {
   }
 }
 
+void Host::hold_flow(FlowId flow, bool held) {
+  for (auto& f : flows_) {
+    if (f.spec.id != flow) continue;
+    if (f.held == held) return;
+    f.held = held;
+    if (!held) try_send();  // re-enter the scheduler right away
+    return;
+  }
+}
+
+bool Host::flow_held(FlowId flow) const {
+  for (const auto& f : flows_) {
+    if (f.spec.id == flow) return f.held;
+  }
+  return false;
+}
+
+void Host::credit_delivery(FlowId flow, std::int64_t bytes,
+                           std::uint64_t packets) {
+  auto& s = delivered_.at_or_insert(flow);
+  s.bytes += bytes;
+  s.packets += packets;
+}
+
 void Host::schedule_wake(Time at) {
   if (busy_) return;  // complete_transmit will call try_send anyway
   if (wake_.valid() && wake_at_ <= at) return;
@@ -58,7 +82,7 @@ void Host::try_send() {
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     const std::size_t idx = (rr_ + i) % flows_.size();
     FlowState& f = flows_[idx];
-    if (f.stopped || now >= f.spec.stop) continue;
+    if (f.stopped || f.held || now >= f.spec.stop) continue;
     if (now < f.spec.start) {
       earliest = std::min(earliest, f.spec.start);
       continue;

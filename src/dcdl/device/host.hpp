@@ -39,6 +39,22 @@ class Host final : public Device {
   /// co-located innocent flows).
   void limit_flow(FlowId flow, Rate rate, std::int64_t burst_bytes);
 
+  /// Reversibly holds a flow at the NIC (hybrid engine boundary adapter:
+  /// while a flow is integrated by the fluid model its packets must not
+  /// also exist in the event stream). A held flow injects nothing but
+  /// keeps its pacer and spec intact; releasing it re-enters the normal
+  /// scheduler immediately, with the original pacer deciding the next
+  /// departure.
+  void hold_flow(FlowId flow, bool held);
+  bool flow_held(FlowId flow) const;
+
+  /// Accounts `bytes`/`packets` of `flow` as delivered at this host
+  /// without any packet existing (hybrid boundary adapter: fluid-region
+  /// delivery converted back into sink statistics). Deliberately does not
+  /// fire Trace::delivered — no packet, no trace record, golden digests
+  /// unchanged.
+  void credit_delivery(FlowId flow, std::int64_t bytes, std::uint64_t packets);
+
   // Device interface.
   void on_receive(PortId in_port, Packet pkt) override;
   void on_pfc(PortId port, ClassId cls, bool pause) override;
@@ -64,6 +80,7 @@ class Host final : public Device {
     std::int64_t sent_bytes = 0;
     std::uint64_t sent_packets = 0;
     bool stopped = false;
+    bool held = false;  ///< fluidized by the hybrid engine
   };
   struct SinkStats {
     std::int64_t bytes = 0;

@@ -685,6 +685,16 @@ std::int64_t Switch::ingress_bytes(PortId port, ClassId cls) const {
   return ingress_.at(port).cls.at(cls).bytes;
 }
 
+std::int64_t Switch::max_ingress_bytes() const {
+  std::int64_t max_bytes = 0;
+  for (const IngressPort& port : ingress_) {
+    for (const IngressCounter& ctr : port.cls) {
+      max_bytes = std::max(max_bytes, ctr.bytes);
+    }
+  }
+  return max_bytes;
+}
+
 std::int64_t Switch::ingress_flow_bytes(PortId port, ClassId cls,
                                         FlowId flow) const {
   const std::uint32_t slot = flow_slots_.lookup(flow);

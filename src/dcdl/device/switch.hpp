@@ -113,6 +113,10 @@ class Switch final : public Device {
   /// Bytes of one flow currently attributed to an ingress counter (the
   /// paper's per-flow "buffer occupancy at RX1" series).
   std::int64_t ingress_flow_bytes(PortId port, ClassId cls, FlowId flow) const;
+  /// Largest ingress-counter value across every (port, class) of this
+  /// switch — the hybrid zoom's escalation signal (compared against a
+  /// fraction of Xoff) without per-counter calls at every control step.
+  std::int64_t max_ingress_bytes() const;
   /// True if this ingress counter currently holds its upstream in PAUSE.
   bool pause_asserted(PortId port, ClassId cls) const;
   /// True if the downstream device paused this egress queue.

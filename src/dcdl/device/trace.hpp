@@ -104,6 +104,12 @@ struct Trace {
   /// when the pipeline is off.
   HookSlot<Time, NodeId, dataplane::DataplaneEvent, ClassId, std::uint64_t>
       dataplane;
+
+  /// Hybrid engine region zoom transition: region `region` switched to
+  /// packet level (to_packet=true: escalation) or back to fluid
+  /// (de-escalation). Fired from control phases only — never from the
+  /// packet hot path — and never when the hybrid layer is off.
+  HookSlot<Time, std::uint32_t, bool> region_state;
 };
 
 }  // namespace dcdl

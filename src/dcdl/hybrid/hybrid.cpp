@@ -1,0 +1,487 @@
+#include "dcdl/hybrid/hybrid.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "dcdl/common/contract.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/switch.hpp"
+
+namespace dcdl::hybrid {
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kStatic: return "static";
+    case Mode::kRisk: return "risk";
+  }
+  return "?";
+}
+
+std::optional<Mode> parse_mode(const std::string& s) {
+  if (s == "off") return Mode::kOff;
+  if (s == "static") return Mode::kStatic;
+  if (s == "risk") return Mode::kRisk;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Union-find over flow indices for the fluid-component grouping.
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+};
+
+}  // namespace
+
+HybridController::HybridController(Network& net, std::vector<FlowSpec> flows,
+                                   HybridConfig cfg)
+    : net_(net),
+      flows_(std::move(flows)),
+      cfg_(cfg),
+      regions_(topo::assign_shards(
+          net.topo(),
+          cfg.regions > 0
+              ? cfg.regions
+              : std::max<int>(
+                    1, static_cast<int>(net.topo().switches().size())))),
+      assessor_(net, flows_) {
+  if (cfg_.mode == Mode::kOff) return;
+  DCDL_EXPECTS(cfg_.fluid_dt > Time::zero());
+  DCDL_EXPECTS(cfg_.zoom_xoff_fraction > 0.0);
+  region_.assign(static_cast<std::size_t>(regions_.num_shards), Region{});
+  eligible_.assign(flows_.size(), 0);
+  fluid_.assign(flows_.size(), 0);
+  carry_.assign(flows_.size(), 0.0);
+  prev_sent_.assign(flows_.size(), 0);
+  prev_measure_at_ = net_.sim().now();
+  last_step_ = net_.sim().now();
+
+  // Static per-flow eligibility: open-loop CBR-like flows that run for the
+  // whole simulation. Everything else stays at packet level forever.
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const FlowSpec& f = flows_[i];
+    if (f.start != Time::zero() || f.stop != Time::max()) continue;
+    if (f.ecn_capable || net_.config().rtt_feedback) continue;
+    Pacer* p = net_.host_at(f.src_host).pacer(f.id);
+    if (p == nullptr || !p->current_rate().has_value()) continue;
+    eligible_[i] = 1;
+  }
+
+  refresh_geometry();
+  const std::vector<Rate> demands = pacer_rates();
+  assessor_.reassess(demands);
+  ++stats_.risk_reassessments;
+  utilization_ = analysis::channel_utilization(net_, flows_, demands);
+  apply_pins();
+  refluidize(net_.sim().now());
+  schedule_next();
+}
+
+HybridController::~HybridController() { finalize(); }
+
+int HybridController::region_of(NodeId node) const {
+  return static_cast<int>(regions_.node_shard.at(node));
+}
+
+bool HybridController::region_packet(int r) const {
+  return region_.at(static_cast<std::size_t>(r)).packet;
+}
+
+bool HybridController::region_pinned(int r) const {
+  return region_.at(static_cast<std::size_t>(r)).pinned;
+}
+
+bool HybridController::flow_fluid(FlowId flow) const {
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].id == flow) return fluid_[i] != 0;
+  }
+  return false;
+}
+
+std::size_t HybridController::fluid_flows() const {
+  std::size_t n = 0;
+  for (const char f : fluid_) n += f != 0 ? 1u : 0u;
+  return n;
+}
+
+std::vector<Rate> HybridController::pacer_rates() const {
+  std::vector<Rate> r(flows_.size(), Rate::zero());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    // The accessor is non-const on Host; the controller holds a non-const
+    // network reference throughout.
+    Pacer* p = const_cast<Network&>(net_).host_at(flows_[i].src_host)
+                   .pacer(flows_[i].id);
+    if (p != nullptr) r[i] = p->current_rate().value_or(Rate::zero());
+  }
+  return r;
+}
+
+void HybridController::refresh_geometry() {
+  channels_ = analysis::flow_channels(net_, flows_);
+  path_links_.assign(flows_.size(), {});
+  path_regions_.assign(flows_.size(), {});
+  const Topology& topo = net_.topo();
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    std::set<std::uint32_t> links;
+    std::set<int> regs;
+    for (const auto& [node, port] : channels_[i]) {
+      links.insert(topo.peer(node, port).link);
+      regs.insert(region_of(node));
+      regs.insert(region_of(topo.peer(node, port).peer_node));
+    }
+    path_links_[i].assign(links.begin(), links.end());
+    path_regions_[i].assign(regs.begin(), regs.end());
+  }
+}
+
+void HybridController::set_region_packet(Time now, int r, bool packet) {
+  Region& rg = region_.at(static_cast<std::size_t>(r));
+  if (rg.packet == packet) return;
+  rg.packet = packet;
+  rg.below_xon_since = Time::max();
+  if (packet) {
+    ++stats_.escalations;
+  } else {
+    ++stats_.deescalations;
+  }
+  ++stats_.zoom_events;
+  net_.trace().region_state(now, static_cast<std::uint32_t>(r), packet);
+}
+
+void HybridController::apply_pins() {
+  const Time now = net_.sim().now();
+  const analysis::RiskReport& rep = assessor_.report();
+  std::vector<char> pinned(region_.size(), 0);
+  for (const analysis::CycleRisk& c : rep.cycles) {
+    for (const analysis::QueueKey& qk : c.cycle) {
+      pinned[static_cast<std::size_t>(region_of(qk.node))] = 1;
+    }
+  }
+  for (std::size_t r = 0; r < region_.size(); ++r) {
+    region_[r].pinned = pinned[r] != 0;
+    if (region_[r].pinned && !region_[r].packet) {
+      set_region_packet(now, static_cast<int>(r), true);
+    }
+  }
+}
+
+void HybridController::scan_regions(Time now) {
+  // Per-region peak ingress occupancy: the live packet counters plus the
+  // fluid queues mapped back to their switches' regions.
+  std::vector<std::int64_t> occ(region_.size(), 0);
+  for (const NodeId sw : net_.topo().switches()) {
+    const auto r = static_cast<std::size_t>(region_of(sw));
+    occ[r] = std::max(occ[r], net_.switch_at(sw).max_ingress_bytes());
+  }
+  for (const FluidInstance& inst : models_) {
+    for (std::size_t q = 0; q < inst.queue_switch.size(); ++q) {
+      const auto r =
+          static_cast<std::size_t>(region_of(inst.queue_switch[q]));
+      occ[r] = std::max(
+          occ[r],
+          static_cast<std::int64_t>(inst.model.occupancy(static_cast<int>(q))));
+    }
+  }
+  const auto escalate_at = static_cast<std::int64_t>(
+      cfg_.zoom_xoff_fraction *
+      static_cast<double>(net_.config().pfc.xoff_bytes));
+  const std::int64_t xon = net_.config().pfc.xon_bytes;
+  for (std::size_t r = 0; r < region_.size(); ++r) {
+    Region& rg = region_[r];
+    if (!rg.packet) {
+      if (occ[r] >= escalate_at) {
+        set_region_packet(now, static_cast<int>(r), true);
+      }
+    } else if (!rg.pinned) {
+      if (occ[r] < xon) {
+        if (rg.below_xon_since == Time::max()) {
+          rg.below_xon_since = now;
+        } else if (now - rg.below_xon_since >= cfg_.cooldown) {
+          set_region_packet(now, static_cast<int>(r), false);
+        }
+      } else {
+        rg.below_xon_since = Time::max();
+      }
+    }
+  }
+}
+
+void HybridController::refluidize(Time now) {
+  // Desired fluid set under the current risk report, region levels, and
+  // utilization snapshot.
+  const analysis::RiskReport& rep = assessor_.report();
+  const std::set<FlowId> looping(rep.looping_flows.begin(),
+                                 rep.looping_flows.end());
+  const Topology& topo = net_.topo();
+  std::vector<char> want(flows_.size(), 0);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (eligible_[i] == 0) continue;
+    if (looping.count(flows_[i].id) > 0) continue;
+    const auto& ch = channels_[i];
+    // The installed route must actually reach the destination (last egress
+    // lands on dst); misrouted or blackholed flows stay packet.
+    if (ch.size() < 2 ||
+        topo.peer(ch.back().first, ch.back().second).peer_node !=
+            flows_[i].dst_host) {
+      continue;
+    }
+    bool ok = true;
+    for (const int r : path_regions_[i]) {
+      if (region_[static_cast<std::size_t>(r)].packet) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const auto& c : ch) {
+        const auto it = utilization_.find(c);
+        if (it != utilization_.end() && it->second >= cfg_.saturation) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    want[i] = ok ? 1 : 0;
+  }
+  // Link-disjointness fixpoint: a candidate sharing any topology link with
+  // a packet-level flow is withdrawn, which may expose further overlaps.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<char> packet_link(topo.link_count(), 0);
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (want[i] != 0) continue;
+      for (const std::uint32_t l : path_links_[i]) packet_link[l] = 1;
+    }
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (want[i] == 0) continue;
+      for (const std::uint32_t l : path_links_[i]) {
+        if (packet_link[l] != 0) {
+          want[i] = 0;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  bool dirty = false;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (want[i] != fluid_[i]) {
+      dirty = true;
+      break;
+    }
+  }
+  if (!dirty) return;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (want[i] == fluid_[i]) continue;
+    net_.host_at(flows_[i].src_host)
+        .hold_flow(flows_[i].id, want[i] != 0);
+    if (want[i] == 0) carry_[i] = 0.0;  // drop the sub-packet remainder
+  }
+  fluid_ = want;
+  rebuild_models();
+  ++stats_.fluid_rebuilds;
+  (void)now;
+}
+
+void HybridController::rebuild_models() {
+  models_.clear();
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (fluid_[i] != 0) members.push_back(i);
+  }
+  if (members.empty()) return;
+
+  // Group fluidized flows into connected components over shared links.
+  UnionFind uf(members.size());
+  {
+    std::map<std::uint32_t, std::size_t> owner;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      for (const std::uint32_t l : path_links_[members[m]]) {
+        const auto [it, fresh] = owner.emplace(l, m);
+        if (!fresh) uf.unite(it->second, m);
+      }
+    }
+  }
+  std::map<std::size_t, std::size_t> component;  // root -> models_ index
+  const Topology& topo = net_.topo();
+  const PfcConfig& pfc = net_.config().pfc;
+  // Per-component builder state, parallel to models_.
+  std::vector<std::map<std::pair<NodeId, PortId>, int>> link_of;
+  std::vector<std::map<std::tuple<NodeId, PortId, ClassId>, int>> queue_of;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    const std::size_t i = members[m];
+    const std::size_t root = uf.find(m);
+    const auto [cit, fresh] = component.emplace(root, models_.size());
+    if (fresh) {
+      models_.emplace_back();
+      link_of.emplace_back();
+      queue_of.emplace_back();
+    }
+    FluidInstance& inst = models_[cit->second];
+    auto& links = link_of[cit->second];
+    auto& queues = queue_of[cit->second];
+
+    analysis::FluidFlow ff;
+    ff.name = "flow " + std::to_string(flows_[i].id);
+    Pacer* p = net_.host_at(flows_[i].src_host).pacer(flows_[i].id);
+    ff.demand = p->current_rate().value_or(Rate::zero());
+    const auto& ch = channels_[i];
+    for (std::size_t j = 1; j < ch.size(); ++j) {
+      const auto [up_node, up_port] = ch[j - 1];
+      const auto lit = links.find({up_node, up_port});
+      int l;
+      if (lit != links.end()) {
+        l = lit->second;
+      } else {
+        analysis::FluidLink fl;
+        fl.name = "link " + std::to_string(up_node) + ":" +
+                  std::to_string(up_port);
+        fl.capacity = net_.link_rate(up_node, up_port);
+        fl.control_delay = net_.link_delay(up_node, up_port);
+        l = inst.model.add_link(fl);
+        links.emplace(std::make_pair(up_node, up_port), l);
+      }
+      const NodeId sw = ch[j].first;
+      const PortId in_port = topo.peer(up_node, up_port).peer_port;
+      const auto key = std::make_tuple(sw, in_port, flows_[i].prio);
+      const auto qit = queues.find(key);
+      int q;
+      if (qit != queues.end()) {
+        q = qit->second;
+      } else {
+        analysis::FluidQueue fq;
+        fq.name = "sw " + std::to_string(sw) + " p" +
+                  std::to_string(in_port);
+        fq.xoff_bytes = pfc.xoff_bytes;
+        fq.xon_bytes = pfc.xon_bytes;
+        fq.upstream_link = l;
+        q = inst.model.add_queue(fq);
+        queues.emplace(key, q);
+        inst.queue_switch.push_back(sw);
+      }
+      ff.queues.push_back(q);
+    }
+    inst.flow_of.push_back(i);
+    inst.model.add_flow(std::move(ff));
+  }
+  for (FluidInstance& inst : models_) inst.model.begin(cfg_.fluid_dt);
+}
+
+std::vector<Rate> HybridController::measured_rates(Time now) {
+  std::vector<Rate> r(flows_.size(), Rate::zero());
+  const Time elapsed = now - prev_measure_at_;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    Host& host = net_.host_at(flows_[i].src_host);
+    if (fluid_[i] != 0) {
+      // A held flow injects nothing; its demand is its pacer rate.
+      Pacer* p = host.pacer(flows_[i].id);
+      r[i] = p != nullptr ? p->current_rate().value_or(Rate::zero())
+                          : Rate::zero();
+      continue;
+    }
+    const std::int64_t sent = host.sent_bytes(flows_[i].id);
+    if (elapsed > Time::zero()) {
+      const double bps = static_cast<double>(sent - prev_sent_[i]) * 8.0 *
+                         1e12 / static_cast<double>(elapsed.ps());
+      // Zero means "treat as greedy" downstream, which is the conservative
+      // reading for a flow that sent nothing (it may be paused, not idle).
+      r[i] = Rate{static_cast<std::int64_t>(bps)};
+    }
+    prev_sent_[i] = sent;
+  }
+  prev_measure_at_ = now;
+  return r;
+}
+
+void HybridController::schedule_next() {
+  pending_ = net_.sim().schedule_at(last_step_ + cfg_.fluid_dt,
+                                    [this] { step(); });
+  armed_ = true;
+}
+
+void HybridController::step() {
+  armed_ = false;
+  if (stopped_) return;
+  const Time now = net_.sim().now();
+  ++stats_.steps;
+
+  // 1. Advance the fluid components and credit whole-packet deliveries to
+  //    the sink hosts (the fluid -> packet boundary adapter).
+  for (FluidInstance& inst : models_) {
+    inst.model.step();
+    for (std::size_t m = 0; m < inst.flow_of.size(); ++m) {
+      const std::size_t i = inst.flow_of[m];
+      carry_[i] += inst.model.step_delivered(static_cast<int>(m));
+      const auto pkt = static_cast<double>(flows_[i].packet_bytes);
+      const auto whole = static_cast<std::uint64_t>(carry_[i] / pkt);
+      if (whole == 0) continue;
+      const std::int64_t bytes =
+          static_cast<std::int64_t>(whole) * flows_[i].packet_bytes;
+      carry_[i] -= static_cast<double>(bytes);
+      net_.host_at(flows_[i].dst_host)
+          .credit_delivery(flows_[i].id, bytes, whole);
+      stats_.credited_bytes += bytes;
+      stats_.credited_packets += whole;
+    }
+  }
+  fluid_flowtime_ps_ += static_cast<double>(fluid_flows()) *
+                        static_cast<double>(cfg_.fluid_dt.ps());
+  last_step_ = now;
+
+  // 2. Zoom: occupancy scan + hysteresis.
+  scan_regions(now);
+
+  // 3. Risk mode: periodic online reassessment over the *live* routes (so
+  //    loops that form mid-run surface) with measured rates as demands.
+  if (cfg_.mode == Mode::kRisk && cfg_.risk_every > 0 &&
+      stats_.steps % static_cast<std::uint64_t>(cfg_.risk_every) == 0) {
+    refresh_geometry();
+    const std::vector<Rate> measured = measured_rates(now);
+    assessor_.reassess(measured);
+    ++stats_.risk_reassessments;
+    utilization_ = analysis::channel_utilization(net_, flows_, measured);
+    apply_pins();
+  }
+
+  // 4. Re-derive the fluid set (no-op when nothing changed).
+  refluidize(now);
+  schedule_next();
+}
+
+void HybridController::finalize() {
+  if (stopped_ || cfg_.mode == Mode::kOff) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  if (armed_) {
+    net_.sim().cancel(pending_);
+    armed_ = false;
+  }
+  const Time end = net_.sim().now();
+  if (!flows_.empty() && end > Time::zero()) {
+    stats_.fluid_fraction =
+        fluid_flowtime_ps_ /
+        (static_cast<double>(flows_.size()) * static_cast<double>(end.ps()));
+  }
+  // Held flows stay held: the run is over, and releasing them here would
+  // schedule fresh injections into whatever drain phase follows.
+}
+
+}  // namespace dcdl::hybrid

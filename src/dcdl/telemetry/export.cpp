@@ -45,6 +45,11 @@ std::string node_label(const Topology& topo, NodeId id) {
          ")";
 }
 
+/// Synthetic pid for the hybrid region-state track: kRegionState records
+/// carry a *region* index in `node`, not a NodeId, so they render under
+/// their own process instead of polluting a device's timeline.
+constexpr std::uint32_t kHybridRegionsPid = 4'000'000'000u;
+
 }  // namespace
 
 std::string to_perfetto_json(const Topology& topo,
@@ -60,13 +65,27 @@ std::string to_perfetto_json(const Topology& topo,
   };
 
   // Pass 1: the (pid, tid) streams that will appear, for name metadata.
+  // kRegionState records are excluded: their `node` is a region index, not
+  // a NodeId — they get the synthetic "hybrid regions" process instead.
   std::set<NodeId> nodes;
   std::map<std::pair<NodeId, int>, std::pair<std::uint16_t, std::uint8_t>>
       threads;
+  bool any_region = false;
   for (const TraceRecord& r : records) {
+    if (r.kind == RecordKind::kRegionState) {
+      any_region = true;
+      continue;
+    }
     nodes.insert(r.node);
     const int tid = tid_of(r.port, r.cls);
     if (tid != 0) threads[{r.node, tid}] = {r.port, r.cls};
+  }
+  if (any_region && opts.region_counters) {
+    comma();
+    appendf(out,
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+            "\"args\":{\"name\":\"hybrid regions\"}}",
+            kHybridRegionsPid);
   }
   for (const NodeId n : nodes) {
     comma();
@@ -193,6 +212,16 @@ std::string to_perfetto_json(const Topology& topo,
         appendf(out, ",\"args\":{\"cls\":%u,\"detail\":%u}}", r.cls,
                 r.bytes);
         break;
+      case RecordKind::kRegionState:
+        if (!opts.region_counters) break;
+        comma();
+        appendf(out,
+                "{\"name\":\"region %u level\",\"ph\":\"C\",\"pid\":%u,"
+                "\"ts\":",
+                r.node, kHybridRegionsPid);
+        append_ts(out, r.t_ps);
+        appendf(out, ",\"args\":{\"packet\":%u}}", r.bytes);
+        break;
     }
   }
   // Close spans still open at the window's end (a deadlocked cycle's whole
@@ -268,6 +297,10 @@ void append_record_jsonl(std::string& out, const TraceRecord& r) {
               r.node, r.cls,
               to_string(static_cast<dataplane::DataplaneEvent>(r.reason)),
               r.bytes);
+      break;
+    case RecordKind::kRegionState:
+      appendf(out, ",\"region\":%u,\"level\":\"%s\"", r.node,
+              r.bytes != 0 ? "packet" : "fluid");
       break;
   }
   out += "}\n";

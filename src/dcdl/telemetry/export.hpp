@@ -40,6 +40,9 @@ struct PerfettoOptions {
   bool tx_instants = false;
   /// In-switch pipeline milestones (candidate/confirmed/recovered/...).
   bool dataplane_instants = true;
+  /// Hybrid engine region-state track: one counter per region under a
+  /// synthetic "hybrid regions" process (1 = packet level, 0 = fluid).
+  bool region_counters = true;
 };
 
 /// A cause -> effect arrow between two pause spans, rendered as a Chrome

@@ -30,8 +30,12 @@ enum class RecordKind : std::uint8_t {
   /// for candidates, queues acted on for recoveries).
   kDataplaneDetect = 7,
   kDataplaneRecover = 8,  ///< recovery action / re-arm at `node`
+  /// Hybrid engine zoom transition: `node` holds the region index and
+  /// `bytes` is 1 for an escalation to packet level, 0 for a de-escalation
+  /// back to fluid. Fired from control phases only.
+  kRegionState = 9,
 };
-constexpr int kNumRecordKinds = 9;
+constexpr int kNumRecordKinds = 10;
 
 const char* to_string(RecordKind kind);
 

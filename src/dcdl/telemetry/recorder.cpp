@@ -16,6 +16,7 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kQueueBytes: return "queue_bytes";
     case RecordKind::kDataplaneDetect: return "dataplane_detect";
     case RecordKind::kDataplaneRecover: return "dataplane_recover";
+    case RecordKind::kRegionState: return "region_state";
   }
   return "?";
 }
@@ -136,6 +137,19 @@ void FlightRecorder::attach(Network& net, const AttachOptions& opts) {
                        ? RecordKind::kDataplaneRecover
                        : RecordKind::kDataplaneDetect;
           r.reason = static_cast<std::uint8_t>(ev);
+          record(r);
+        });
+  }
+  if (opts.region_state) {
+    stats::append_hook(
+        t.region_state,
+        [this](Time at, std::uint32_t region, bool to_packet) {
+          TraceRecord r;
+          r.t_ps = at.ps();
+          r.node = region;
+          r.bytes = to_packet ? 1 : 0;
+          r.port = kInvalidPort;
+          r.kind = RecordKind::kRegionState;
           record(r);
         });
   }

@@ -31,7 +31,8 @@ class FlightRecorder {
     bool dropped = true;
     bool cnp = true;
     bool queue_bytes = true;
-    bool dataplane = true;  ///< in-switch detection/recovery milestones
+    bool dataplane = true;     ///< in-switch detection/recovery milestones
+    bool region_state = true;  ///< hybrid engine zoom transitions
   };
 
   /// Preallocates storage for `capacity` records (rounded up to a power of

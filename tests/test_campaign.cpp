@@ -283,7 +283,7 @@ TEST(CampaignResultSink, JsonAndCsvCarrySchemaParamsAndMetrics) {
       CampaignExecutor(reg).run(expand(spec), spec.root_seed);
 
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v4\""), std::string::npos);
   EXPECT_NE(json.find("\"inject\":4.5"), std::string::npos);
   EXPECT_NE(json.find("\"r_threshold_gbps\":5"), std::string::npos);
   EXPECT_EQ(json.find("\"timing\""), std::string::npos) << "wall clock leaked";
@@ -307,6 +307,12 @@ TEST(CampaignResultSink, JsonAndCsvCarrySchemaParamsAndMetrics) {
   EXPECT_NE(header.find("false_positive"), std::string::npos);
   EXPECT_NE(json.find("\"detection_latency_ns\":-1"), std::string::npos);
   EXPECT_NE(json.find("\"false_positive\":false"), std::string::npos);
+  // v4: the hybrid-engine columns are always present (mode off -> "off"/0/0).
+  EXPECT_NE(header.find("hybrid_mode"), std::string::npos);
+  EXPECT_NE(header.find("zoom_events"), std::string::npos);
+  EXPECT_NE(header.find("fluid_fraction"), std::string::npos);
+  EXPECT_NE(json.find("\"hybrid_mode\":\"off\""), std::string::npos);
+  EXPECT_NE(json.find("\"zoom_events\":0"), std::string::npos);
 }
 
 }  // namespace

@@ -12,12 +12,14 @@
 #
 # A clean exit means the tree is committable: every gtest suite passed;
 # with --sanitizers the ASan+UBSan full suite and the TSan campaign +
-# sharded-engine + dataplane binaries are clean too; with --full the
-# sharded engine additionally re-proves digest equality at 4 shards under
-# TSan (the release-blocking determinism check), the in-switch dataplane
-# pipeline re-proves its recovery timeline byte-identical across shard
-# counts and across campaign --jobs under TSan, and the hot path held its
-# events/sec baseline. The perf gate uses its own Release build dir
+# sharded-engine + dataplane + hybrid binaries are clean too; with --full
+# the sharded engine additionally re-proves digest equality at 4 shards
+# under TSan (the release-blocking determinism check), the in-switch
+# dataplane pipeline re-proves its recovery timeline byte-identical across
+# shard counts and across campaign --jobs under TSan, the hybrid
+# fluid/packet engine re-proves artifact byte-identity across
+# --jobs x --shards and verdict agreement against the pure packet engine,
+# and the hot path held its events/sec baseline. The perf gate uses its own Release build dir
 # (build-perf) — sanitizer and default builds are not valid timing
 # baselines.
 set -eu
@@ -80,6 +82,29 @@ if [ "$perf" = 1 ]; then
   dp_sweep 4 2 "$tsan_dir/dp_s2.json"
   cmp "$tsan_dir/dp_j1.json" "$tsan_dir/dp_j4.json"
   cmp "$tsan_dir/dp_s1.json" "$tsan_dir/dp_s2.json"
+
+  # Hybrid-engine equivalence leg: the fluid/packet zoom must perturb
+  # neither verdicts nor determinism. The gtest byte-identity suite runs
+  # under TSan (the controller's step events replay through the window
+  # barrier), then a routing-loop sweep with the zoom on must be
+  # byte-identical across --jobs x --shards, and its core verdict columns
+  # (through pause_assertions — event counts legitimately differ, the
+  # controller schedules its own steps) must match the same sweep with the
+  # zoom off.
+  cmake --build "$tsan_dir" --target test_hybrid -j"$(nproc)"
+  "$tsan_dir/tests/test_hybrid" --gtest_filter='HybridExecutor.*'
+  hy_sweep() {
+    "$tsan_dir/examples/dcdl_sweep" --scenario routing_loop \
+      --grid "inject=4..6gbps:2" --seeds 2 --run_ms 6 --hybrid "$1" \
+      --jobs "$2" --shards "$3" --quiet --out "$4" --csv "$5"
+  }
+  hy_sweep risk 1 1 "$tsan_dir/hy_s1.json" "$tsan_dir/hy_s1.csv"
+  hy_sweep risk 4 2 "$tsan_dir/hy_s2.json" "$tsan_dir/hy_s2.csv"
+  cmp "$tsan_dir/hy_s1.json" "$tsan_dir/hy_s2.json"
+  hy_sweep off 1 1 "$tsan_dir/hy_off.json" "$tsan_dir/hy_off.csv"
+  cut -d, -f1-11 "$tsan_dir/hy_off.csv" > "$tsan_dir/hy_off_core.csv"
+  cut -d, -f1-11 "$tsan_dir/hy_s1.csv" > "$tsan_dir/hy_risk_core.csv"
+  cmp "$tsan_dir/hy_off_core.csv" "$tsan_dir/hy_risk_core.csv"
 
   perf_dir="$repo_root/build-perf"
   cmake -B "$perf_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release

@@ -19,6 +19,10 @@
 #     tagged PFC frames and recovery timers cross shard boundaries; its
 #     shard-invariance test runs the valley recovery scenario on the legacy
 #     engine and at 1/2/4 shards and asserts identical summaries.
+#   - test_hybrid: the hybrid fluid/packet engine — its controller runs on
+#     the control simulator while the sharded engine's workers execute
+#     device events; the byte-identity test sweeps with the zoom on across
+#     jobs=1/shards=1 and jobs=4/shards=2.
 #   - test_simulator: the single-threaded core under the same build, as a
 #     control.
 #
@@ -34,13 +38,14 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
 cmake --build "$build_dir" \
-  --target test_campaign test_sharded test_dataplane test_simulator \
-  -j"$(nproc)"
+  --target test_campaign test_sharded test_dataplane test_hybrid \
+  test_simulator -j"$(nproc)"
 
 # gtest binaries run directly (no ctest discovery needed under TSan).
 "$build_dir/tests/test_campaign"
 "$build_dir/tests/test_sharded"
 "$build_dir/tests/test_dataplane"
+"$build_dir/tests/test_hybrid"
 "$build_dir/tests/test_simulator"
 
-echo "tsan.sh: campaign + sharded + dataplane + simulator tests clean under ThreadSanitizer"
+echo "tsan.sh: campaign + sharded + dataplane + hybrid + simulator tests clean under ThreadSanitizer"
