@@ -3,11 +3,11 @@
 // Four modes:
 //   bench_perf [google-benchmark flags]   microbenchmark suite (BM_*)
 //   bench_perf --json [PATH]              fixed scenario timings written as
-//                                         dcdl.bench_perf.v4 JSON (default
+//                                         dcdl.bench_perf.v6 JSON (default
 //                                         PATH: BENCH_perf.json)
 //   bench_perf --baseline PATH            rerun the fixed scenarios and
 //                                         compare events/sec against a
-//                                         committed v1-v4 artifact; exits
+//                                         committed v1-v6 artifact; exits
 //                                         non-zero on a >10% regression
 //   bench_perf --shards N [--k K] [--ms M]
 //                                         sharded-scaling probe: run the
@@ -35,10 +35,13 @@
 // (intra-pod incast) and CBR background inside every other pod, run pure
 // packet and under the risk-guided hybrid engine — with sim_ms /
 // sim_ms_per_sec so the speedup is measured as simulated-time per wall
-// second (the event streams intentionally differ). The emission keeps one
-// scenario object per line with "name" before "events_per_sec", so a v5
-// artifact still parses as a --baseline input for older binaries and vice
-// versa.
+// second (the event streams intentionally differ); v6 adds
+// routing_loop_probe — the routing-loop steady state with the always-on
+// dcdl::probe sampling at 100 us — so the time-series layer's hot-path
+// overhead (hook observers plus sampler events) rides the same regression
+// gate. The emission keeps one scenario object per line with "name" before
+// "events_per_sec", so a v6 artifact still parses as a --baseline input
+// for older binaries and vice versa.
 //
 //   bench_perf --hybrid [--k K] [--ms M]  hybrid-speedup probe: run the
 //                                         localized-congestion fat-tree
@@ -61,6 +64,7 @@
 
 #include "dcdl/device/host.hpp"
 #include "dcdl/hybrid/hybrid.hpp"
+#include "dcdl/probe/probe.hpp"
 #include "dcdl/routing/compute.hpp"
 #include "dcdl/scenarios/scenario.hpp"
 #include "dcdl/sim/sharded.hpp"
@@ -222,6 +226,25 @@ RunOutcome run_routing_loop() {
   return RunOutcome{s.sim->counters()};
 }
 
+RunOutcome run_routing_loop_probe() {
+  // The routing-loop steady state with the always-on dcdl::probe attached
+  // at its default 100 us interval — hop-wait/latency histograms, PFC pause
+  // tracking, per-link utilization accumulators, the sampler event stream.
+  // Compare against routing_loop, which differs only in this instrument;
+  // the acceptance budget is < 5% events/sec (the probe also rides the
+  // shared >10% --baseline regression gate).
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(4);
+  Scenario s = make_routing_loop(p);
+  probe::RunProbe rp(*s.net);
+  rp.start(*s.sim, 4_ms);
+  s.sim->run_until(4_ms);
+  rp.finalize();
+  benchmark::DoNotOptimize(rp.fct().count());
+  benchmark::DoNotOptimize(s.net->total_queued_bytes());
+  return RunOutcome{s.sim->counters()};
+}
+
 RunOutcome run_routing_loop_dp() {
   // The same steady state with the dataplane pipeline armed in its
   // detect-only policy: every forwarded packet takes the tag stage and
@@ -375,6 +398,8 @@ std::vector<JsonResult> run_suite() {
   std::vector<JsonResult> results;
   results.push_back(measure("ring", kReps, run_ring));
   results.push_back(measure("routing_loop", kReps, run_routing_loop));
+  results.push_back(
+      measure("routing_loop_probe", kReps, run_routing_loop_probe));
   results.push_back(measure("routing_loop_dp", kReps, run_routing_loop_dp));
   results.push_back(measure("fat_tree", kReps,
                             [] { return run_fat_tree(0, 4, 500_us); }));
@@ -439,7 +464,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "bench_perf: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v5\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v6\",\n");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JsonResult& r = results[i];

@@ -1,0 +1,429 @@
+// dcdl_report — aggregate a campaign output directory into one markdown
+// report: per-run time-series summaries, latency-histogram tables, and
+// deadlock-onset timelines, plus a campaign-level run table when the sweep
+// JSON is present.
+//
+//   $ ./dcdl_sweep --scenario valley --set "dataplane=reroute" --seeds 2
+//         --trace out/ --out out/campaign.json
+//   $ ./dcdl_report --dir out/ > report.md
+//
+// Inputs, all produced by dcdl_sweep/dcdl_sim:
+//   * run_NNNNN.timeseries.jsonl / <scenario>.timeseries.jsonl — the
+//     dcdl.timeseries.v1 artifacts (series + histograms);
+//   * a dcdl.campaign.v* JSON (auto-detected in --dir, or named explicitly
+//     with --json) for the per-run scenario/params/goodput/detection table.
+//
+// Flags: --dir <path> (required), --json <file> (campaign JSON; default:
+// first *.json in --dir bearing a dcdl.campaign schema), --out <file>
+// (default stdout).
+//
+// Determinism: files are scanned in sorted name order and every number is
+// formatted with fixed printf precision, so re-running the report over the
+// same directory diffs clean (the acceptance bar for all probe artifacts).
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dcdl/campaign/campaign.hpp"
+#include "dcdl/common/flags.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---- minimal line/object scanners (same idiom as forensics/trace_io) ----
+
+std::optional<double> find_num(const std::string& s, const char* key,
+                               std::size_t from = 0) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = s.find(needle, from);
+  if (at == std::string::npos) return std::nullopt;
+  const char* p = s.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  if (end == p) return std::nullopt;
+  return v;
+}
+
+std::optional<std::string> find_string(const std::string& s, const char* key,
+                                       std::size_t from = 0) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = s.find(needle, from);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = s.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return s.substr(begin, end - begin);
+}
+
+std::optional<bool> find_bool(const std::string& s, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = s.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return s.compare(at + needle.size(), 4, "true") == 0;
+}
+
+/// Content between the balanced brackets opening at s[open].
+std::string bracket_region(const std::string& s, std::size_t open,
+                           char open_ch, char close_ch) {
+  int depth = 0;
+  for (std::size_t p = open; p < s.size(); ++p) {
+    if (s[p] == open_ch) ++depth;
+    if (s[p] == close_ch && --depth == 0) {
+      return s.substr(open + 1, p - open - 1);
+    }
+  }
+  return std::string();
+}
+
+/// Splits a "{...},{...}" array body into its top-level objects.
+std::vector<std::string> split_objects(const std::string& body) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < body.size(); ++p) {
+    if (body[p] == '{') {
+      if (depth == 0) begin = p;
+      ++depth;
+    } else if (body[p] == '}') {
+      if (--depth == 0) out.push_back(body.substr(begin, p - begin + 1));
+    }
+  }
+  return out;
+}
+
+// ---- dcdl.timeseries.v1 artifact ----
+
+struct HistRow {
+  std::string name;
+  double count = 0, p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+struct SeriesAgg {
+  std::string name;
+  double max = 0, mean = 0, last = 0;
+};
+
+struct TsArtifact {
+  std::string stem;  ///< file name without .timeseries.jsonl
+  double interval_ps = 0;
+  long long ticks = 0, dropped = 0;
+  std::vector<SeriesAgg> series;
+  std::vector<HistRow> hists;
+  // Deadlock-onset timeline, derived from the series while scanning.
+  double first_pause_ms = -1;  ///< first tick with pfc.active_pauses > 0
+  double peak_queue_bytes = 0;
+  double peak_queue_ms = -1;
+  double end_active_pauses = 0;
+};
+
+std::optional<TsArtifact> load_timeseries(const fs::path& path) {
+  std::FILE* f = std::fopen(path.string().c_str(), "r");
+  if (!f) return std::nullopt;
+  std::string content;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  TsArtifact out;
+  out.stem = path.filename().string();
+  out.stem.resize(out.stem.size() - std::string(".timeseries.jsonl").size());
+
+  std::size_t pos = 0;
+  bool header_seen = false;
+  int queue_idx = -1, pause_idx = -1;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!header_seen) {
+      if (find_string(line, "schema").value_or("") != "dcdl.timeseries.v1") {
+        return std::nullopt;
+      }
+      out.interval_ps = find_num(line, "interval_ps").value_or(0);
+      out.ticks = static_cast<long long>(find_num(line, "ticks").value_or(0));
+      out.dropped =
+          static_cast<long long>(find_num(line, "dropped_ticks").value_or(0));
+      const std::size_t at = line.find("\"series\":");
+      const std::string names =
+          bracket_region(line, line.find('[', at), '[', ']');
+      std::size_t q = 0;
+      while ((q = names.find('"', q)) != std::string::npos) {
+        const std::size_t end = names.find('"', q + 1);
+        if (end == std::string::npos) break;
+        out.series.push_back(SeriesAgg{names.substr(q + 1, end - q - 1)});
+        q = end + 1;
+      }
+      for (std::size_t i = 0; i < out.series.size(); ++i) {
+        if (out.series[i].name == "queue_bytes") queue_idx = int(i);
+        if (out.series[i].name == "pfc.active_pauses") pause_idx = int(i);
+      }
+      header_seen = true;
+      continue;
+    }
+    if (const auto h = find_string(line, "hist")) {
+      HistRow row;
+      row.name = *h;
+      row.count = find_num(line, "count").value_or(0);
+      row.p50 = find_num(line, "p50").value_or(0);
+      row.p90 = find_num(line, "p90").value_or(0);
+      row.p99 = find_num(line, "p99").value_or(0);
+      row.max = find_num(line, "max").value_or(0);
+      out.hists.push_back(std::move(row));
+      continue;
+    }
+    const auto t_ps = find_num(line, "t_ps");
+    if (!t_ps) continue;
+    const std::size_t at = line.find("\"v\":");
+    if (at == std::string::npos) continue;
+    const std::string vals = bracket_region(line, line.find('[', at),
+                                            '[', ']');
+    const char* p = vals.c_str();
+    for (std::size_t i = 0; i < out.series.size(); ++i) {
+      char* end = nullptr;
+      const double v = std::strtod(p, &end);
+      if (end == p) break;
+      p = *end == ',' ? end + 1 : end;
+      SeriesAgg& s = out.series[i];
+      s.max = std::max(s.max, v);
+      s.mean += v;  // divided by tick count after the scan
+      s.last = v;
+      if (int(i) == pause_idx && v > 0 && out.first_pause_ms < 0) {
+        out.first_pause_ms = *t_ps / 1e9;
+      }
+      if (int(i) == queue_idx && v > out.peak_queue_bytes) {
+        out.peak_queue_bytes = v;
+        out.peak_queue_ms = *t_ps / 1e9;
+      }
+    }
+  }
+  if (out.ticks > 0) {
+    for (SeriesAgg& s : out.series) s.mean /= static_cast<double>(out.ticks);
+  }
+  if (pause_idx >= 0) out.end_active_pauses = out.series[size_t(pause_idx)].last;
+  return out;
+}
+
+// ---- campaign JSON run table ----
+
+struct RunRow {
+  long long run = -1;
+  std::string scenario, status, params;
+  bool deadlocked = false;
+  double goodput = 0, detect_ns = -1, recover_ns = -1;
+};
+
+std::vector<RunRow> load_campaign(const std::string& content) {
+  std::vector<RunRow> rows;
+  const std::size_t at = content.find("\"runs\":");
+  if (at == std::string::npos) return rows;
+  const std::string body =
+      bracket_region(content, content.find('[', at), '[', ']');
+  for (const std::string& obj : split_objects(body)) {
+    RunRow row;
+    row.run = static_cast<long long>(find_num(obj, "run").value_or(-1));
+    row.scenario = find_string(obj, "scenario").value_or("?");
+    row.status = find_string(obj, "status").value_or("?");
+    row.deadlocked = find_bool(obj, "deadlocked").value_or(false);
+    row.goodput = find_num(obj, "goodput_gbps").value_or(0);
+    row.detect_ns = find_num(obj, "detection_latency_ns").value_or(-1);
+    row.recover_ns = find_num(obj, "recovery_time_ns").value_or(-1);
+    const std::size_t pat = obj.find("\"params\":");
+    if (pat != std::string::npos) {
+      row.params = bracket_region(obj, obj.find('{', pat), '{', '}');
+      std::erase(row.params, '"');
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dcdl::Flags flags(argc, argv);
+  const std::string dir = flags.get_string("dir", "");
+  std::string json_path = flags.get_string("json", "");
+  const std::string out_path = flags.get_string("out", "");
+  flags.check_unused();
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: dcdl_report --dir <campaign-output-dir> "
+                 "[--json campaign.json] [--out report.md]\n");
+    return 2;
+  }
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "dcdl_report: '%s' is not a directory\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  // Sorted name order: the report is a deterministic function of the
+  // directory contents, independent of readdir order.
+  std::vector<fs::path> ts_files;
+  std::vector<fs::path> json_files;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.size() > 17 &&
+        name.compare(name.size() - 17, 17, ".timeseries.jsonl") == 0) {
+      ts_files.push_back(e.path());
+    } else if (name.size() > 5 &&
+               name.compare(name.size() - 5, 5, ".json") == 0) {
+      json_files.push_back(e.path());
+    }
+  }
+  std::sort(ts_files.begin(), ts_files.end());
+  std::sort(json_files.begin(), json_files.end());
+
+  auto slurp = [](const fs::path& p) {
+    std::string content;
+    if (std::FILE* f = std::fopen(p.string().c_str(), "r")) {
+      char buf[1 << 14];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        content.append(buf, n);
+      }
+      std::fclose(f);
+    }
+    return content;
+  };
+
+  std::string campaign;
+  if (!json_path.empty()) {
+    campaign = slurp(json_path);
+  } else {
+    for (const fs::path& p : json_files) {
+      const std::string content = slurp(p);
+      if (content.find("\"schema\":\"dcdl.campaign.") != std::string::npos) {
+        campaign = content;
+        json_path = p.string();
+        break;
+      }
+    }
+  }
+  const std::vector<RunRow> runs = load_campaign(campaign);
+
+  std::string md;
+  append(md, "# dcdl campaign report\n\n");
+  append(md, "Source: `%s`", dir.c_str());
+  if (!json_path.empty()) append(md, " (campaign: `%s`)", json_path.c_str());
+  append(md, "\n\n");
+
+  if (!runs.empty()) {
+    append(md, "## Runs\n\n");
+    append(md,
+           "| run | scenario | params | status | deadlocked | goodput "
+           "(Gbps) | detect (ms) | recover (ms) |\n");
+    append(md, "|--:|---|---|---|---|--:|--:|--:|\n");
+    for (const RunRow& r : runs) {
+      append(md, "| %lld | %s | `%s` | %s | %s | %.3f | ", r.run,
+             r.scenario.c_str(), r.params.empty() ? "-" : r.params.c_str(),
+             r.status.c_str(), r.deadlocked ? "yes" : "no", r.goodput);
+      if (r.detect_ns >= 0) {
+        append(md, "%.3f | ", r.detect_ns / 1e6);
+      } else {
+        append(md, "- | ");
+      }
+      if (r.recover_ns >= 0) {
+        append(md, "%.3f |\n", r.recover_ns / 1e6);
+      } else {
+        append(md, "- |\n");
+      }
+    }
+    append(md, "\n");
+  }
+
+  std::size_t loaded = 0;
+  for (const fs::path& p : ts_files) {
+    const std::optional<TsArtifact> ts = load_timeseries(p);
+    if (!ts) {
+      std::fprintf(stderr, "dcdl_report: skipping '%s' (not a "
+                   "dcdl.timeseries.v1 artifact)\n", p.string().c_str());
+      continue;
+    }
+    ++loaded;
+    append(md, "## %s\n\n", ts->stem.c_str());
+    append(md, "%lld tick(s) at %.0f us", ts->ticks,
+           ts->interval_ps / 1e6);
+    if (ts->dropped > 0) {
+      append(md, " (%lld older tick(s) evicted from the ring)", ts->dropped);
+    }
+    append(md, "\n\n");
+
+    // Deadlock-onset timeline: the paper's formation story in three
+    // numbers — when pausing starts, when occupancy peaks, and whether the
+    // run ends wedged.
+    append(md, "**Deadlock onset:** ");
+    if (ts->first_pause_ms < 0) {
+      append(md, "no PFC pause observed.\n\n");
+    } else {
+      append(md,
+             "first PFC pause at %.3f ms; peak queue occupancy %.0f bytes "
+             "at %.3f ms; %s at end of run (%.0f active pause(s)).\n\n",
+             ts->first_pause_ms, ts->peak_queue_bytes, ts->peak_queue_ms,
+             ts->end_active_pauses > 0 ? "still paused" : "pauses cleared",
+             ts->end_active_pauses);
+    }
+
+    append(md, "| series | max | mean | last |\n|---|--:|--:|--:|\n");
+    for (const SeriesAgg& s : ts->series) {
+      // Per-channel utilization rows are summarized by util.max; skip them
+      // to keep wide fabrics readable.
+      if (s.name.compare(0, 5, "util.") == 0 && s.name != "util.max") {
+        continue;
+      }
+      append(md, "| %s | %.4g | %.4g | %.4g |\n", s.name.c_str(), s.max,
+             s.mean, s.last);
+    }
+    append(md, "\n");
+
+    bool any_hist = false;
+    for (const HistRow& h : ts->hists) any_hist |= h.count > 0;
+    if (any_hist) {
+      append(md,
+             "| histogram | count | p50 (us) | p90 (us) | p99 (us) | "
+             "max (us) |\n|---|--:|--:|--:|--:|--:|\n");
+      for (const HistRow& h : ts->hists) {
+        if (h.count == 0) continue;
+        append(md, "| %s | %.0f | %.1f | %.1f | %.1f | %.1f |\n",
+               h.name.c_str(), h.count, h.p50 / 1e6, h.p90 / 1e6,
+               h.p99 / 1e6, h.max / 1e6);
+      }
+      append(md, "\n");
+    }
+  }
+
+  if (loaded == 0 && runs.empty()) {
+    std::fprintf(stderr,
+                 "dcdl_report: no dcdl.timeseries.v1 artifacts or campaign "
+                 "JSON found in '%s'\n", dir.c_str());
+    return 1;
+  }
+
+  if (out_path.empty()) {
+    std::fputs(md.c_str(), stdout);
+  } else {
+    dcdl::campaign::write_text_file(out_path, md);
+    std::fprintf(stderr, "dcdl_report: %zu timeseries artifact(s), %zu "
+                 "run record(s) -> %s\n", loaded, runs.size(),
+                 out_path.c_str());
+  }
+  return 0;
+}

@@ -23,11 +23,17 @@
 // Observability: --trace <dir> writes <scenario>.trace.json (Perfetto, with
 // pause-cascade flow arrows; open in chrome://tracing or ui.perfetto.dev),
 // <scenario>.telemetry.jsonl (topology-bearing, replayable through
-// dcdl_forensics), <scenario>.forensics.{txt,dot}, and — when a deadlock is
-// confirmed — <scenario>.postmortem.jsonl captured at the confirmation
-// instant. --metrics prints the full metrics snapshot after the run. A
-// forensic post-mortem (initial trigger, cascade shape) is printed after
-// every run.
+// dcdl_forensics), <scenario>.forensics.{txt,dot}, the dcdl::probe
+// artifacts <scenario>.timeseries.jsonl (dcdl.timeseries.v1, consumed by
+// dcdl_report) and <scenario>.counters.json (Perfetto counter tracks), and
+// — when a deadlock is confirmed — <scenario>.postmortem.jsonl captured at
+// the confirmation instant. --metrics prints the full metrics snapshot
+// after the run; the probe summary (FCT / pause-duration / queuing-delay
+// percentiles) prints after every run. --probe_us N changes the sampling
+// interval (default 100). --profile installs the wall-clock engine
+// self-profiler and prints its span table (nondeterministic; never in the
+// artifacts). A forensic post-mortem (initial trigger, cascade shape) is
+// printed after every run.
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -50,6 +56,9 @@ int main(int argc, char** argv) {
   const double flow3 = flags.get_double("flow3_gbps", 0);
   const std::string trace_dir = flags.get_string("trace", "");
   const bool metrics = flags.get_bool("metrics", false);
+  const Time probe_interval =
+      Time{flags.get_int("probe_us", 100) * 1'000'000};
+  const bool profile = flags.get_bool("profile", false);
   const int shards = static_cast<int>(flags.get_int("shards", 0));
   const std::string dp_str = flags.get_string("dataplane", "off");
   dataplane::DataplaneConfig dp_cfg;
@@ -190,6 +199,14 @@ int main(int argc, char** argv) {
         drop_log.push_back({t.ps(), node, static_cast<std::uint8_t>(reason)});
       });
   telemetry::RunTelemetry run_telemetry(*s.net);
+  probe::ProbeOptions probe_opts;
+  probe_opts.interval = probe_interval;
+  probe::RunProbe run_probe(*s.net, probe_opts);
+  if (hyb) {
+    run_probe.add_gauge_series("hybrid.fluid_flows", [ctl = hyb.get()] {
+      return static_cast<double>(ctl->fluid_flows());
+    });
+  }
   std::unique_ptr<telemetry::FlightRecorder> recorder;
   if (!trace_dir.empty()) {
     try {
@@ -204,6 +221,13 @@ int main(int argc, char** argv) {
   // The confirmed-deadlock hook: snapshot the flight recorder while the
   // wedged state is live, before stop_and_drain perturbs the queues.
   std::string post_mortem;
+  run_probe.start(*s.sim, s.sim->now() + run_for);
+  // The profiler installs on this thread only: shard workers see a null
+  // thread_local and record nothing (the coordinator-side barrier span
+  // stands in for their wall time).
+  probe::Profiler profiler;
+  std::optional<probe::Profiler::ScopedInstall> profile_scope;
+  if (profile) profile_scope.emplace(profiler);
   const RunSummary r = run_and_check(
       s, run_for, 30_ms, Time{1'000'000'000},
       [&](const analysis::DeadlockMonitor& m) {
@@ -229,6 +253,17 @@ int main(int argc, char** argv) {
     std::printf("  watchdog: %llu resets, %llu packets dropped\n",
                 static_cast<unsigned long long>(wd->resets()),
                 static_cast<unsigned long long>(wd->packets_dropped()));
+  }
+  run_probe.finalize();
+  std::printf("  probe: %zu tick(s) @ %.0f us\n",
+              run_probe.series().ticks(), run_probe.interval().us());
+  for (const auto& [name, hist] : run_probe.histograms()) {
+    if (hist->count() == 0) continue;
+    std::printf("    %-10s n=%-8llu p50=%.1f us  p99=%.1f us  max=%.1f us\n",
+                name, static_cast<unsigned long long>(hist->count()),
+                static_cast<double>(hist->percentile(0.5)) / 1e6,
+                static_cast<double>(hist->percentile(0.99)) / 1e6,
+                static_cast<double>(hist->max()) / 1e6);
   }
   std::printf("verdict: deadlock %s", r.deadlocked ? "YES" : "no");
   if (r.detected_at) std::printf(" (online detection at %.2f ms)",
@@ -320,6 +355,13 @@ int main(int argc, char** argv) {
     for (const auto& [name, value] : run_telemetry.snapshot().flatten()) {
       std::printf("  %-40s %.6g\n", name.c_str(), value);
     }
+    std::printf("\nprobe summary:\n");
+    for (const auto& [name, value] : run_probe.summary()) {
+      std::printf("  %-40s %.6g\n", name.c_str(), value);
+    }
+  }
+  if (profile) {
+    std::printf("\n%s", profiler.report().c_str());
   }
   if (recorder) {
     const std::string stem = trace_dir + "/" + which;
@@ -341,6 +383,10 @@ int main(int argc, char** argv) {
                               forensics::to_text(report));
     campaign::write_text_file(stem + ".forensics.dot",
                               forensics::to_dot(report));
+    campaign::write_text_file(stem + ".timeseries.jsonl",
+                              probe::to_timeseries_jsonl(run_probe));
+    campaign::write_text_file(stem + ".counters.json",
+                              probe::to_perfetto_counters(run_probe));
     if (!post_mortem.empty()) {
       campaign::write_text_file(stem + ".postmortem.jsonl", post_mortem);
       std::printf("post-mortem: %s.postmortem.jsonl (deadlock window)\n",

@@ -23,10 +23,14 @@
 // zoom_events / fluid_fraction, and verdicts are identical to --hybrid off
 // by construction).
 //
-// Observability: --progress (live completed/total counter on stderr —
-// stdout artifacts stay byte-identical), --trace <dir> (per-run Perfetto +
-// dcdl.telemetry.v1 JSONL exports, plus deadlock post-mortems), --metrics
-// (aggregate telemetry summary on stderr after the sweep).
+// Observability: --progress (live completed/total counter with run rate and
+// ETA on stderr — stdout artifacts stay byte-identical), --trace <dir>
+// (per-run Perfetto + dcdl.telemetry.v1 JSONL + dcdl.timeseries.v1 JSONL
+// exports, plus deadlock post-mortems; feed the directory to dcdl_report
+// for an aggregated markdown report), --probe_us N (time-series sampling
+// interval, default 100), --metrics (aggregate telemetry summary on stderr
+// after the sweep).
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -74,6 +78,7 @@ int main(int argc, char** argv) {
   const bool quiet = flags.get_bool("quiet", false);
   const bool progress = flags.get_bool("progress", false);
   const std::string trace_dir = flags.get_string("trace", "");
+  const std::int64_t probe_us = flags.get_int("probe_us", 100);
   const bool metrics = flags.get_bool("metrics", false);
   const std::string hybrid_str = flags.get_string("hybrid", "off");
   const std::optional<hybrid::Mode> hybrid_mode =
@@ -129,19 +134,34 @@ int main(int argc, char** argv) {
     opts.shards = shards;
     opts.hybrid.mode = *hybrid_mode;
     opts.run_wall_budget_ms = timeout_ms;
+    opts.probe_interval = Time{probe_us * 1'000'000};
     if (!trace_dir.empty()) {
       ensure_output_dir(trace_dir);
       opts.trace_dir = trace_dir;
     }
     std::size_t done = 0;
+    const auto sweep0 = std::chrono::steady_clock::now();
     if (progress) {
-      // A single live counter, rewritten in place. Strictly stderr: stdout
-      // carries the JSON/CSV artifacts and must stay byte-identical whether
-      // or not anyone is watching.
-      opts.on_run_done = [&done, &runs](const RunRecord& rec) {
+      // A single live counter, rewritten in place, with the observed run
+      // rate and the ETA it implies. Strictly stderr: stdout carries the
+      // JSON/CSV artifacts and must stay byte-identical whether or not
+      // anyone is watching.
+      opts.on_run_done = [&done, &runs, sweep0](const RunRecord& rec) {
         ++done;
-        std::fprintf(stderr, "\r  %zu/%zu run(s) done (last: run %d %s)",
-                     done, runs.size(), rec.run_index, to_string(rec.status));
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          sweep0)
+                .count();
+        const double rate = elapsed_s > 0
+                                ? static_cast<double>(done) / elapsed_s
+                                : 0;
+        const double eta_s =
+            rate > 0 ? static_cast<double>(runs.size() - done) / rate : 0;
+        std::fprintf(stderr,
+                     "\r  %zu/%zu run(s) done (last: run %d %s) "
+                     "%.1f run/s, eta %.0fs ",
+                     done, runs.size(), rec.run_index, to_string(rec.status),
+                     rate, eta_s);
         std::fflush(stderr);
       };
     } else if (!quiet) {

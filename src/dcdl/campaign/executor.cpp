@@ -11,6 +11,8 @@
 #include "dcdl/common/contract.hpp"
 #include "dcdl/dataplane/dataplane.hpp"
 #include "dcdl/forensics/forensics.hpp"
+#include "dcdl/probe/export.hpp"
+#include "dcdl/probe/probe.hpp"
 #include "dcdl/sim/sharded.hpp"
 #include "dcdl/sim/simulator.hpp"
 #include "dcdl/stats/hooks.hpp"
@@ -114,6 +116,22 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
           *s.net, s.flows, opts.hybrid);
     }
 
+    // Always-on time-series probe: samples at opts.probe_interval on the
+    // externally visible simulator (the control sim under --shards), so the
+    // series are byte-identical across --jobs and --shards >= 1. Its sampler
+    // events are part of the canonical stream — events_executed includes
+    // them for every execution mode alike.
+    probe::ProbeOptions probe_opts;
+    probe_opts.interval = opts.probe_interval;
+    probe_opts.capacity = opts.probe_capacity;
+    probe::RunProbe run_probe(*s.net, probe_opts);
+    if (hybrid_ctl != nullptr) {
+      run_probe.add_gauge_series(
+          "hybrid.fluid_flows", [ctl = hybrid_ctl.get()] {
+            return static_cast<double>(ctl->fluid_flows());
+          });
+    }
+
     // Cooperative guard: a recurring simulator event — always scheduled, so
     // the event stream (and events_executed) is identical whether a run
     // executes inside a campaign or standalone. `guard_active` ends the
@@ -185,6 +203,7 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     }
     const Time start = sim->now();
     monitor.start(start, start + spec.run_for + spec.drain_grace);
+    run_probe.start(*sim, start + spec.run_for);
     sim->run_until(start + spec.run_for);
     guard_active = false;
     rec.wall_ms = elapsed_ms(wall0);
@@ -222,6 +241,15 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     // Telemetry snapshot at stop time: same instant as goodput and
     // pause_assertions, before the drain phase perturbs the queues.
     rec.telemetry = run_telemetry.snapshot().flatten();
+    // Probe summary and the timeseries artifact are captured at the same
+    // stop instant, so the JSONL histograms match the record's probe.*
+    // values exactly (the hooks would keep accumulating through the drain).
+    run_probe.finalize();
+    rec.probe = run_probe.summary();
+    std::string timeseries;
+    if (recorder != nullptr) {
+      timeseries = probe::to_timeseries_jsonl(run_probe);
+    }
     rec.status = RunStatus::kOk;  // finisher sees a complete core record
     if (finish) finish(rec, rec.metrics);
 
@@ -280,6 +308,7 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
                           forensics::flow_arrows(win_report)));
       write_text_file(stem + ".telemetry.jsonl",
                       telemetry::to_jsonl(*s.topo, window));
+      write_text_file(stem + ".timeseries.jsonl", timeseries);
       write_text_file(stem + ".forensics.txt",
                       forensics::to_text(cascade));
       write_text_file(stem + ".forensics.dot",

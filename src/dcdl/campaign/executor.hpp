@@ -49,11 +49,23 @@ struct ExecutorOptions {
   /// HybridController and the record carries the schema-v4 columns
   /// hybrid_mode / zoom_events / fluid_fraction.
   hybrid::HybridConfig hybrid;
+  /// Time-series probe sampling interval (dcdl::probe). The sampler is
+  /// always on: it rides the externally visible simulator (the control sim
+  /// under --shards), so its events land at window barriers and the series
+  /// are byte-identical across --jobs and --shards >= 1. Every ok record
+  /// carries the probe summary (schema v5); with trace_dir set, each run
+  /// additionally writes `run_NNNNN.timeseries.jsonl`.
+  Time probe_interval = Time{100'000'000};  // 100 us
+  /// Ring capacity (ticks) of each run's time-series store. At the default
+  /// 100 us interval this covers 409.6 ms of history — longer runs keep the
+  /// most recent window and report dropped_ticks in the artifact header.
+  std::size_t probe_capacity = 1u << 12;
   /// Progress callback, invoked under a lock after each run completes.
   std::function<void(const RunRecord&)> on_run_done;
 
   /// Non-empty: every run attaches a flight recorder and writes
-  /// `run_NNNNN.trace.json` (Perfetto) + `run_NNNNN.telemetry.jsonl` into
+  /// `run_NNNNN.trace.json` (Perfetto) + `run_NNNNN.telemetry.jsonl` +
+  /// `run_NNNNN.timeseries.jsonl` (dcdl.timeseries.v1) into
   /// this existing directory; a run whose deadlock monitor confirms a cycle
   /// additionally writes `run_NNNNN.postmortem.jsonl` with the last-events
   /// window captured at the detection instant. One file set per run_index,

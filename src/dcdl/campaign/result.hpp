@@ -31,7 +31,11 @@ namespace dcdl::campaign {
 /// "static" / "risk"), "zoom_events" (region escalations + de-escalations)
 /// and "fluid_fraction" (share of flow-time integrated at fluid level).
 /// Additive over v3 in the same way.
-inline constexpr const char* kResultSchema = "dcdl.campaign.v4";
+/// v5: ok runs carry a "probe" object — the dcdl::probe summary (series
+/// max/mean plus FCT / PFC-pause / detection / recovery / hop-wait
+/// histogram percentiles) captured at stop time. Additive over v4; the CSV
+/// layout is unchanged (probe values live in the JSON only).
+inline constexpr const char* kResultSchema = "dcdl.campaign.v5";
 
 enum class RunStatus {
   kOk,         ///< ran to completion
@@ -77,6 +81,11 @@ struct RunRecord {
   /// order), sampled at stop time — see telemetry::RunTelemetry. Like every
   /// serialized field, deterministic for a given spec+seed.
   std::vector<std::pair<std::string, double>> telemetry;
+  /// Time-series probe summary (schema v5): series max/mean and latency
+  /// histogram percentiles, flattened name -> value in emission order.
+  /// Captured at the same stop instant as `telemetry`; JSON-only (the CSV
+  /// column set is unchanged).
+  std::vector<std::pair<std::string, double>> probe;
 
   // Wall-clock accounting — excluded from artifacts by default.
   double wall_ms = 0;

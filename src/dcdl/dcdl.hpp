@@ -47,6 +47,10 @@
 #include "dcdl/mitigation/timely.hpp"
 #include "dcdl/mitigation/watchdog.hpp"
 
+#include "dcdl/probe/export.hpp"
+#include "dcdl/probe/probe.hpp"
+#include "dcdl/probe/profiler.hpp"
+
 #include "dcdl/stats/cascade.hpp"
 #include "dcdl/stats/csv.hpp"
 #include "dcdl/stats/hooks.hpp"

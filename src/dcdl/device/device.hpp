@@ -1,6 +1,8 @@
 // Base class for runtime network elements (switches and hosts).
 #pragma once
 
+#include <vector>
+
 #include "dcdl/device/trace.hpp"
 #include "dcdl/net/packet.hpp"
 #include "dcdl/sim/simulator.hpp"
@@ -37,6 +39,14 @@ class Device {
     return drop_counts_[static_cast<int>(reason)];
   }
 
+  /// Cumulative bytes serialized out of egress `port`. Maintained natively
+  /// (one indexed add per transmission, like drop_counts_) so samplers can
+  /// read utilization as device state at barriers instead of observing
+  /// every tx_start on the hot path.
+  std::uint64_t tx_byte_count(PortId port) const {
+    return port < tx_byte_counts_.size() ? tx_byte_counts_[port] : 0;
+  }
+
  protected:
   /// Self-scheduling: timers, transmit-complete callbacks, pause refreshes.
   /// In sharded runs these go onto the device's own shard under the
@@ -59,6 +69,13 @@ class Device {
     ++drop_counts_[static_cast<int>(reason)];
   }
 
+  /// Sizes the per-port tx counters; subclasses call this once at
+  /// construction so count_tx stays a bare indexed add.
+  void init_tx_ports(std::size_t ports) { tx_byte_counts_.assign(ports, 0); }
+  void count_tx(PortId port, std::int64_t bytes) {
+    tx_byte_counts_[port] += static_cast<std::uint64_t>(bytes);
+  }
+
   Network& net_;
   NodeId id_;
 
@@ -76,6 +93,7 @@ class Device {
   std::uint64_t self_chan_ = 0;
   std::uint64_t self_seq_ = 0;
   std::uint64_t drop_counts_[kNumDropReasons] = {};
+  std::vector<std::uint64_t> tx_byte_counts_;
 };
 
 }  // namespace dcdl

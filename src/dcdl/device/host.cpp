@@ -10,6 +10,7 @@ namespace dcdl {
 Host::Host(Network& net, NodeId id, const NetConfig& cfg)
     : Device(net, id), cfg_(cfg) {
   DCDL_EXPECTS(net.topo().degree(id) == 1);  // hosts are single-homed
+  init_tx_ports(1);
   jitter_rng_.reseed(cfg.jitter_seed * 0x9E3779B97F4A7C15ULL + id);
 }
 
@@ -112,6 +113,7 @@ void Host::try_send() {
     f.sent_bytes += pkt.size_bytes;
     f.sent_packets += 1;
     if (net_.trace().tx_start) net_.trace().tx_start(now, pkt, id_, 0);
+    count_tx(0, pkt.size_bytes);
 
     busy_ = true;
     Time hold = serialization_time(pkt.size_bytes, net_.link_rate(id_, 0));

@@ -181,6 +181,20 @@ void Network::arm_shard_traces() {
     } else {
       st.cnp = nullptr;
     }
+    if (trace_.hop_wait) {
+      st.hop_wait = [this, s](Time t, NodeId n, PortId p, ClassId c,
+                              Time waited) {
+        ShardedEngine::TraceRec rec =
+            make_rec(s, ShardedEngine::RecKind::kHopWait, t);
+        rec.node = n;
+        rec.port = p;
+        rec.cls = c;
+        rec.value = waited.ps();
+        engine_->push_record(s, rec);
+      };
+    } else {
+      st.hop_wait = nullptr;
+    }
     if (trace_.dataplane) {
       st.dataplane = [this, s](Time t, NodeId n, dataplane::DataplaneEvent e,
                                ClassId c, std::uint64_t detail) {
@@ -218,6 +232,9 @@ void Network::replay_record(const ShardedEngine::TraceRec& rec) {
       break;
     case ShardedEngine::RecKind::kCnp:
       trace_.cnp(rec.at, rec.flow);
+      break;
+    case ShardedEngine::RecKind::kHopWait:
+      trace_.hop_wait(rec.at, rec.node, rec.port, rec.cls, Time{rec.value});
       break;
     case ShardedEngine::RecKind::kDataplane:
       trace_.dataplane(rec.at, rec.node,

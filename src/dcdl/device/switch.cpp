@@ -5,6 +5,7 @@
 
 #include "dcdl/common/contract.hpp"
 #include "dcdl/device/network.hpp"
+#include "dcdl/probe/profiler.hpp"
 #include "dcdl/routing/compute.hpp"
 
 namespace dcdl {
@@ -17,6 +18,7 @@ Switch::Switch(Network& net, NodeId id, const NetConfig& cfg)
   num_classes_ = static_cast<std::size_t>(cfg.num_classes);
   ingress_.resize(ports);
   egress_.resize(ports);
+  init_tx_ports(ports);
   for (auto& in : ingress_) {
     in.cls.resize(num_classes_);
     for (auto& c : in.cls) {
@@ -311,7 +313,8 @@ void Switch::route_and_enqueue(PortId in_port, ClassId in_class,
   auto& q = eg.cls[pkt.prio];
   q.bytes += pkt.size_bytes;
   q.from[from_key(in_port, in_class)] += pkt.size_bytes;
-  q.q.push_back(QueuedPacket{std::move(pkt), in_port, in_class, flow_slot});
+  q.q.push_back(
+      QueuedPacket{std::move(pkt), in_port, in_class, flow_slot, now});
   try_transmit(*egress);
 }
 
@@ -386,9 +389,15 @@ void Switch::try_transmit(PortId egress) {
     DCDL_ASSERT(q.from[from_key(qp.in_port, qp.in_class)] >= 0);
     dec_ingress(qp.in_port, qp.in_class, qp.flow_slot, qp.pkt);
 
+    if (net_.trace().hop_wait) {
+      const Time t = now();
+      net_.trace().hop_wait(t, id_, egress, static_cast<ClassId>(c),
+                            t - qp.enqueued_at);
+    }
     if (net_.trace().tx_start) {
       net_.trace().tx_start(now(), qp.pkt, id_, egress);
     }
+    count_tx(egress, qp.pkt.size_bytes);
     eg.busy = true;
     const Time hold = tx_hold_time(qp.pkt, egress);
     schedule_in(hold, [this, egress] { complete_transmit(egress); });
@@ -464,6 +473,7 @@ void Switch::dp_late_propagate(PortId port, ClassId cls,
 
 void Switch::dp_on_own_tag(PortId port, ClassId cls,
                            const dataplane::PauseTag& tag) {
+  probe::Profiler::Scope span(probe::Profiler::Span::kDataplane);
   // Local proof of a cyclic buffer dependency: the chain we started at
   // ingress (origin_port, origin_cls) came back to freeze our egress
   // (port, cls), and that egress holds bytes charged to exactly that
@@ -482,6 +492,7 @@ void Switch::dp_on_own_tag(PortId port, ClassId cls,
 }
 
 void Switch::dp_resolve_candidate() {
+  probe::Profiler::Scope span(probe::Profiler::Span::kDataplane);
   if (dp_ == nullptr || !dp_->candidate_pending()) return;
   const dataplane::PauseTag tag = dp_->candidate_tag();
   const auto& ctr = ingress_[tag.origin_port].cls[tag.origin_cls];

@@ -160,6 +160,10 @@ class Switch final : public Device {
     PortId in_port;      ///< ingress attribution for counter/PFC accounting
     ClassId in_class;
     std::uint32_t flow_slot;  ///< dense per-flow accounting index
+    /// Enqueue timestamp: dequeue minus this is the per-hop queuing delay
+    /// reported through Trace::hop_wait. Lives in the RingQueue, not in
+    /// event closures, so the 64-byte InplaceFn budget is untouched.
+    Time enqueued_at;
   };
 
   struct IngressCounter {

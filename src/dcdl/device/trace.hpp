@@ -98,6 +98,14 @@ struct Trace {
   /// Sender-side congestion notification delivered for a flow.
   HookSlot<Time, FlowId> cnp;
 
+  /// A queued packet left a switch ingress queue toward egress `port`
+  /// after `waited` of queuing delay (dequeue time minus enqueue time).
+  /// Fired alongside tx_start for switch-forwarded packets — the per-hop
+  /// queuing-delay distribution behind the probe layer's hop_wait
+  /// histogram. Leave empty when not needed: an unobserved slot costs one
+  /// branch, and the golden digests never observe it.
+  HookSlot<Time, NodeId, PortId, ClassId, Time> hop_wait;
+
   /// Data-plane detection pipeline event at a switch (candidate, confirm,
   /// recovery, false alarm, re-arm); `detail` is event-specific (tag hops
   /// for candidate/confirmed, packets acted on for recovered). Never fired

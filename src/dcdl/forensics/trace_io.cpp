@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "dcdl/dataplane/dataplane.hpp"
 #include "dcdl/device/trace.hpp"
 
 namespace dcdl::forensics {
@@ -150,6 +151,18 @@ std::uint8_t reason_from_name(const std::string& name, std::size_t line_no) {
   fail(line_no, "unknown drop reason '" + name + "'");
 }
 
+std::uint8_t dataplane_event_from_name(const std::string& name,
+                                       std::size_t line_no) {
+  for (int e = 0;
+       e <= static_cast<int>(dataplane::DataplaneEvent::kRearmed); ++e) {
+    if (name ==
+        dataplane::to_string(static_cast<dataplane::DataplaneEvent>(e))) {
+      return static_cast<std::uint8_t>(e);
+    }
+  }
+  fail(line_no, "unknown dataplane event '" + name + "'");
+}
+
 }  // namespace
 
 LoadedTrace parse_jsonl(const std::string& content) {
@@ -195,6 +208,21 @@ LoadedTrace parse_jsonl(const std::string& content) {
       const auto reason = find_string(line, "reason");
       if (!reason) fail(line_no, "drop record without reason");
       r.reason = reason_from_name(*reason, line_no);
+    } else if (*kind == telemetry::RecordKind::kDataplaneDetect ||
+               *kind == telemetry::RecordKind::kDataplaneRecover) {
+      // The exporter renders these as "event"/"detail" rather than raw
+      // reason/bytes; restore both so the round trip is a fixed point.
+      const auto event = find_string(line, "event");
+      if (!event) fail(line_no, "dataplane record without event");
+      r.reason = dataplane_event_from_name(*event, line_no);
+      r.bytes =
+          static_cast<std::uint32_t>(find_int(line, "detail").value_or(0));
+    } else if (*kind == telemetry::RecordKind::kRegionState) {
+      // Rendered as "region"/"level"; node carries the region index and
+      // bytes the direction (1 = escalated to packet).
+      r.node =
+          static_cast<std::uint32_t>(find_int(line, "region").value_or(0));
+      r.bytes = find_string(line, "level").value_or("fluid") == "packet";
     }
     out.records.push_back(r);
   }

@@ -7,6 +7,7 @@
 #include "dcdl/common/contract.hpp"
 #include "dcdl/device/host.hpp"
 #include "dcdl/device/switch.hpp"
+#include "dcdl/probe/profiler.hpp"
 
 namespace dcdl::hybrid {
 
@@ -416,6 +417,7 @@ void HybridController::schedule_next() {
 }
 
 void HybridController::step() {
+  probe::Profiler::Scope span(probe::Profiler::Span::kFluidStep);
   armed_ = false;
   if (stopped_) return;
   const Time now = net_.sim().now();

@@ -1,0 +1,42 @@
+// Exporters for the probe layer.
+//
+//   * `dcdl.timeseries.v1` JSONL: one header object (schema, interval,
+//     series directory), one row object per retained tick, then one object
+//     per histogram with exact count/sum/min/max, bounded-error
+//     p50/p90/p99, and the non-empty (upper_edge, count) bucket list.
+//     Only series flagged deterministic are written unless
+//     `include_engine_series` is set, so the artifact is byte-identical
+//     across --jobs x --shards within each engine identity class.
+//
+//   * Perfetto counter tracks: a standalone trace-event JSON with one "C"
+//     event per series per tick under a synthetic "probe" process, ready
+//     to load next to the telemetry exporter's pause spans.
+//
+// Doubles are rendered with campaign::format_double (shortest-round-trip
+// std::to_chars), the same writer the campaign artifacts use, so equality
+// of inputs means equality of bytes.
+#pragma once
+
+#include <string>
+
+#include "dcdl/probe/probe.hpp"
+
+namespace dcdl::probe {
+
+inline constexpr const char* kTimeseriesSchema = "dcdl.timeseries.v1";
+
+struct TimeseriesOptions {
+  /// Include series flagged non-deterministic (engine window/stall
+  /// counts). Off for golden artifacts.
+  bool include_engine_series = false;
+};
+
+std::string to_timeseries_jsonl(const RunProbe& probe,
+                                const TimeseriesOptions& opts = {});
+
+/// Perfetto counter tracks for the sampled series (deterministic series
+/// only unless opts says otherwise).
+std::string to_perfetto_counters(const RunProbe& probe,
+                                 const TimeseriesOptions& opts = {});
+
+}  // namespace dcdl::probe

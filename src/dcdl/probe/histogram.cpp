@@ -1,0 +1,28 @@
+#include "dcdl/probe/histogram.hpp"
+
+#include <cmath>
+
+namespace dcdl::probe {
+
+std::int64_t LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return max_;
+  // Rank of the target observation, 1-based.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::uint64_t edge = upper_edge(i);
+      const std::int64_t bounded = static_cast<std::int64_t>(edge);
+      return bounded > max_ ? max_ : bounded;
+    }
+  }
+  return max_;  // unreachable when count_ > 0
+}
+
+}  // namespace dcdl::probe

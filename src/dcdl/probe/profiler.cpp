@@ -1,0 +1,51 @@
+#include "dcdl/probe/profiler.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dcdl::probe {
+
+Profiler*& Profiler::current() {
+  static thread_local Profiler* tls = nullptr;
+  return tls;
+}
+
+const char* Profiler::span_name(Span s) {
+  switch (s) {
+    case Span::kEventLoop: return "event_loop";
+    case Span::kDevicePass: return "device_pass";
+    case Span::kBarrierWait: return "barrier_wait";
+    case Span::kMailboxes: return "mailboxes";
+    case Span::kReplay: return "replay";
+    case Span::kControlPhase: return "control_phase";
+    case Span::kFluidStep: return "fluid_step";
+    case Span::kDataplane: return "dataplane";
+  }
+  return "?";
+}
+
+std::string Profiler::report() const {
+  std::string out =
+      "span            calls        wall_ms        units   ns/unit\n";
+  char line[160];
+  for (int i = 0; i < kNumSpans; ++i) {
+    const Accum& a = spans_[i];
+    if (a.calls == 0) continue;
+    const double ms = static_cast<double>(a.wall_ns) / 1e6;
+    if (a.units > 0) {
+      std::snprintf(line, sizeof(line),
+                    "%-14s %6" PRIu64 " %14.3f %12" PRIu64 " %9.1f\n",
+                    span_name(static_cast<Span>(i)), a.calls, ms, a.units,
+                    static_cast<double>(a.wall_ns) /
+                        static_cast<double>(a.units));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%-14s %6" PRIu64 " %14.3f %12s %9s\n",
+                    span_name(static_cast<Span>(i)), a.calls, ms, "-", "-");
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dcdl::probe

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dcdl/common/contract.hpp"
+#include "dcdl/probe/profiler.hpp"
 
 namespace dcdl {
 
@@ -94,6 +95,7 @@ void ShardedEngine::post(std::uint32_t dst_shard, Time at, std::uint64_t chan,
 }
 
 void ShardedEngine::drain_mailboxes() {
+  probe::Profiler::Scope span(probe::Profiler::Span::kMailboxes);
   // Fixed (src, dst, FIFO) order. Delivery order does not affect execution
   // order (events fire by key), but keeping it fixed means the slab/heap
   // layouts — and hence allocation behaviour — are deterministic too.
@@ -120,6 +122,8 @@ void ShardedEngine::replay_records() {
     for (std::vector<TraceRec>& r : records_) r.clear();
     return;
   }
+  probe::Profiler::Scope span(probe::Profiler::Span::kReplay);
+  for (const std::vector<TraceRec>& r : records_) span.add_units(r.size());
   // K-way merge by (at, chan, seq, intra). Each shard's buffer is already
   // sorted by that key: a shard executes its events in key order, and
   // same-timestamp events scheduled *during* the window always target a
@@ -152,10 +156,16 @@ void ShardedEngine::replay_records() {
 }
 
 void ShardedEngine::device_pass(Time limit_at, std::uint64_t limit_chan) {
+  probe::Profiler::Scope pass(probe::Profiler::Span::kDevicePass);
   round_at_ = limit_at;
   round_chan_ = limit_chan;
-  start_gate_->arrive_and_wait();
-  end_gate_->arrive_and_wait();
+  {
+    // Coordinator-side view: between the two gates the workers own the
+    // window, so this span is "waiting on device execution".
+    probe::Profiler::Scope wait(probe::Profiler::Span::kBarrierWait);
+    start_gate_->arrive_and_wait();
+    end_gate_->arrive_and_wait();
+  }
   std::uint64_t total = 0;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     total += round_executed_[s];
@@ -163,6 +173,7 @@ void ShardedEngine::device_pass(Time limit_at, std::uint64_t limit_chan) {
     if (round_executed_[s] == 0) stats_.shard[s].idle_windows++;
   }
   ctl_->credit_external_events(total);
+  pass.add_units(total);
   stats_.device_passes++;
   drain_mailboxes();
   replay_records();
@@ -195,7 +206,13 @@ bool ShardedEngine::run_core(Time deadline) {
       device_pass(tctl, Simulator::kAllChannels);
       stats_.windows++;
       for (;;) {
-        if (!ctl_->drain_through(tctl)) {
+        bool control_ok;
+        {
+          probe::Profiler::Scope ctl_span(
+              probe::Profiler::Span::kControlPhase);
+          control_ok = ctl_->drain_through(tctl);
+        }
+        if (!control_ok) {
           // stop() fired inside a control event (deadlock monitor halting
           // the run, campaign guard tripping).
           return false;

@@ -91,6 +91,7 @@ class ShardedEngine final : public Simulator::RunDelegate {
     kTxStart,
     kCnp,
     kDataplane,
+    kHopWait,  ///< per-hop queuing delay; value = waited picoseconds
   };
   struct TraceRec {
     Time at = Time::zero();

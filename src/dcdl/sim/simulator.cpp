@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dcdl/common/contract.hpp"
+#include "dcdl/probe/profiler.hpp"
 
 namespace dcdl {
 
@@ -132,14 +133,22 @@ void Simulator::run() {
     return;
   }
   stopped_ = false;
+  // One span per drain, not per event: the profiler's contract is no
+  // per-event clock reads (see probe/profiler.hpp). The executed delta
+  // rides along so ns/event is still derivable.
+  probe::Profiler::Scope span(probe::Profiler::Span::kEventLoop);
+  const std::uint64_t before = executed_;
   while (!stopped_ && step()) {
   }
+  span.add_units(executed_ - before);
 }
 
 bool Simulator::run_until(Time deadline) {
   DCDL_EXPECTS(deadline >= now_);
   if (delegate_ != nullptr) return delegate_->delegate_run_until(deadline);
   stopped_ = false;
+  probe::Profiler::Scope span(probe::Profiler::Span::kEventLoop);
+  const std::uint64_t before = executed_;
   while (!stopped_) {
     // Peek past cancelled husks without executing live entries beyond the
     // deadline.
@@ -147,6 +156,7 @@ bool Simulator::run_until(Time deadline) {
     if (heap_.empty() || heap_.front().at > deadline) break;
     step();
   }
+  span.add_units(executed_ - before);
   if (!stopped_) {
     now_ = deadline;
     return true;

@@ -168,11 +168,15 @@ void attach_run_metrics(MetricsRegistry& reg, const RunMetricIds& ids,
         r->add(bytes, pkt.size_bytes);
         r->observe(size, static_cast<double>(pkt.size_bytes));
       });
+  // The closure captures every per-reason counter id: a missing capture
+  // here once routed kDataplaneReset drops into a value-initialized id —
+  // slot 0, i.e. net.pfc_xoff_total (regression-tested in test_telemetry).
   stats::append_hook(
       t.dropped,
       [r, d0 = ids.dropped[0], d1 = ids.dropped[1], d2 = ids.dropped[2],
-       d3 = ids.dropped[3]](Time, const Packet&, NodeId, DropReason reason) {
-        const CounterId by_reason[kNumDropReasons] = {d0, d1, d2, d3};
+       d3 = ids.dropped[3],
+       d4 = ids.dropped[4]](Time, const Packet&, NodeId, DropReason reason) {
+        const CounterId by_reason[kNumDropReasons] = {d0, d1, d2, d3, d4};
         r->add(by_reason[static_cast<int>(reason)]);
       });
   stats::append_hook(t.cnp,

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -68,13 +69,29 @@ class MetricsRegistry {
     counters_[id.v] += delta;
   }
   void set(GaugeId id, double v) { gauges_[id.v] = v; }
+  /// Bucket-boundary semantics (part of every exported artifact, pinned by
+  /// test_telemetry's boundary regression tests):
+  ///   - bounds are *inclusive* upper edges: v lands in the first bucket b
+  ///     with v <= bounds[b], so a value exactly on a boundary belongs to
+  ///     the bucket that boundary closes, never the one above it;
+  ///   - anything above the last bound saturates into the implicit +inf
+  ///     overflow bucket — observations are never dropped;
+  ///   - non-finite values (NaN, +/-inf) also saturate into the overflow
+  ///     bucket and are excluded from `sum`, so one bad sample cannot
+  ///     poison the mean or leak into the smallest bucket (NaN compares
+  ///     false against every bound). `count` still includes them: the
+  ///     count/sum discrepancy is the visible signal that it happened.
   void observe(HistogramId id, double v) {
     Histogram& h = histograms_[id.v];
-    std::size_t b = 0;
-    while (b < h.bounds.size() && v > h.bounds[b]) ++b;
+    std::size_t b = h.bounds.size();  // the saturating overflow bucket
+    if (v == v && v <= std::numeric_limits<double>::max() &&
+        v >= std::numeric_limits<double>::lowest()) {
+      b = 0;
+      while (b < h.bounds.size() && v > h.bounds[b]) ++b;
+      h.sum += v;
+    }
     ++h.buckets[b];
     ++h.count;
-    h.sum += v;
   }
 
   std::uint64_t counter_value(CounterId id) const { return counters_[id.v]; }

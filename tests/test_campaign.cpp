@@ -283,7 +283,7 @@ TEST(CampaignResultSink, JsonAndCsvCarrySchemaParamsAndMetrics) {
       CampaignExecutor(reg).run(expand(spec), spec.root_seed);
 
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v5\""), std::string::npos);
   EXPECT_NE(json.find("\"inject\":4.5"), std::string::npos);
   EXPECT_NE(json.find("\"r_threshold_gbps\":5"), std::string::npos);
   EXPECT_EQ(json.find("\"timing\""), std::string::npos) << "wall clock leaked";

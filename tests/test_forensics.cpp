@@ -5,17 +5,24 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "dcdl/analysis/deadlock.hpp"
 #include "dcdl/campaign/campaign.hpp"
+#include "dcdl/device/host.hpp"
+#include "dcdl/device/network.hpp"
 #include "dcdl/forensics/forensics.hpp"
+#include "dcdl/hybrid/hybrid.hpp"
+#include "dcdl/routing/compute.hpp"
 #include "dcdl/scenarios/scenario.hpp"
 #include "dcdl/stats/hooks.hpp"
 #include "dcdl/stats/pause_log.hpp"
 #include "dcdl/telemetry/telemetry.hpp"
+#include "dcdl/topo/generators.hpp"
+#include "dcdl/traffic/flow.hpp"
 
 namespace dcdl::forensics {
 namespace {
@@ -427,6 +434,101 @@ TEST(TraceIoTest, MalformedInputThrowsWithLineNumbers) {
   const LoadedTrace trace = parse_jsonl(bare);
   EXPECT_FALSE(trace.has_topology);
   EXPECT_THROW(input_from_trace(trace), std::runtime_error);
+}
+
+TEST(TraceIoTest, DataplaneRecordsRoundTripAndRerenderByteIdentically) {
+  // A run with the in-band pipeline on writes kDataplaneDetect (and, under
+  // destructive policies, kDataplaneRecover) records into the v1 stream.
+  // Parsing the JSONL and re-rendering it must be a fixed point: every
+  // dataplane field survives one hop through dcdl_forensics' loader.
+  ValleyViolationParams p;
+  p.dataplane.policy = dataplane::RecoveryPolicy::kPfcLift;
+  Scenario s = make_valley_violation(p);
+  telemetry::FlightRecorder rec;
+  rec.attach(*s.net);
+  s.sim->run_until(20_ms);
+  const std::vector<telemetry::TraceRecord> records = rec.snapshot();
+
+  std::size_t detects = 0, recovers = 0;
+  for (const telemetry::TraceRecord& r : records) {
+    detects += r.kind == telemetry::RecordKind::kDataplaneDetect ? 1 : 0;
+    recovers += r.kind == telemetry::RecordKind::kDataplaneRecover ? 1 : 0;
+  }
+  ASSERT_GT(detects, 0u) << "pipeline must reach kConfirmed within 20 ms";
+  ASSERT_GT(recovers, 0u) << "kPfcLift acts and re-arms";
+
+  const std::string jsonl = telemetry::to_jsonl(*s.topo, records);
+  const LoadedTrace trace = parse_jsonl(jsonl);
+  ASSERT_EQ(trace.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(trace.records[i].t_ps, records[i].t_ps);
+    EXPECT_EQ(trace.records[i].kind, records[i].kind);
+    EXPECT_EQ(trace.records[i].node, records[i].node);
+    EXPECT_EQ(trace.records[i].bytes, records[i].bytes);
+    EXPECT_EQ(trace.records[i].reason, records[i].reason);
+  }
+  EXPECT_EQ(telemetry::to_jsonl(trace.topo, trace.records), jsonl);
+}
+
+TEST(TraceIoTest, HybridRegionRecordsRoundTripAndRerenderByteIdentically) {
+  // A hybrid (v4) run that escalates emits kRegionState transitions; the
+  // round trip must preserve region index and level direction exactly.
+  Simulator sim;
+  topo::FatTreeTopo ft = topo::make_fat_tree(4);
+  Network net(sim, ft.topo, NetConfig{});
+  routing::install_shortest_paths(net);
+  const int half = 2, hp = 4;
+  std::vector<FlowSpec> flows;
+  FlowId id = 1;
+  for (int i = 1; i < hp; ++i) {  // greedy incast onto pod-0 host 0
+    FlowSpec f;
+    f.id = id++;
+    f.src_host = ft.all_hosts[static_cast<std::size_t>(i)];
+    f.dst_host = ft.all_hosts[0];
+    f.packet_bytes = 1000;
+    net.host_at(f.src_host).add_flow(f);
+    flows.push_back(f);
+  }
+  for (int pod = 1; pod < 4; ++pod) {  // steady CBR background
+    for (int i = 0; i < hp; ++i) {
+      FlowSpec f;
+      f.id = id++;
+      f.src_host = ft.all_hosts[static_cast<std::size_t>(pod * hp + i)];
+      f.dst_host = ft.all_hosts[static_cast<std::size_t>(
+          pod * hp + (i + half) % hp)];
+      f.packet_bytes = 1000;
+      net.host_at(f.src_host).add_flow(
+          f, std::make_unique<TokenBucketPacer>(Rate::gbps(4),
+                                                2 * f.packet_bytes));
+      flows.push_back(f);
+    }
+  }
+  telemetry::FlightRecorder rec;
+  rec.attach(net);
+  hybrid::HybridConfig hc;
+  hc.mode = hybrid::Mode::kRisk;
+  hybrid::HybridController ctl(net, flows, hc);
+  sim.run_until(1_ms);
+  ctl.finalize();
+  ASSERT_GE(ctl.stats().escalations, 1u);
+
+  const std::vector<telemetry::TraceRecord> records = rec.snapshot();
+  std::size_t regions = 0;
+  for (const telemetry::TraceRecord& r : records) {
+    regions += r.kind == telemetry::RecordKind::kRegionState ? 1 : 0;
+  }
+  ASSERT_GT(regions, 0u) << "escalations must land in the flight recorder";
+
+  const std::string jsonl = telemetry::to_jsonl(ft.topo, records);
+  const LoadedTrace trace = parse_jsonl(jsonl);
+  ASSERT_EQ(trace.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(trace.records[i].kind, records[i].kind);
+    EXPECT_EQ(trace.records[i].node, records[i].node)
+        << "kRegionState carries the region index in `node`";
+    EXPECT_EQ(trace.records[i].bytes, records[i].bytes);
+  }
+  EXPECT_EQ(telemetry::to_jsonl(trace.topo, trace.records), jsonl);
 }
 
 // ---------------------------------------------------------------- metrics

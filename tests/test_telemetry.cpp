@@ -157,6 +157,68 @@ TEST(MetricsRegistryTest, CountersGaugesHistograms) {
   ASSERT_EQ(flat.size(), 5u);  // c, g, h.count, h.sum, h.mean
 }
 
+TEST(MetricsRegistryTest, HistogramBoundarySemanticsArePinned) {
+  // Pins the inclusive-upper-edge contract documented on observe(): a value
+  // exactly on a boundary belongs to the bucket that boundary closes, and
+  // the first value past the last bound saturates into overflow. These
+  // semantics are part of every exported artifact, so a change here is a
+  // schema change.
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("h", {10, 100, 1000});
+  reg.observe(h, 9.999);   // bucket 0
+  reg.observe(h, 10);      // bucket 0: boundary closes the bucket below
+  reg.observe(h, 10.001);  // bucket 1: first value past the boundary
+  reg.observe(h, 100);     // bucket 1
+  reg.observe(h, 1000);    // bucket 2: the last bound is still inclusive
+  reg.observe(h, 1000.5);  // overflow
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.items[0].buckets, (std::vector<std::uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(reg.histogram_count(h), 6u);
+  EXPECT_DOUBLE_EQ(snap.items[0].sum, 9.999 + 10 + 10.001 + 100 + 1000 +
+                                          1000.5);
+}
+
+TEST(MetricsRegistryTest, HistogramNonFiniteSaturatesIntoOverflow) {
+  // NaN/+inf/-inf land in the overflow bucket, count, and stay out of the
+  // sum — one bad sample must not poison the mean or leak into the
+  // smallest bucket via a false NaN comparison.
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("h", {10, 100});
+  reg.observe(h, 5);
+  reg.observe(h, std::numeric_limits<double>::quiet_NaN());
+  reg.observe(h, std::numeric_limits<double>::infinity());
+  reg.observe(h, -std::numeric_limits<double>::infinity());
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.items[0].buckets, (std::vector<std::uint64_t>{1, 0, 3}));
+  EXPECT_EQ(reg.histogram_count(h), 4u);
+  EXPECT_DOUBLE_EQ(snap.items[0].sum, 5)
+      << "non-finite observations are excluded from the sum; the count/sum "
+         "discrepancy is the signal they happened";
+}
+
+TEST(RunTelemetryTest, EveryDropReasonRoutesToItsOwnCounter) {
+  // Regression: the dropped-hook closure once captured only four of the
+  // five per-reason counter ids, so kDataplaneReset drops incremented a
+  // value-initialized id — slot 0, net.pfc_xoff_total. Fire one drop of
+  // every reason and check each counter reads exactly 1 and the pfc
+  // counter stays 0.
+  RoutingLoopParams p;
+  Scenario s = make_routing_loop(p);
+  RunTelemetry telem(*s.net);
+  Packet pkt{};
+  for (int r = 0; r < kNumDropReasons; ++r) {
+    s.net->trace().dropped(Time::zero(), pkt, NodeId{0},
+                           static_cast<DropReason>(r));
+  }
+  const MetricsRegistry& reg = telem.registry();
+  for (int r = 0; r < kNumDropReasons; ++r) {
+    EXPECT_EQ(reg.counter_value(telem.ids().dropped[r]), 1u)
+        << "reason " << to_string(static_cast<DropReason>(r));
+  }
+  EXPECT_EQ(reg.counter_value(telem.ids().pfc_xoff), 0u)
+      << "a drop must never bleed into the pfc_xoff counter";
+}
+
 TEST(MetricsRegistryTest, RegistrationIsIdempotentButKindChecked) {
   MetricsRegistry reg;
   const CounterId a = reg.counter("x");

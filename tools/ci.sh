@@ -106,6 +106,42 @@ if [ "$perf" = 1 ]; then
   cut -d, -f1-11 "$tsan_dir/hy_s1.csv" > "$tsan_dir/hy_risk_core.csv"
   cmp "$tsan_dir/hy_off_core.csv" "$tsan_dir/hy_risk_core.csv"
 
+  # Probe time-series leg: the always-on dcdl::probe sampler snapshots at
+  # window barriers, so its `dcdl.timeseries.v1` artifact obeys the same
+  # two identity classes as the telemetry JSON — byte-identical across
+  # --jobs within either engine, and across shard counts within the
+  # sharded engine. dcdl_report over the same campaign directory must also
+  # be a pure function of its inputs (two invocations, identical bytes).
+  cmake --build "$tsan_dir" --target test_probe dcdl_report -j"$(nproc)"
+  "$tsan_dir/tests/test_probe"
+  ts_sweep() {
+    out_dir="$tsan_dir/ts_$4"
+    rm -rf "$out_dir"
+    "$tsan_dir/examples/dcdl_sweep" --scenario routing_loop \
+      --grid "inject=4..6gbps:2" --seeds 1 --run_ms 4 --jobs "$1" \
+      --shards "$2" --quiet --trace "$out_dir" \
+      --out "$out_dir/campaign.json"
+  }
+  ts_sweep 1 0 x j1s0
+  ts_sweep 4 0 x j4s0
+  ts_sweep 1 1 x j1s1
+  ts_sweep 4 2 x j4s2
+  cmp "$tsan_dir/ts_j1s0/run_00000.timeseries.jsonl" \
+      "$tsan_dir/ts_j4s0/run_00000.timeseries.jsonl"
+  cmp "$tsan_dir/ts_j1s1/run_00000.timeseries.jsonl" \
+      "$tsan_dir/ts_j4s2/run_00000.timeseries.jsonl"
+  cmp "$tsan_dir/ts_j1s1/run_00001.timeseries.jsonl" \
+      "$tsan_dir/ts_j4s2/run_00001.timeseries.jsonl"
+  "$tsan_dir/examples/dcdl_report" --dir "$tsan_dir/ts_j1s1" \
+    --out "$tsan_dir/report_a.md"
+  "$tsan_dir/examples/dcdl_report" --dir "$tsan_dir/ts_j1s1" \
+    --out "$tsan_dir/report_b.md"
+  cmp "$tsan_dir/report_a.md" "$tsan_dir/report_b.md"
+
+  # The perf gate below also covers the probe layer: routing_loop_probe
+  # (the same scenario with a 100 us sampler attached) sits in
+  # BENCH_perf.json, so sampler overhead regressions trip the same >10%
+  # events/sec check as any other hot-path change.
   perf_dir="$repo_root/build-perf"
   cmake -B "$perf_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$perf_dir" --target bench_perf -j"$(nproc)"

@@ -23,6 +23,11 @@
 #     the control simulator while the sharded engine's workers execute
 #     device events; the byte-identity test sweeps with the zoom on across
 #     jobs=1/shards=1 and jobs=4/shards=2.
+#   - test_probe: the dcdl::probe time-series layer — its sampler ticks on
+#     the control simulator while shard workers run device events, and its
+#     byte-identity test renders the `dcdl.timeseries.v1` artifact at
+#     1/2/4 shards. The profiler is thread_local-install-only (workers see
+#     a null pointer and never write), so a clean run proves that design.
 #   - test_simulator: the single-threaded core under the same build, as a
 #     control.
 #
@@ -39,13 +44,14 @@ cmake -B "$build_dir" -S "$repo_root" \
 
 cmake --build "$build_dir" \
   --target test_campaign test_sharded test_dataplane test_hybrid \
-  test_simulator -j"$(nproc)"
+  test_probe test_simulator -j"$(nproc)"
 
 # gtest binaries run directly (no ctest discovery needed under TSan).
 "$build_dir/tests/test_campaign"
 "$build_dir/tests/test_sharded"
 "$build_dir/tests/test_dataplane"
 "$build_dir/tests/test_hybrid"
+"$build_dir/tests/test_probe"
 "$build_dir/tests/test_simulator"
 
-echo "tsan.sh: campaign + sharded + dataplane + hybrid + simulator tests clean under ThreadSanitizer"
+echo "tsan.sh: campaign + sharded + dataplane + hybrid + probe + simulator tests clean under ThreadSanitizer"
