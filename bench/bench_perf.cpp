@@ -3,11 +3,11 @@
 // Four modes:
 //   bench_perf [google-benchmark flags]   microbenchmark suite (BM_*)
 //   bench_perf --json [PATH]              fixed scenario timings written as
-//                                         dcdl.bench_perf.v6 JSON (default
+//                                         dcdl.bench_perf.v7 JSON (default
 //                                         PATH: BENCH_perf.json)
 //   bench_perf --baseline PATH            rerun the fixed scenarios and
 //                                         compare events/sec against a
-//                                         committed v1-v6 artifact; exits
+//                                         committed v1-v7 artifact; exits
 //                                         non-zero on a >10% regression
 //   bench_perf --shards N [--k K] [--ms M]
 //                                         sharded-scaling probe: run the
@@ -39,9 +39,12 @@
 // routing_loop_probe — the routing-loop steady state with the always-on
 // dcdl::probe sampling at 100 us — so the time-series layer's hot-path
 // overhead (hook observers plus sampler events) rides the same regression
-// gate. The emission keeps one scenario object per line with "name" before
-// "events_per_sec", so a v6 artifact still parses as a --baseline input
-// for older binaries and vice versa.
+// gate; v7 adds routing_loop_watch — the same steady state with the
+// dcdl::watch early-warning stack attached (wait-for snapshots, the alert
+// rule engine, periodic risk reassessment) — so the watch layer's
+// overhead is gated the same way. The emission keeps one scenario object
+// per line with "name" before "events_per_sec", so a v7 artifact still
+// parses as a --baseline input for older binaries and vice versa.
 //
 //   bench_perf --hybrid [--k K] [--ms M]  hybrid-speedup probe: run the
 //                                         localized-congestion fat-tree
@@ -70,6 +73,7 @@
 #include "dcdl/sim/sharded.hpp"
 #include "dcdl/topo/generators.hpp"
 #include "dcdl/traffic/flow.hpp"
+#include "dcdl/watch/watch.hpp"
 
 using namespace dcdl;
 using namespace dcdl::literals;
@@ -245,6 +249,24 @@ RunOutcome run_routing_loop_probe() {
   return RunOutcome{s.sim->counters()};
 }
 
+RunOutcome run_routing_loop_watch() {
+  // The routing-loop steady state with the always-on dcdl::watch
+  // early-warning layer attached at its default 100 us tick — wait-for
+  // graph snapshots, pause-pressure/slope signals, the rule engine, and
+  // the periodic risk reassessment. Compare against routing_loop, which
+  // differs only in this instrument; the acceptance budget is < 5%
+  // events/sec (the watch also rides the shared >10% --baseline gate).
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(4);
+  Scenario s = make_routing_loop(p);
+  watch::RunWatch rw(*s.net, s.flows, {});
+  rw.start(*s.sim, 4_ms);
+  s.sim->run_until(4_ms);
+  benchmark::DoNotOptimize(rw.engine().fires(watch::Severity::kWarn));
+  benchmark::DoNotOptimize(s.net->total_queued_bytes());
+  return RunOutcome{s.sim->counters()};
+}
+
 RunOutcome run_routing_loop_dp() {
   // The same steady state with the dataplane pipeline armed in its
   // detect-only policy: every forwarded packet takes the tag stage and
@@ -400,6 +422,8 @@ std::vector<JsonResult> run_suite() {
   results.push_back(measure("routing_loop", kReps, run_routing_loop));
   results.push_back(
       measure("routing_loop_probe", kReps, run_routing_loop_probe));
+  results.push_back(
+      measure("routing_loop_watch", kReps, run_routing_loop_watch));
   results.push_back(measure("routing_loop_dp", kReps, run_routing_loop_dp));
   results.push_back(measure("fat_tree", kReps,
                             [] { return run_fat_tree(0, 4, 500_us); }));
@@ -464,7 +488,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "bench_perf: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v6\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"dcdl.bench_perf.v7\",\n");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JsonResult& r = results[i];

@@ -1,7 +1,10 @@
 // dcdl_report — aggregate a campaign output directory into one markdown
 // report: per-run time-series summaries, latency-histogram tables, and
-// deadlock-onset timelines, plus a campaign-level run table when the sweep
-// JSON is present.
+// deadlock-onset timelines, plus a campaign-level run table, a cross-run
+// anomaly section (robust z-scores over probe/alert metrics within each
+// scenario identity class), and a skipped-artifacts note when the sweep
+// directory is partial (missing or truncated per-run files are reported,
+// never fatal).
 //
 //   $ ./dcdl_sweep --scenario valley --set "dataplane=reroute" --seeds 2
 //         --trace out/ --out out/campaign.json
@@ -21,10 +24,12 @@
 // formatted with fixed printf precision, so re-running the report over the
 // same directory diffs clean (the acceptance bar for all probe artifacts).
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,7 +106,7 @@ std::vector<std::string> split_objects(const std::string& body) {
 
 struct HistRow {
   std::string name;
-  double count = 0, p50 = 0, p90 = 0, p99 = 0, max = 0;
+  double count = 0, p50 = 0, p90 = 0, p99 = 0, p999 = 0, max = 0;
 };
 
 struct SeriesAgg {
@@ -120,11 +125,19 @@ struct TsArtifact {
   double peak_queue_bytes = 0;
   double peak_queue_ms = -1;
   double end_active_pauses = 0;
+  long long data_rows = 0;  ///< sample lines actually present in the file
 };
 
-std::optional<TsArtifact> load_timeseries(const fs::path& path) {
+/// Loads one dcdl.timeseries.v1 artifact. On failure `why` explains what
+/// was wrong (unreadable, wrong schema) so the report can carry a
+/// skipped-artifacts note instead of silently dropping the file.
+std::optional<TsArtifact> load_timeseries(const fs::path& path,
+                                          std::string& why) {
   std::FILE* f = std::fopen(path.string().c_str(), "r");
-  if (!f) return std::nullopt;
+  if (!f) {
+    why = "unreadable";
+    return std::nullopt;
+  }
   std::string content;
   char buf[1 << 14];
   std::size_t n;
@@ -146,6 +159,7 @@ std::optional<TsArtifact> load_timeseries(const fs::path& path) {
     if (line.empty()) continue;
     if (!header_seen) {
       if (find_string(line, "schema").value_or("") != "dcdl.timeseries.v1") {
+        why = "not a dcdl.timeseries.v1 artifact";
         return std::nullopt;
       }
       out.interval_ps = find_num(line, "interval_ps").value_or(0);
@@ -176,12 +190,14 @@ std::optional<TsArtifact> load_timeseries(const fs::path& path) {
       row.p50 = find_num(line, "p50").value_or(0);
       row.p90 = find_num(line, "p90").value_or(0);
       row.p99 = find_num(line, "p99").value_or(0);
+      row.p999 = find_num(line, "p999").value_or(0);
       row.max = find_num(line, "max").value_or(0);
       out.hists.push_back(std::move(row));
       continue;
     }
     const auto t_ps = find_num(line, "t_ps");
     if (!t_ps) continue;
+    ++out.data_rows;
     const std::size_t at = line.find("\"v\":");
     if (at == std::string::npos) continue;
     const std::string vals = bracket_region(line, line.find('[', at),
@@ -205,6 +221,10 @@ std::optional<TsArtifact> load_timeseries(const fs::path& path) {
       }
     }
   }
+  if (!header_seen) {
+    why = "truncated before the header line";
+    return std::nullopt;
+  }
   if (out.ticks > 0) {
     for (SeriesAgg& s : out.series) s.mean /= static_cast<double>(out.ticks);
   }
@@ -219,7 +239,56 @@ struct RunRow {
   std::string scenario, status, params;
   bool deadlocked = false;
   double goodput = 0, detect_ns = -1, recover_ns = -1;
+  double critical_fires = -1, lead_ms = -1;  ///< from the "alerts" object
+  /// Flat numeric metrics for the anomaly pass, names prefixed with the
+  /// subobject they came from ("probe.", "alerts.") plus goodput_gbps.
+  std::vector<std::pair<std::string, double>> metrics;
 };
+
+/// Parses the flat `"name":value,...` pairs of the named subobject of
+/// `obj` (the campaign JSON's "probe"/"alerts" digests). Non-numeric
+/// values are skipped.
+std::vector<std::pair<std::string, double>> parse_metric_object(
+    const std::string& obj, const char* key) {
+  std::vector<std::pair<std::string, double>> out;
+  const std::string needle = std::string("\"") + key + "\":{";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return out;
+  const std::string body =
+      bracket_region(obj, at + needle.size() - 1, '{', '}');
+  std::size_t p = 0;
+  while (p < body.size()) {
+    const std::size_t q = body.find('"', p);
+    if (q == std::string::npos) break;
+    const std::size_t q2 = body.find('"', q + 1);
+    if (q2 == std::string::npos) break;
+    p = q2 + 1;
+    if (p >= body.size() || body[p] != ':') continue;
+    char* end = nullptr;
+    const char* num = body.c_str() + p + 1;
+    const double v = std::strtod(num, &end);
+    if (end == num) continue;
+    out.emplace_back(body.substr(q + 1, q2 - q - 1), v);
+    p = static_cast<std::size_t>(end - body.c_str());
+  }
+  return out;
+}
+
+/// Removes the derived per-run "seed" entry from a flattened params string
+/// ("inject_gbps:7,seed:123" -> "inject_gbps:7"): seeds distinguish
+/// replicas, not identity classes, so the anomaly grouping must ignore
+/// them.
+std::string strip_seed(const std::string& params) {
+  const std::size_t at = params.find("seed:");
+  if (at != std::string::npos && (at == 0 || params[at - 1] == ',')) {
+    std::size_t end = params.find(',', at);
+    if (end == std::string::npos) {
+      return params.substr(0, at == 0 ? 0 : at - 1);
+    }
+    return params.substr(0, at) + params.substr(end + 1);
+  }
+  return params;
+}
 
 std::vector<RunRow> load_campaign(const std::string& content) {
   std::vector<RunRow> rows;
@@ -241,9 +310,82 @@ std::vector<RunRow> load_campaign(const std::string& content) {
       row.params = bracket_region(obj, obj.find('{', pat), '{', '}');
       std::erase(row.params, '"');
     }
+    row.metrics.emplace_back("goodput_gbps", row.goodput);
+    for (auto& [name, v] : parse_metric_object(obj, "probe")) {
+      row.metrics.emplace_back("probe." + name, v);
+    }
+    for (auto& [name, v] : parse_metric_object(obj, "alerts")) {
+      if (name == "fired.critical") row.critical_fires = v;
+      if (name == "lead_ms") row.lead_ms = v;
+      row.metrics.emplace_back("alerts." + name, v);
+    }
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+// ---- cross-run anomaly detection ----
+
+struct Anomaly {
+  std::string group, metric;
+  long long run = -1;
+  double value = 0, median = 0, z = 0;
+};
+
+/// Robust per-metric outlier scan within each scenario identity class
+/// (scenario + params minus the seed). The score is the classic robust z:
+/// (x - median) / max(1.4826 * MAD, floor). The floor keeps a
+/// nearly-degenerate spread from amplifying formatting-level jitter into
+/// an outlier, while a genuinely divergent replica (MAD == 0 because every
+/// other seed agrees exactly) is still flagged. Groups need >= 4 ok runs
+/// for the median/MAD to mean anything. Output order is deterministic:
+/// group, then metric, then run index.
+std::vector<Anomaly> find_anomalies(const std::vector<RunRow>& runs,
+                                    double z_threshold = 3.5) {
+  std::map<std::string, std::vector<const RunRow*>> groups;
+  for (const RunRow& r : runs) {
+    if (r.status != "ok") continue;
+    groups[r.scenario + " `" + strip_seed(r.params) + "`"].push_back(&r);
+  }
+  std::vector<Anomaly> out;
+  for (const auto& [group, members] : groups) {
+    if (members.size() < 4) continue;
+    std::map<std::string, std::vector<std::pair<long long, double>>> by_metric;
+    for (const RunRow* r : members) {
+      for (const auto& [name, v] : r->metrics) {
+        by_metric[name].emplace_back(r->run, v);
+      }
+    }
+    for (const auto& [metric, obs] : by_metric) {
+      if (obs.size() < 4) continue;
+      std::vector<double> vals;
+      vals.reserve(obs.size());
+      for (const auto& [run, v] : obs) vals.push_back(v);
+      std::sort(vals.begin(), vals.end());
+      const double med = vals[vals.size() / 2];
+      std::vector<double> dev;
+      dev.reserve(vals.size());
+      for (const double v : vals) dev.push_back(std::fabs(v - med));
+      std::sort(dev.begin(), dev.end());
+      const double mad = dev[dev.size() / 2];
+      const double floor =
+          1e-6 * std::max(1.0, std::fabs(med));
+      const double scale = std::max(1.4826 * mad, floor);
+      for (const auto& [run, v] : obs) {
+        const double z = (v - med) / scale;
+        if (std::fabs(z) < z_threshold) continue;
+        Anomaly a;
+        a.group = group;
+        a.metric = metric;
+        a.run = run;
+        a.value = v;
+        a.median = med;
+        a.z = z;
+        out.push_back(std::move(a));
+      }
+    }
+  }
+  return out;
 }
 
 void append(std::string& out, const char* fmt, ...) {
@@ -330,8 +472,9 @@ int main(int argc, char** argv) {
     append(md, "## Runs\n\n");
     append(md,
            "| run | scenario | params | status | deadlocked | goodput "
-           "(Gbps) | detect (ms) | recover (ms) |\n");
-    append(md, "|--:|---|---|---|---|--:|--:|--:|\n");
+           "(Gbps) | detect (ms) | recover (ms) | crit alerts | lead (ms) "
+           "|\n");
+    append(md, "|--:|---|---|---|---|--:|--:|--:|--:|--:|\n");
     for (const RunRow& r : runs) {
       append(md, "| %lld | %s | `%s` | %s | %s | %.3f | ", r.run,
              r.scenario.c_str(), r.params.empty() ? "-" : r.params.c_str(),
@@ -342,7 +485,17 @@ int main(int argc, char** argv) {
         append(md, "- | ");
       }
       if (r.recover_ns >= 0) {
-        append(md, "%.3f |\n", r.recover_ns / 1e6);
+        append(md, "%.3f | ", r.recover_ns / 1e6);
+      } else {
+        append(md, "- | ");
+      }
+      if (r.critical_fires >= 0) {
+        append(md, "%.0f | ", r.critical_fires);
+      } else {
+        append(md, "- | ");
+      }
+      if (r.lead_ms >= 0) {
+        append(md, "%.3f |\n", r.lead_ms);
       } else {
         append(md, "- |\n");
       }
@@ -350,13 +503,59 @@ int main(int argc, char** argv) {
     append(md, "\n");
   }
 
+  // Cross-run anomaly scan: robust z-scores over the probe/alert digests
+  // within each scenario identity class (same scenario + params, seeds
+  // differing). Deterministic ordering, so the section diffs clean.
+  const std::vector<Anomaly> anomalies = find_anomalies(runs);
+  if (!runs.empty()) {
+    append(md, "## Anomalies\n\n");
+    if (anomalies.empty()) {
+      append(md,
+             "No cross-run anomalies (robust z >= 3.5 within an identity "
+             "class of >= 4 runs).\n\n");
+    } else {
+      append(md,
+             "| identity class | metric | run | value | class median | "
+             "robust z |\n|---|---|--:|--:|--:|--:|\n");
+      constexpr std::size_t kMaxAnomalyRows = 64;
+      for (std::size_t i = 0;
+           i < anomalies.size() && i < kMaxAnomalyRows; ++i) {
+        const Anomaly& a = anomalies[i];
+        append(md, "| %s | %s | %lld | %.6g | %.6g | %+.3g |\n",
+               a.group.c_str(), a.metric.c_str(), a.run, a.value, a.median,
+               a.z);
+      }
+      if (anomalies.size() > kMaxAnomalyRows) {
+        append(md, "\n(%zu more anomaly row(s) suppressed)\n",
+               anomalies.size() - kMaxAnomalyRows);
+      }
+      append(md, "\n");
+    }
+  }
+
+  // Partial-directory notes: a sweep that was interrupted (or whose files
+  // were pruned) yields a report with this section instead of an abort.
+  std::vector<std::string> skipped;
+
   std::size_t loaded = 0;
   for (const fs::path& p : ts_files) {
-    const std::optional<TsArtifact> ts = load_timeseries(p);
+    std::string why;
+    const std::optional<TsArtifact> ts = load_timeseries(p, why);
     if (!ts) {
-      std::fprintf(stderr, "dcdl_report: skipping '%s' (not a "
-                   "dcdl.timeseries.v1 artifact)\n", p.string().c_str());
+      skipped.push_back("`" + p.filename().string() + "` — " + why);
+      std::fprintf(stderr, "dcdl_report: skipping '%s' (%s)\n",
+                   p.string().c_str(), why.c_str());
       continue;
+    }
+    const long long expected_rows = ts->ticks - ts->dropped;
+    if (ts->data_rows < expected_rows) {
+      char note[256];
+      std::snprintf(note, sizeof(note),
+                    "`%s` — truncated: header declares %lld sample row(s), "
+                    "file holds %lld (summarized as-is)",
+                    p.filename().string().c_str(), expected_rows,
+                    ts->data_rows);
+      skipped.push_back(note);
     }
     ++loaded;
     append(md, "## %s\n\n", ts->stem.c_str());
@@ -399,15 +598,51 @@ int main(int argc, char** argv) {
     if (any_hist) {
       append(md,
              "| histogram | count | p50 (us) | p90 (us) | p99 (us) | "
-             "max (us) |\n|---|--:|--:|--:|--:|--:|\n");
+             "p999 (us) | max (us) |\n|---|--:|--:|--:|--:|--:|--:|\n");
       for (const HistRow& h : ts->hists) {
         if (h.count == 0) continue;
-        append(md, "| %s | %.0f | %.1f | %.1f | %.1f | %.1f |\n",
+        append(md, "| %s | %.0f | %.1f | %.1f | %.1f | %.1f | %.1f |\n",
                h.name.c_str(), h.count, h.p50 / 1e6, h.p90 / 1e6,
-               h.p99 / 1e6, h.max / 1e6);
+               h.p99 / 1e6, h.p999 / 1e6, h.max / 1e6);
       }
       append(md, "\n");
     }
+  }
+
+  // Per-run artifact completeness: when the directory holds per-run
+  // (run_NNNNN.*) artifacts, every ok run in the campaign JSON should have
+  // its timeseries, alerts, and forensics files. Missing ones get a note.
+  bool any_run_files = false;
+  for (const fs::path& p : ts_files) {
+    if (p.filename().string().compare(0, 4, "run_") == 0) {
+      any_run_files = true;
+      break;
+    }
+  }
+  if (any_run_files) {
+    for (const RunRow& r : runs) {
+      if (r.status != "ok" || r.run < 0) continue;
+      char stem[32];
+      std::snprintf(stem, sizeof(stem), "run_%05lld", r.run);
+      for (const char* suffix :
+           {".timeseries.jsonl", ".alerts.jsonl", ".forensics.txt"}) {
+        const fs::path expect = fs::path(dir) / (std::string(stem) + suffix);
+        if (!fs::exists(expect)) {
+          skipped.push_back("`" + expect.filename().string() +
+                            "` — missing for ok run " +
+                            std::to_string(r.run));
+        }
+      }
+    }
+  }
+
+  if (!skipped.empty()) {
+    append(md, "## Skipped artifacts\n\n");
+    append(md,
+           "The campaign directory is partial; these artifacts were "
+           "skipped or flagged (the rest of the report is unaffected):\n\n");
+    for (const std::string& s : skipped) append(md, "- %s\n", s.c_str());
+    append(md, "\n");
   }
 
   if (loaded == 0 && runs.empty()) {

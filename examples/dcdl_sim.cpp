@@ -25,12 +25,17 @@
 // <scenario>.telemetry.jsonl (topology-bearing, replayable through
 // dcdl_forensics), <scenario>.forensics.{txt,dot}, the dcdl::probe
 // artifacts <scenario>.timeseries.jsonl (dcdl.timeseries.v1, consumed by
-// dcdl_report) and <scenario>.counters.json (Perfetto counter tracks), and
-// — when a deadlock is confirmed — <scenario>.postmortem.jsonl captured at
-// the confirmation instant. --metrics prints the full metrics snapshot
+// dcdl_report) and <scenario>.counters.json (Perfetto counter tracks), the
+// dcdl::watch artifacts <scenario>.alerts.jsonl (dcdl.alerts.v1) and
+// <scenario>.alerts.perfetto.json (alert instants on the trace timeline),
+// and — when a deadlock is confirmed — <scenario>.postmortem.jsonl captured
+// at the confirmation instant. --metrics prints the full metrics snapshot
 // after the run; the probe summary (FCT / pause-duration / queuing-delay
 // percentiles) prints after every run. --probe_us N changes the sampling
-// interval (default 100). --profile installs the wall-clock engine
+// interval (default 100). The early-warning watcher (dcdl::watch) is
+// always on and its alert digest prints after every run; --watch
+// additionally streams a live status line plus every alert edge to stderr
+// while the simulation runs. --profile installs the wall-clock engine
 // self-profiler and prints its span table (nondeterministic; never in the
 // artifacts). A forensic post-mortem (initial trigger, cascade shape) is
 // printed after every run.
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   const bool metrics = flags.get_bool("metrics", false);
   const Time probe_interval =
       Time{flags.get_int("probe_us", 100) * 1'000'000};
+  const bool watch_live = flags.get_bool("watch", false);
   const bool profile = flags.get_bool("profile", false);
   const int shards = static_cast<int>(flags.get_int("shards", 0));
   const std::string dp_str = flags.get_string("dataplane", "off");
@@ -207,6 +213,37 @@ int main(int argc, char** argv) {
       return static_cast<double>(ctl->fluid_flows());
     });
   }
+  // Always-on early-warning watcher; --watch streams its live view.
+  watch::WatchOptions watch_opts;
+  watch_opts.interval = probe_interval;
+  watch::RunWatch run_watch(*s.net, s.flows, watch_opts);
+  if (watch_live) {
+    run_watch.set_on_event([&s, &run_watch](const watch::AlertEvent& ev) {
+      std::fprintf(stderr, "\n[watch] %8.3f ms  %-8s %s %s (%s=%g) @ %s\n",
+                   ev.t.ms(), watch::to_string(ev.severity),
+                   run_watch.engine().rules()[ev.rule].name.c_str(),
+                   ev.firing ? "FIRE" : "clear",
+                   run_watch.engine().rules()[ev.rule].signal.c_str(),
+                   ev.value, watch::node_label(*s.topo, ev.node).c_str());
+    });
+    run_watch.set_on_tick([](Time t, const watch::RunWatch& w) {
+      const auto sig = [&w](const char* name) {
+        const auto& names = w.signal_names();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+          if (names[i] == name) return w.signal_values()[i];
+        }
+        return 0.0;
+      };
+      const auto ceiling = w.engine().active_ceiling();
+      std::fprintf(stderr,
+                   "\r[watch] t=%7.2f ms  queued=%9.0f B  pause_frac=%4.2f "
+                   " age=%7.1f us  wedge=%2.0f  risk=%4.2f  [%s]   ",
+                   t.ms(), sig("queue_bytes"), sig("pause_frac"),
+                   sig("pause_age_us"), sig("wedge_queues"),
+                   sig("risk_max"),
+                   ceiling ? watch::to_string(*ceiling) : "ok");
+    });
+  }
   std::unique_ptr<telemetry::FlightRecorder> recorder;
   if (!trace_dir.empty()) {
     try {
@@ -222,6 +259,7 @@ int main(int argc, char** argv) {
   // wedged state is live, before stop_and_drain perturbs the queues.
   std::string post_mortem;
   run_probe.start(*s.sim, s.sim->now() + run_for);
+  run_watch.start(*s.sim, s.sim->now() + run_for);
   // The profiler installs on this thread only: shard workers see a null
   // thread_local and record nothing (the coordinator-side barrier span
   // stands in for their wall time).
@@ -264,6 +302,26 @@ int main(int argc, char** argv) {
                 static_cast<double>(hist->percentile(0.5)) / 1e6,
                 static_cast<double>(hist->percentile(0.99)) / 1e6,
                 static_cast<double>(hist->max()) / 1e6);
+  }
+  if (watch_live) std::fprintf(stderr, "\n");
+  const auto& eng = run_watch.engine();
+  std::printf("  watch: %llu info / %llu warn / %llu critical alert(s), "
+              "%llu suppressed\n",
+              static_cast<unsigned long long>(
+                  eng.fires(watch::Severity::kInfo)),
+              static_cast<unsigned long long>(
+                  eng.fires(watch::Severity::kWarn)),
+              static_cast<unsigned long long>(
+                  eng.fires(watch::Severity::kCritical)),
+              static_cast<unsigned long long>(eng.suppressed()));
+  const auto first_critical = eng.first_fire(watch::Severity::kCritical);
+  if (first_critical) {
+    std::printf("    first critical at %.3f ms", first_critical->ms());
+    if (r.detected_at) {
+      std::printf("  (lead time %.3f ms over the monitor confirm)",
+                  r.detected_at->ms() - first_critical->ms());
+    }
+    std::printf("\n");
   }
   std::printf("verdict: deadlock %s", r.deadlocked ? "YES" : "no");
   if (r.detected_at) std::printf(" (online detection at %.2f ms)",
@@ -359,6 +417,10 @@ int main(int argc, char** argv) {
     for (const auto& [name, value] : run_probe.summary()) {
       std::printf("  %-40s %.6g\n", name.c_str(), value);
     }
+    std::printf("\nwatch summary:\n");
+    for (const auto& [name, value] : run_watch.summary()) {
+      std::printf("  %-40s %.6g\n", name.c_str(), value);
+    }
   }
   if (profile) {
     std::printf("\n%s", profiler.report().c_str());
@@ -387,6 +449,11 @@ int main(int argc, char** argv) {
                               probe::to_timeseries_jsonl(run_probe));
     campaign::write_text_file(stem + ".counters.json",
                               probe::to_perfetto_counters(run_probe));
+    campaign::write_text_file(stem + ".alerts.jsonl",
+                              watch::to_alerts_jsonl(run_watch, *s.topo));
+    campaign::write_text_file(
+        stem + ".alerts.perfetto.json",
+        watch::to_perfetto_alerts(run_watch, *s.topo));
     if (!post_mortem.empty()) {
       campaign::write_text_file(stem + ".postmortem.jsonl", post_mortem);
       std::printf("post-mortem: %s.postmortem.jsonl (deadlock window)\n",

@@ -145,23 +145,22 @@ int main(int argc, char** argv) {
       // A single live counter, rewritten in place, with the observed run
       // rate and the ETA it implies. Strictly stderr: stdout carries the
       // JSON/CSV artifacts and must stay byte-identical whether or not
-      // anyone is watching.
+      // anyone is watching. format_progress renders `--.- run/s, eta --:--`
+      // until the first run completes, so long sweeps show a sane line
+      // immediately instead of an inf/nan extrapolation.
+      std::fprintf(stderr, "\r%s ",
+                   format_progress(0, runs.size(), -1, "", 0.0).c_str());
+      std::fflush(stderr);
       opts.on_run_done = [&done, &runs, sweep0](const RunRecord& rec) {
         ++done;
         const double elapsed_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           sweep0)
                 .count();
-        const double rate = elapsed_s > 0
-                                ? static_cast<double>(done) / elapsed_s
-                                : 0;
-        const double eta_s =
-            rate > 0 ? static_cast<double>(runs.size() - done) / rate : 0;
-        std::fprintf(stderr,
-                     "\r  %zu/%zu run(s) done (last: run %d %s) "
-                     "%.1f run/s, eta %.0fs ",
-                     done, runs.size(), rec.run_index, to_string(rec.status),
-                     rate, eta_s);
+        std::fprintf(stderr, "\r%s ",
+                     format_progress(done, runs.size(), rec.run_index,
+                                     to_string(rec.status), elapsed_s)
+                         .c_str());
         std::fflush(stderr);
       };
     } else if (!quiet) {

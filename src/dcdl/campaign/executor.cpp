@@ -18,6 +18,8 @@
 #include "dcdl/stats/hooks.hpp"
 #include "dcdl/stats/pause_log.hpp"
 #include "dcdl/telemetry/telemetry.hpp"
+#include "dcdl/watch/export.hpp"
+#include "dcdl/watch/watch.hpp"
 
 namespace dcdl::campaign {
 
@@ -132,6 +134,12 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
           });
     }
 
+    // Always-on early-warning watcher: like the probe, its sampler rides
+    // the externally visible simulator, so the alert stream is a pure
+    // function of the scenario for every --jobs x --shards with
+    // shards >= 1.
+    watch::RunWatch run_watch(*s.net, s.flows, opts.watch);
+
     // Cooperative guard: a recurring simulator event — always scheduled, so
     // the event stream (and events_executed) is identical whether a run
     // executes inside a campaign or standalone. `guard_active` ends the
@@ -204,6 +212,7 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     const Time start = sim->now();
     monitor.start(start, start + spec.run_for + spec.drain_grace);
     run_probe.start(*sim, start + spec.run_for);
+    run_watch.start(*sim, start + spec.run_for);
     sim->run_until(start + spec.run_for);
     guard_active = false;
     rec.wall_ms = elapsed_ms(wall0);
@@ -246,9 +255,12 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     // values exactly (the hooks would keep accumulating through the drain).
     run_probe.finalize();
     rec.probe = run_probe.summary();
+    rec.alerts = run_watch.summary();
     std::string timeseries;
+    std::string alerts_jsonl;
     if (recorder != nullptr) {
       timeseries = probe::to_timeseries_jsonl(run_probe);
+      alerts_jsonl = watch::to_alerts_jsonl(run_watch, *s.topo);
     }
     rec.status = RunStatus::kOk;  // finisher sees a complete core record
     if (finish) finish(rec, rec.metrics);
@@ -258,6 +270,17 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
     rec.trapped_bytes = drain.trapped_bytes;
     rec.deadlocked = drain.deadlocked;
     if (monitor.detected_at()) rec.detect_ms = monitor.detected_at()->ms();
+    // Early-warning lead time: how far the first critical alert beat the
+    // dwell-confirmed monitor verdict (the headline watch metric).
+    // Positive = the alert fired first.
+    if (monitor.detected_at()) {
+      const auto first_crit =
+          run_watch.first_fire(watch::Severity::kCritical);
+      if (first_crit) {
+        rec.alerts.emplace_back(
+            "lead_ms", monitor.detected_at()->ms() - first_crit->ms());
+      }
+    }
     rec.events = sim->events_executed();
     if (dp_first_confirm) rec.detection_latency_ns = dp_first_confirm->ns();
     if (dp_first_confirm && dp_first_recover) {
@@ -309,6 +332,7 @@ RunRecord execute_run(const ScenarioRegistry& registry, const RunSpec& spec,
       write_text_file(stem + ".telemetry.jsonl",
                       telemetry::to_jsonl(*s.topo, window));
       write_text_file(stem + ".timeseries.jsonl", timeseries);
+      write_text_file(stem + ".alerts.jsonl", alerts_jsonl);
       write_text_file(stem + ".forensics.txt",
                       forensics::to_text(cascade));
       write_text_file(stem + ".forensics.dot",

@@ -20,6 +20,7 @@
 
 #include "dcdl/campaign/result.hpp"
 #include "dcdl/hybrid/hybrid.hpp"
+#include "dcdl/watch/watch.hpp"
 
 namespace dcdl::campaign {
 
@@ -60,12 +61,19 @@ struct ExecutorOptions {
   /// 100 us interval this covers 409.6 ms of history — longer runs keep the
   /// most recent window and report dropped_ticks in the artifact header.
   std::size_t probe_capacity = 1u << 12;
+  /// Early-warning watcher configuration (dcdl::watch). Like the probe it
+  /// is always on and rides the externally visible simulator, so the alert
+  /// stream is byte-identical across --jobs and --shards >= 1. Every ok
+  /// record carries the alert summary (schema v6); with trace_dir set,
+  /// each run additionally writes `run_NNNNN.alerts.jsonl`.
+  watch::WatchOptions watch;
   /// Progress callback, invoked under a lock after each run completes.
   std::function<void(const RunRecord&)> on_run_done;
 
   /// Non-empty: every run attaches a flight recorder and writes
   /// `run_NNNNN.trace.json` (Perfetto) + `run_NNNNN.telemetry.jsonl` +
-  /// `run_NNNNN.timeseries.jsonl` (dcdl.timeseries.v1) into
+  /// `run_NNNNN.timeseries.jsonl` (dcdl.timeseries.v1) +
+  /// `run_NNNNN.alerts.jsonl` (dcdl.alerts.v1) into
   /// this existing directory; a run whose deadlock monitor confirms a cycle
   /// additionally writes `run_NNNNN.postmortem.jsonl` with the last-events
   /// window captured at the detection instant. One file set per run_index,

@@ -158,6 +158,13 @@ void emit_run(Json& j, const RunRecord& r, const WriteOptions& opts) {
       j.value(value);
     }
     j.end_object();
+    j.key("alerts");
+    j.begin_object();
+    for (const auto& [name, value] : r.alerts) {
+      j.key(name);
+      j.value(value);
+    }
+    j.end_object();
   }
   if (opts.include_timing) {
     j.key("timing");

@@ -35,7 +35,14 @@ namespace dcdl::campaign {
 /// max/mean plus FCT / PFC-pause / detection / recovery / hop-wait
 /// histogram percentiles) captured at stop time. Additive over v4; the CSV
 /// layout is unchanged (probe values live in the JSON only).
-inline constexpr const char* kResultSchema = "dcdl.campaign.v5";
+/// v6: ok runs carry an "alerts" object — the dcdl::watch early-warning
+/// summary (emitted fire counts by severity, first-fire times, per-rule
+/// fire counts, per-signal maxima, and "lead_ms" — the DeadlockMonitor
+/// confirmation instant minus the first critical alert — when both exist).
+/// The probe object additionally gains p999_us percentile columns.
+/// Additive over v5 in the same JSON-only way; the CSV layout is
+/// unchanged.
+inline constexpr const char* kResultSchema = "dcdl.campaign.v6";
 
 enum class RunStatus {
   kOk,         ///< ran to completion
@@ -86,6 +93,10 @@ struct RunRecord {
   /// Captured at the same stop instant as `telemetry`; JSON-only (the CSV
   /// column set is unchanged).
   std::vector<std::pair<std::string, double>> probe;
+  /// Early-warning alert summary (schema v6): dcdl::watch's digest plus
+  /// "lead_ms" when both a critical alert and a monitor confirmation
+  /// happened. Same stop-instant capture and JSON-only story as `probe`.
+  std::vector<std::pair<std::string, double>> alerts;
 
   // Wall-clock accounting — excluded from artifacts by default.
   double wall_ms = 0;

@@ -1,5 +1,6 @@
 #include "dcdl/campaign/sweep.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace dcdl::campaign {
@@ -147,6 +148,30 @@ std::vector<GridAxis> parse_grid(const std::string& text) {
     axes.push_back(parse_axis(term));
   }
   return axes;
+}
+
+std::string format_progress(std::size_t done, std::size_t total,
+                            int last_run_index, const std::string& last_status,
+                            double elapsed_s) {
+  char buf[160];
+  int n = std::snprintf(buf, sizeof(buf), "  %zu/%zu run(s) done", done, total);
+  std::string out(buf, static_cast<std::size_t>(n));
+  if (last_run_index >= 0) {
+    n = std::snprintf(buf, sizeof(buf), " (last: run %d %s)", last_run_index,
+                      last_status.c_str());
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  if (done == 0 || elapsed_s <= 0) {
+    // No completed run (or no elapsed wall time) yet: any rate/ETA here
+    // would be a 0/0 extrapolation, so render explicit placeholders.
+    out += " --.- run/s, eta --:--";
+    return out;
+  }
+  const double rate = static_cast<double>(done) / elapsed_s;
+  const double eta_s = static_cast<double>(total - done) / rate;
+  n = std::snprintf(buf, sizeof(buf), " %.1f run/s, eta %.0fs", rate, eta_s);
+  out.append(buf, static_cast<std::size_t>(n));
+  return out;
 }
 
 void apply_sets(ParamMap& out, const std::string& text) {

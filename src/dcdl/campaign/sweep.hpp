@@ -74,4 +74,14 @@ std::vector<GridAxis> parse_grid(const std::string& text);
 /// Parses "name=value;name2=value2" fixed overrides into `out`.
 void apply_sets(ParamMap& out, const std::string& text);
 
+/// Renders one `dcdl_sweep --progress` status line (no trailing newline).
+/// Before the first run completes (done == 0) — or when the wall clock has
+/// not advanced (elapsed_s <= 0) — the observed rate and the ETA it implies
+/// are meaningless, so the line shows `--.- run/s, eta --:--` instead of an
+/// inf/nan extrapolation. `last_run_index` < 0 omits the "(last: ...)"
+/// segment (used for the initial 0/N line printed at sweep start).
+std::string format_progress(std::size_t done, std::size_t total,
+                            int last_run_index, const std::string& last_status,
+                            double elapsed_s);
+
 }  // namespace dcdl::campaign

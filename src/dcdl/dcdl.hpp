@@ -61,6 +61,10 @@
 
 #include "dcdl/telemetry/telemetry.hpp"
 
+#include "dcdl/watch/export.hpp"
+#include "dcdl/watch/rules.hpp"
+#include "dcdl/watch/watch.hpp"
+
 #include "dcdl/forensics/forensics.hpp"
 
 #include "dcdl/scenarios/scenario.hpp"

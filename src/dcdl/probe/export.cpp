@@ -63,6 +63,7 @@ std::string to_timeseries_jsonl(const RunProbe& probe,
     out += ",\"p50\":" + std::to_string(h.hist->percentile(0.50));
     out += ",\"p90\":" + std::to_string(h.hist->percentile(0.90));
     out += ",\"p99\":" + std::to_string(h.hist->percentile(0.99));
+    out += ",\"p999\":" + std::to_string(h.hist->percentile(0.999));
     out += ",\"buckets\":[";
     bool first = true;
     h.hist->for_each_bucket([&](std::uint64_t edge, std::uint64_t count) {

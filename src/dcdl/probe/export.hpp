@@ -3,7 +3,7 @@
 //   * `dcdl.timeseries.v1` JSONL: one header object (schema, interval,
 //     series directory), one row object per retained tick, then one object
 //     per histogram with exact count/sum/min/max, bounded-error
-//     p50/p90/p99, and the non-empty (upper_edge, count) bucket list.
+//     p50/p90/p99/p999, and the non-empty (upper_edge, count) bucket list.
 //     Only series flagged deterministic are written unless
 //     `include_engine_series` is set, so the artifact is byte-identical
 //     across --jobs x --shards within each engine identity class.

@@ -266,6 +266,8 @@ std::vector<std::pair<std::string, double>> RunProbe::summary() const {
                      static_cast<double>(h.hist->percentile(0.90)) / 1e6);
     out.emplace_back(base + ".p99_us",
                      static_cast<double>(h.hist->percentile(0.99)) / 1e6);
+    out.emplace_back(base + ".p999_us",
+                     static_cast<double>(h.hist->percentile(0.999)) / 1e6);
     out.emplace_back(base + ".max_us",
                      static_cast<double>(h.hist->max()) / 1e6);
   }

@@ -131,7 +131,7 @@ class RunProbe {
   std::vector<NamedHist> histograms() const;
 
   /// Deterministic scalar digest for campaign records: tick count, series
-  /// aggregates, and count/mean/p50/p90/p99/max (microseconds) per
+  /// aggregates, and count/mean/p50/p90/p99/p999/max (microseconds) per
   /// non-empty histogram.
   std::vector<std::pair<std::string, double>> summary() const;
 

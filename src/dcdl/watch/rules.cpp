@@ -1,0 +1,159 @@
+#include "dcdl/watch/rules.hpp"
+
+#include <stdexcept>
+
+namespace dcdl::watch {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+std::vector<AlertRule> default_rules() {
+  std::vector<AlertRule> r;
+  // A quarter of the fabric's ingress queues holding their upstream paused
+  // is well past normal PFC duty; clears only once pressure really drains.
+  r.push_back({"pause_pressure", "pause_frac", Severity::kWarn, 0.25, 0.10,
+               2, Time{500'000'000}});
+  // Healthy pause episodes last O(control loop) — tens of microseconds at
+  // these link delays. A span aging past 300 us is compounding, not
+  // flow control.
+  r.push_back({"pause_age", "pause_age_us", Severity::kWarn, 300.0, 100.0, 1,
+               Time{500'000'000}});
+  // Sustained aggregate queue growth of >= 0.5 MB per ms (~4 Gbps pooling
+  // up) — the cascade's fuel accumulating.
+  r.push_back({"queue_growth", "queue_growth", Severity::kInfo, 5e5, 1e5, 2,
+               Time{500'000'000}});
+  // Any wait-for cycle at a barrier instant: the wedge exists right now,
+  // even if it may still dissolve.
+  r.push_back({"wedge_forming", "wedge_queues", Severity::kWarn, 1.0, 1.0, 1,
+               Time{200'000'000}});
+  // The same wedge persisting across consecutive samples is the page-worthy
+  // signal: transients dissolve within a tick or two, a closing deadlock
+  // does not (and the centralized monitor will not confirm it for another
+  // dwell period — this is where the lead time comes from).
+  r.push_back({"deadlock_imminent", "wedge_queues", Severity::kCritical, 1.0,
+               1.0, 3, Time{1'000'000'000}});
+  // Flow-level stable-state analysis says a dependency cycle is lockable
+  // at the *measured* rates (<= 1 slack link) — the §3 boundary crossed.
+  r.push_back({"risk_boundary", "risk_reachable", Severity::kInfo, 1.0, 1.0,
+               1, Time{10'000'000'000}});
+  return r;
+}
+
+RuleEngine::RuleEngine(std::vector<AlertRule> rules,
+                       const std::vector<std::string>& signal_names,
+                       std::size_t max_events)
+    : rules_(std::move(rules)), max_events_(max_events) {
+  state_.resize(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& r = rules_[i];
+    if (r.clear_below > r.fire_above) {
+      throw std::runtime_error("watch rule '" + r.name +
+                               "': clear_below > fire_above");
+    }
+    if (r.for_ticks < 1) {
+      throw std::runtime_error("watch rule '" + r.name + "': for_ticks < 1");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rules_[j].name == r.name) {
+        throw std::runtime_error("duplicate watch rule name '" + r.name +
+                                 "'");
+      }
+    }
+    bool found = false;
+    for (std::size_t s = 0; s < signal_names.size(); ++s) {
+      if (signal_names[s] == r.signal) {
+        state_[i].signal = static_cast<std::uint32_t>(s);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("watch rule '" + r.name +
+                               "' watches unknown signal '" + r.signal +
+                               "'");
+    }
+  }
+}
+
+void RuleEngine::emit(Time t, std::uint32_t rule, bool firing, double value,
+                      std::int64_t hot_node) {
+  AlertEvent ev;
+  ev.t = t;
+  ev.rule = rule;
+  ev.severity = rules_[rule].severity;
+  ev.firing = firing;
+  ev.value = value;
+  ev.node = hot_node;
+  if (events_.size() < max_events_) {
+    events_.push_back(ev);
+  } else {
+    ++dropped_;
+  }
+  if (on_event_) on_event_(ev);
+}
+
+void RuleEngine::step(Time t, const std::vector<double>& values,
+                      std::int64_t hot_node) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& r = rules_[i];
+    RuleState& st = state_[i];
+    const double v = values[st.signal];
+    if (!st.firing) {
+      if (v >= r.fire_above) {
+        ++st.streak;
+        if (st.streak >= r.for_ticks) {
+          st.firing = true;
+          st.streak = 0;
+          // Dedup window, boundary-inclusive: a fire at exactly
+          // last_fire + dedup is emitted.
+          const bool deduped = st.ever_fired && r.dedup > Time::zero() &&
+                               t - st.last_fire < r.dedup;
+          if (deduped) {
+            ++suppressed_;
+            st.emitted = false;
+          } else {
+            st.emitted = true;
+            st.ever_fired = true;
+            st.last_fire = t;
+            ++st.fires;
+            const int sev = static_cast<int>(r.severity);
+            ++fires_[sev];
+            if (!first_fire_[sev]) first_fire_[sev] = t;
+            emit(t, static_cast<std::uint32_t>(i), true, v, hot_node);
+          }
+        }
+      } else {
+        st.streak = 0;
+      }
+    } else if (v < r.clear_below) {
+      st.firing = false;
+      st.streak = 0;
+      // A suppressed fire's clear is suppressed too, keeping the emitted
+      // stream balanced (every emitted fire has exactly one clear).
+      if (st.emitted) {
+        emit(t, static_cast<std::uint32_t>(i), false, v, hot_node);
+      }
+      st.emitted = false;
+    }
+  }
+}
+
+std::optional<Severity> RuleEngine::active_ceiling() const {
+  std::optional<Severity> top;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (!state_[i].firing) continue;
+    if (!top || static_cast<int>(rules_[i].severity) >
+                    static_cast<int>(*top)) {
+      top = rules_[i].severity;
+    }
+  }
+  return top;
+}
+
+}  // namespace dcdl::watch

@@ -1,0 +1,140 @@
+// dcdl::watch alert rules — the declarative early-warning rule engine.
+//
+// A rule watches one scalar signal and carries the full NOC-style alarm
+// contract:
+//
+//   * hysteresis — the rule FIRES when the signal reaches `fire_above` and
+//     only CLEARS once it falls below `clear_below` (<= fire_above), so a
+//     signal oscillating inside the band produces one alert, not a flap
+//     storm;
+//   * arming — `for_ticks` consecutive over-threshold samples are required
+//     before the fire edge, filtering single-tick transients;
+//   * dedup — after a fire, re-fires within `dedup` of it are suppressed
+//     (counted, state still tracked, edges not emitted) so one oscillating
+//     cascade cannot flood the alert stream. The boundary tick is inclusive:
+//     a re-fire at exactly `last_fire + dedup` IS emitted.
+//
+// The engine is pure state-machine code over (time, signal vector) inputs —
+// no simulator or network dependence — so its edge cases are unit-testable
+// tick by tick, and its event stream is trivially a pure function of the
+// sampled signals (which the RunWatch samples at shard-window barriers;
+// see watch.hpp for the determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dcdl/common/units.hpp"
+#include "dcdl/net/packet.hpp"
+
+namespace dcdl::watch {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kCritical = 2 };
+inline constexpr int kNumSeverities = 3;
+const char* to_string(Severity s);
+
+struct AlertRule {
+  std::string name;    ///< unique within a rule set
+  std::string signal;  ///< watched signal (resolved by name at setup)
+  Severity severity = Severity::kWarn;
+  /// Fire when signal >= fire_above for `for_ticks` consecutive samples.
+  double fire_above = 0;
+  /// Clear when signal < clear_below (must be <= fire_above).
+  double clear_below = 0;
+  /// Consecutive over-threshold ticks required before the fire edge.
+  int for_ticks = 1;
+  /// Minimum spacing between emitted fire edges; zero = no dedup.
+  Time dedup = Time::zero();
+};
+
+/// One fire or clear edge. `rule` indexes RuleEngine::rules(); `node` is
+/// the watcher's hot-spot attribution at the edge instant (-1 = none).
+struct AlertEvent {
+  Time t = Time::zero();
+  std::uint32_t rule = 0;
+  Severity severity = Severity::kInfo;
+  bool firing = true;  ///< true = fire edge, false = clear edge
+  double value = 0;
+  std::int64_t node = -1;
+};
+
+/// The built-in early-warning set (see DESIGN.md "Early-warning
+/// architecture" for the rationale behind each threshold). Signal names
+/// match RunWatch's registry.
+std::vector<AlertRule> default_rules();
+
+class RuleEngine {
+ public:
+  /// Resolves every rule's signal against `signal_names`; throws
+  /// std::runtime_error on an unknown signal, a duplicate rule name, or
+  /// clear_below > fire_above. The event log is bounded by `max_events`;
+  /// overflow edges are counted in dropped_events() and still drive the
+  /// state machines.
+  RuleEngine(std::vector<AlertRule> rules,
+             const std::vector<std::string>& signal_names,
+             std::size_t max_events = 4096);
+
+  /// Observer invoked at every emitted edge (fire and clear), after it is
+  /// appended to events().
+  void set_on_event(std::function<void(const AlertEvent&)> fn) {
+    on_event_ = std::move(fn);
+  }
+
+  /// Advances every rule one sample. `values` is indexed like the
+  /// signal_names vector given at construction; `hot_node` is stamped on
+  /// edges emitted this tick.
+  void step(Time t, const std::vector<double>& values,
+            std::int64_t hot_node = -1);
+
+  const std::vector<AlertRule>& rules() const { return rules_; }
+  const std::vector<AlertEvent>& events() const { return events_; }
+
+  /// Emitted fire edges by severity.
+  std::uint64_t fires(Severity s) const {
+    return fires_[static_cast<int>(s)];
+  }
+  /// Time of the first emitted fire edge at severity `s`.
+  std::optional<Time> first_fire(Severity s) const {
+    return first_fire_[static_cast<int>(s)];
+  }
+  /// Fire edges swallowed by dedup windows (all rules).
+  std::uint64_t suppressed() const { return suppressed_; }
+  /// Edges beyond max_events (state machines still advanced).
+  std::uint64_t dropped_events() const { return dropped_; }
+
+  std::uint64_t rule_fires(std::size_t rule) const {
+    return state_[rule].fires;
+  }
+  bool firing(std::size_t rule) const { return state_[rule].firing; }
+  /// Highest severity currently in the firing state (none = empty).
+  std::optional<Severity> active_ceiling() const;
+
+ private:
+  struct RuleState {
+    std::uint32_t signal = 0;  ///< resolved signal index
+    int streak = 0;            ///< consecutive over-threshold ticks
+    bool firing = false;
+    bool emitted = false;  ///< the current episode's fire edge was emitted
+    bool ever_fired = false;
+    Time last_fire = Time::zero();  ///< last EMITTED fire edge
+    std::uint64_t fires = 0;        ///< emitted fire edges
+  };
+
+  void emit(Time t, std::uint32_t rule, bool firing, double value,
+            std::int64_t hot_node);
+
+  std::vector<AlertRule> rules_;
+  std::vector<RuleState> state_;
+  std::vector<AlertEvent> events_;
+  std::size_t max_events_;
+  std::function<void(const AlertEvent&)> on_event_;
+  std::uint64_t fires_[kNumSeverities] = {0, 0, 0};
+  std::optional<Time> first_fire_[kNumSeverities];
+  std::uint64_t suppressed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dcdl::watch

@@ -96,6 +96,23 @@ TEST(CampaignSweep, SeedStreamIsDeterministicAndSpread) {
 
 // -------------------------------------------------------------- registry
 
+TEST(CampaignSweep, FormatProgressGuardsRateAndEtaBeforeFirstRun) {
+  // Before any run completes the rate/ETA are 0/0 — the line must show
+  // placeholders, never an inf/nan extrapolation.
+  const std::string initial = format_progress(0, 12, -1, "", 0.0);
+  EXPECT_EQ(initial, "  0/12 run(s) done --.- run/s, eta --:--");
+  EXPECT_EQ(initial.find("inf"), std::string::npos);
+  EXPECT_EQ(initial.find("nan"), std::string::npos);
+
+  // done > 0 with a stuck wall clock is guarded the same way.
+  const std::string stuck = format_progress(3, 12, 2, "ok", 0.0);
+  EXPECT_EQ(stuck, "  3/12 run(s) done (last: run 2 ok) --.- run/s, eta --:--");
+
+  // Once real progress exists the observed rate and ETA appear.
+  const std::string live = format_progress(6, 12, 5, "ok", 3.0);
+  EXPECT_EQ(live, "  6/12 run(s) done (last: run 5 ok) 2.0 run/s, eta 3s");
+}
+
 TEST(CampaignRegistry, BuiltinsAreRegistered) {
   ScenarioRegistry reg;
   register_builtin_scenarios(reg);
@@ -283,7 +300,7 @@ TEST(CampaignResultSink, JsonAndCsvCarrySchemaParamsAndMetrics) {
       CampaignExecutor(reg).run(expand(spec), spec.root_seed);
 
   const std::string json = to_json(result);
-  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v5\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v6\""), std::string::npos);
   EXPECT_NE(json.find("\"inject\":4.5"), std::string::npos);
   EXPECT_NE(json.find("\"r_threshold_gbps\":5"), std::string::npos);
   EXPECT_EQ(json.find("\"timing\""), std::string::npos) << "wall clock leaked";

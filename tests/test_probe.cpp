@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
@@ -255,6 +256,43 @@ TEST(TimeseriesArtifactTest, HeaderRowsAndHistogramsAreWellFormed) {
   EXPECT_NE(art.find("\"hist\":\"hop_wait\""), std::string::npos);
 }
 
+TEST(TimeseriesArtifactTest, HistogramPercentilesRoundTripThroughJsonl) {
+  // The p50/p99/p999 written to the hist lines must read back as exactly
+  // the histogram's own percentiles (and the summary carries them in
+  // microseconds) — the satellite round-trip for the report's new columns.
+  RoutingLoopParams p;
+  p.inject = Rate::gbps(7);
+  Scenario s = make_routing_loop(p);
+  RunProbe rp(*s.net);
+  rp.start(*s.sim, 2_ms);
+  s.sim->run_until(2_ms);
+  rp.finalize();
+  ASSERT_GT(rp.pfc_pause().count(), 0u);
+  const std::string art = to_timeseries_jsonl(rp);
+  const std::size_t pos = art.find("{\"hist\":\"pfc_pause\"");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string line = art.substr(pos, art.find('\n', pos) - pos);
+  const auto field = [&](const std::string& key) {
+    const std::size_t k = line.find("\"" + key + "\":");
+    EXPECT_NE(k, std::string::npos) << key;
+    return static_cast<std::int64_t>(
+        std::strtoll(line.c_str() + k + key.size() + 3, nullptr, 10));
+  };
+  EXPECT_EQ(field("p50"), rp.pfc_pause().percentile(0.50));
+  EXPECT_EQ(field("p99"), rp.pfc_pause().percentile(0.99));
+  EXPECT_EQ(field("p999"), rp.pfc_pause().percentile(0.999));
+  bool found = false;
+  for (const auto& [name, value] : rp.summary()) {
+    if (name == "pfc_pause.p999_us") {
+      found = true;
+      EXPECT_DOUBLE_EQ(
+          value,
+          static_cast<double>(rp.pfc_pause().percentile(0.999)) / 1e6);
+    }
+  }
+  EXPECT_TRUE(found) << "summary must carry the p999_us column";
+}
+
 TEST(TimeseriesArtifactTest, PerfettoCountersRenderDeterministically) {
   RoutingLoopParams p;
   p.inject = Rate::gbps(6);
@@ -295,7 +333,7 @@ TEST(TimeseriesArtifactTest, ExecutorProbeRecordsIdenticalAcrossJobs) {
     EXPECT_FALSE(a.records[i].probe.empty());
   }
   const std::string json = to_json(a);
-  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v5\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dcdl.campaign.v6\""), std::string::npos);
   EXPECT_NE(json.find("\"probe\":{\"ticks\":"), std::string::npos);
   EXPECT_NE(json.find("\"fct.count\""), std::string::npos);
 }

@@ -138,10 +138,28 @@ if [ "$perf" = 1 ]; then
     --out "$tsan_dir/report_b.md"
   cmp "$tsan_dir/report_a.md" "$tsan_dir/report_b.md"
 
+  # Watch early-warning leg: dcdl::watch samples the wait-for graph and
+  # pause state at the same window barriers as the probe, so its
+  # `dcdl.alerts.v1` artifact obeys the same two identity classes. The
+  # gtest suite (rule-engine edges, lead-time assertions, executor jobs
+  # invariance) runs under TSan, then the alert streams from the probe
+  # leg's sweeps above must be byte-identical across --jobs within either
+  # engine and across shard counts within the sharded engine.
+  cmake --build "$tsan_dir" --target test_watch -j"$(nproc)"
+  "$tsan_dir/tests/test_watch"
+  cmp "$tsan_dir/ts_j1s0/run_00000.alerts.jsonl" \
+      "$tsan_dir/ts_j4s0/run_00000.alerts.jsonl"
+  cmp "$tsan_dir/ts_j1s1/run_00000.alerts.jsonl" \
+      "$tsan_dir/ts_j4s2/run_00000.alerts.jsonl"
+  cmp "$tsan_dir/ts_j1s1/run_00001.alerts.jsonl" \
+      "$tsan_dir/ts_j4s2/run_00001.alerts.jsonl"
+
   # The perf gate below also covers the probe layer: routing_loop_probe
-  # (the same scenario with a 100 us sampler attached) sits in
-  # BENCH_perf.json, so sampler overhead regressions trip the same >10%
-  # events/sec check as any other hot-path change.
+  # (the same scenario with a 100 us sampler attached) and
+  # routing_loop_watch (sampler + the full early-warning stack: wait-for
+  # snapshots, rule engine, risk reassessment) sit in BENCH_perf.json, so
+  # observability overhead regressions trip the same >10% events/sec check
+  # as any other hot-path change.
   perf_dir="$repo_root/build-perf"
   cmake -B "$perf_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$perf_dir" --target bench_perf -j"$(nproc)"

@@ -28,6 +28,11 @@
 #     byte-identity test renders the `dcdl.timeseries.v1` artifact at
 #     1/2/4 shards. The profiler is thread_local-install-only (workers see
 #     a null pointer and never write), so a clean run proves that design.
+#   - test_watch: the dcdl::watch early-warning layer — its rule engine
+#     steps and wait-for-graph snapshots run at shard-window barriers while
+#     worker threads execute device events; the byte-identity test renders
+#     the `dcdl.alerts.v1` artifact at 1/2/4 shards, and the executor test
+#     compares alert records across jobs=1 and jobs=4.
 #   - test_simulator: the single-threaded core under the same build, as a
 #     control.
 #
@@ -44,7 +49,7 @@ cmake -B "$build_dir" -S "$repo_root" \
 
 cmake --build "$build_dir" \
   --target test_campaign test_sharded test_dataplane test_hybrid \
-  test_probe test_simulator -j"$(nproc)"
+  test_probe test_watch test_simulator -j"$(nproc)"
 
 # gtest binaries run directly (no ctest discovery needed under TSan).
 "$build_dir/tests/test_campaign"
@@ -52,6 +57,7 @@ cmake --build "$build_dir" \
 "$build_dir/tests/test_dataplane"
 "$build_dir/tests/test_hybrid"
 "$build_dir/tests/test_probe"
+"$build_dir/tests/test_watch"
 "$build_dir/tests/test_simulator"
 
-echo "tsan.sh: campaign + sharded + dataplane + hybrid + probe + simulator tests clean under ThreadSanitizer"
+echo "tsan.sh: campaign + sharded + dataplane + hybrid + probe + watch + simulator tests clean under ThreadSanitizer"
